@@ -1,0 +1,292 @@
+"""Ablations of Fork Path design choices (DESIGN.md §4).
+
+Each knob is toggled in isolation on a saturating workload so its
+individual contribution is visible:
+
+* scheduling off (merging with a FIFO queue);
+* dummy-label replacing off;
+* MAC allocation: full per-level residency vs the literal Equation (1)
+  geometric allocation;
+* DRAM layout: sub-tree vs naive heap order;
+* dummy refresh (the instructive negative result: re-drawing queued
+  dummy labels floods the schedule with dummy wins).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import fork_path_scheduler
+from repro.analysis.report import format_table
+from repro.config import CacheConfig, DramConfig, SchedulerConfig
+from repro.experiments.common import (
+    base_config,
+    run_mix,
+    run_saturating_trace,
+    scale_from_env,
+)
+
+SCALE = scale_from_env()
+HG_MIX = "Mix3"
+
+
+def _report(label: str, rows):
+    text = format_table(label, ["variant", "value"], rows)
+    print()
+    print(text)
+
+
+def test_scheduling_contribution(benchmark):
+    """Merging+scheduling must beat merging alone on path length."""
+
+    def run():
+        fork = run_saturating_trace(
+            base_config(SCALE, scheduler=fork_path_scheduler(64)), SCALE
+        )
+        fifo = run_saturating_trace(
+            base_config(
+                SCALE,
+                scheduler=SchedulerConfig(
+                    label_queue_size=64, enable_scheduling=False
+                ),
+            ),
+            SCALE,
+        )
+        return fork.avg_path_buckets, fifo.avg_path_buckets
+
+    scheduled, fifo = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(
+        "Ablation: request scheduling",
+        [["merge+schedule", scheduled], ["merge only (FIFO)", fifo]],
+    )
+    assert scheduled < fifo - 0.5
+
+
+def test_dummy_replacing_contribution(benchmark):
+    """Replacing takes over committed-dummy slots: fewer dummy accesses."""
+
+    def run():
+        with_replacing = run_mix(
+            base_config(SCALE, scheduler=fork_path_scheduler(64)), HG_MIX, SCALE
+        )
+        without = run_mix(
+            base_config(
+                SCALE,
+                scheduler=SchedulerConfig(
+                    label_queue_size=64, enable_dummy_replacing=False
+                ),
+            ),
+            HG_MIX,
+            SCALE,
+        )
+        return (
+            with_replacing.metrics.dummy_fraction,
+            without.metrics.dummy_fraction,
+            with_replacing.metrics.avg_latency_ns,
+            without.metrics.avg_latency_ns,
+        )
+
+    with_frac, without_frac, with_lat, without_lat = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    _report(
+        "Ablation: dummy-label replacing (dummy fraction / latency ns)",
+        [
+            ["replacing on", f"{with_frac:.3f} / {with_lat:.0f}"],
+            ["replacing off", f"{without_frac:.3f} / {without_lat:.0f}"],
+        ],
+    )
+    assert with_frac <= without_frac + 0.01
+    assert with_lat <= without_lat * 1.05
+
+
+def test_mac_allocation_full_vs_geometric(benchmark):
+    """The literal Equation (1) allocation measures near-zero hits."""
+
+    def run():
+        full = run_mix(
+            base_config(
+                SCALE,
+                scheduler=fork_path_scheduler(64),
+                cache=CacheConfig(policy="mac", capacity_bytes=256 * 1024),
+            ),
+            HG_MIX,
+            SCALE,
+        )
+        geometric = run_mix(
+            base_config(
+                SCALE,
+                scheduler=fork_path_scheduler(64),
+                cache=CacheConfig(
+                    policy="mac",
+                    capacity_bytes=256 * 1024,
+                    mac_allocation="geometric",
+                ),
+            ),
+            HG_MIX,
+            SCALE,
+        )
+        return full.metrics.cache_read_hits, geometric.metrics.cache_read_hits
+
+    full_hits, geometric_hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(
+        "Ablation: MAC allocation (cache read hits)",
+        [["full per-level", full_hits], ["geometric (Eq. 1 literal)", geometric_hits]],
+    )
+    assert full_hits > geometric_hits
+
+
+def test_subtree_layout_contribution(benchmark):
+    """Ren et al.'s sub-tree layout must raise the row-hit rate."""
+
+    def run():
+        import random
+
+        from repro.core.controller import ForkPathController
+        from repro.workloads.synthetic import uniform_trace
+        from repro.workloads.trace import TraceSource
+
+        rates = {}
+        for layout in ("subtree", "flat"):
+            config = base_config(
+                SCALE,
+                scheduler=fork_path_scheduler(64),
+                dram=DramConfig(layout=layout),
+            )
+            trace = uniform_trace(
+                SCALE.trace_requests, 4096, 50.0, random.Random(SCALE.seed)
+            )
+            controller = ForkPathController(
+                config, TraceSource(trace), rng=random.Random(1)
+            )
+            controller.run()
+            rates[layout] = controller.dram.stats.row_hit_rate
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(
+        "Ablation: DRAM layout (row-buffer hit rate)",
+        [[name, f"{rate:.3f}"] for name, rate in rates.items()],
+    )
+    assert rates["subtree"] > rates["flat"] + 0.1
+
+
+def test_dummy_refresh_negative_result(benchmark):
+    """Re-drawing queued dummy labels floods the schedule with dummies.
+
+    Measured with dummy replacing off so takeovers cannot mask the
+    selection-level effect (fresh dummy pools out-compete the
+    partially-depleted real entries on overlap degree).
+    """
+
+    def run():
+        default = run_mix(
+            base_config(
+                SCALE,
+                scheduler=SchedulerConfig(
+                    label_queue_size=64, enable_dummy_replacing=False
+                ),
+            ),
+            HG_MIX,
+            SCALE,
+        )
+        refreshed = run_mix(
+            base_config(
+                SCALE,
+                scheduler=SchedulerConfig(
+                    label_queue_size=64,
+                    enable_dummy_replacing=False,
+                    refresh_dummies=True,
+                ),
+            ),
+            HG_MIX,
+            SCALE,
+        )
+        return default.metrics.dummy_fraction, refreshed.metrics.dummy_fraction
+
+    default_frac, refreshed_frac = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(
+        "Ablation: dummy label refresh (dummy fraction)",
+        [["lingering (paper)", f"{default_frac:.3f}"],
+         ["refreshed", f"{refreshed_frac:.3f}"]],
+    )
+    assert refreshed_frac > default_frac
+
+
+def test_aging_threshold_sweep(benchmark):
+    """Tail-latency guard: tighter aging trades path length for p99."""
+
+    def run():
+        rows = []
+        for threshold in (8, 64, 1024):
+            config = base_config(
+                SCALE,
+                scheduler=SchedulerConfig(
+                    label_queue_size=64, aging_threshold=threshold
+                ),
+            )
+            metrics = run_saturating_trace(config, SCALE)
+            rows.append(
+                (
+                    threshold,
+                    metrics.avg_path_buckets,
+                    metrics.latency_percentile(0.99),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(
+        "Ablation: aging threshold (path buckets / p99 ns)",
+        [[t, f"{path:.2f} / {p99:.0f}"] for t, path, p99 in rows],
+    )
+    # Loose guard (1024) must give the shortest paths.
+    assert rows[-1][1] <= rows[0][1] + 0.05
+
+
+def test_super_block_prefetch(benchmark):
+    """Static super blocks (Ren et al.): spatial locality turns into
+    group-coalesced completions; random traffic is unharmed."""
+
+    def run():
+        import random
+
+        from repro.config import OramConfig, SystemConfig
+        from repro.core.controller import ForkPathController
+        from repro.workloads.trace import TraceSource, make_trace
+
+        results = {}
+        for log2 in (0, 2, 3):
+            config = SystemConfig(
+                oram=OramConfig(
+                    levels=SCALE.levels,
+                    # Super blocks constrain placement (a whole group
+                    # shares one path), so they need a larger stash —
+                    # Ren et al. provision for this too.
+                    stash_capacity=SCALE.stash_capacity + 128 * (1 << log2),
+                    super_block_log2=log2,
+                ),
+                scheduler=fork_path_scheduler(64),
+                cache=CacheConfig(policy="none"),
+            )
+            writes = [(60.0 * (i + 1), i, True) for i in range(1024)]
+            base_t = 60.0 * 1025
+            reads = [(base_t + 60.0 * i, i, False) for i in range(1024)]
+            controller = ForkPathController(
+                config,
+                TraceSource(make_trace(writes + reads)),
+                rng=random.Random(3),
+            )
+            metrics = controller.run()
+            results[log2] = metrics.total_accesses
+        return results
+
+    accesses = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(
+        "Ablation: static super blocks (total path accesses, sequential scan)",
+        [[f"2^{log2} blocks/group", count] for log2, count in accesses.items()],
+    )
+    assert accesses[3] < accesses[0]
+    assert accesses[2] < accesses[0]

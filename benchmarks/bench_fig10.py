@@ -1,0 +1,17 @@
+"""Figure 10: average ORAM path length & DRAM latency vs queue size.
+
+Shape targets: traditional pinned at L+1; merging path length falls
+~linearly in log2(queue size); normalised DRAM latency tracks it.
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_path_length_vs_queue(figure_runner):
+    result = figure_runner(fig10, "fig10")
+    paths = result.series("avg_path_buckets")
+    # Baseline first, then queue sizes ascending: monotone decrease.
+    assert paths[1] < paths[0]
+    assert paths[-1] < paths[1]
+    # Merging at any queue size beats traditional DRAM latency.
+    assert all(ratio < 1.0 for ratio in result.series("norm_dram_latency")[1:])

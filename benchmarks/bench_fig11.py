@@ -1,0 +1,18 @@
+"""Figure 11: total ORAM requests (dummies included), normalised.
+
+Shape targets: ratios >= 1 (merging can only add dummy accesses);
+overhead grows with the label queue size; low-intensity mixes worst.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_normalized_request_count(figure_runner):
+    result = figure_runner(fig11, "fig11")
+    geomeans = result.rows[-1]
+    columns = result.columns
+    by_queue = dict(zip(columns[2:], geomeans[2:]))
+    assert all(value >= 0.95 for value in by_queue.values())
+    # Overhead at the largest queue exceeds the smallest.
+    queues = sorted(by_queue, key=lambda name: int(name.split("=")[1]))
+    assert by_queue[queues[-1]] >= by_queue[queues[0]] - 0.02

@@ -1,0 +1,15 @@
+"""Figure 12: ORAM latency vs label queue size per mix.
+
+Shape target: latency improves with queue size up to a sweet spot
+(64 in the paper) and stops improving or degrades at 128.
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12_latency_vs_queue(figure_runner):
+    result = figure_runner(fig12, "fig12")
+    geomeans = dict(zip(result.columns[2:], result.rows[-1][2:]))
+    assert geomeans["queue=64"] < 1.0
+    # 128 does not keep improving over 64 (the paper's crossover).
+    assert geomeans["queue=128"] >= geomeans["queue=64"] - 0.05

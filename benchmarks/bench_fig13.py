@@ -1,0 +1,16 @@
+"""Figure 13: ORAM latency by on-chip caching design.
+
+Shape targets: every cache beats merge-only; bigger MAC is better;
+the 1 MB variants give the largest reductions.
+"""
+
+from repro.experiments import fig13
+
+
+def test_fig13_caching_designs(figure_runner):
+    result = figure_runner(fig13, "fig13")
+    geo = dict(zip(result.columns[1:], result.rows[-1][1:]))
+    assert geo["Merge only"] < 1.1
+    assert geo["Merge+128K MAC"] < geo["Merge only"]
+    assert geo["Merge+256K MAC"] < geo["Merge+128K MAC"]
+    assert geo["Merge+1M MAC"] < geo["Merge+256K MAC"]

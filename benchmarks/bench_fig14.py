@@ -1,0 +1,16 @@
+"""Figure 14: full-system slowdown versus an insecure processor.
+
+Shape targets: traditional Path ORAM costs a multi-x slowdown; Fork
+Path with a 1 MB MAC roughly halves execution time versus traditional
+(paper: -58%).
+"""
+
+from repro.experiments import fig14
+
+
+def test_fig14_slowdown(figure_runner):
+    result = figure_runner(fig14, "fig14")
+    geo = dict(zip(result.columns[1:], result.rows[-1][1:]))
+    assert geo["Traditional ORAM"] > 2.0
+    reduction = 1 - geo["Merge+1M MAC"] / geo["Traditional ORAM"]
+    assert reduction > 0.30, f"only {reduction:.0%} vs paper's 58%"

@@ -1,0 +1,14 @@
+"""Figure 15: ORAM memory-system energy, normalised to traditional.
+
+Shape target: Fork Path + 1 MB MAC cuts energy substantially
+(paper: -38% vs traditional).
+"""
+
+from repro.experiments import fig15
+
+
+def test_fig15_energy(figure_runner):
+    result = figure_runner(fig15, "fig15")
+    geo = dict(zip(result.columns[1:], result.rows[-1][1:]))
+    assert geo["Merge+1M MAC"] < 0.9
+    assert geo["Merge+1M MAC"] < geo["Merge only"]

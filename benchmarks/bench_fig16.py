@@ -1,0 +1,15 @@
+"""Figure 16: in-order vs out-of-order cores.
+
+Shape target: Fork Path's relative latency is better on the OoO
+processor than on the in-order one (memory intensity drives the gain).
+"""
+
+from repro.experiments import fig16
+
+
+def test_fig16_inorder_vs_ooo(figure_runner):
+    result = figure_runner(fig16, "fig16")
+    by_config = {row[0]: (row[1], row[2]) for row in result.rows}
+    inorder, ooo = by_config["Merge+1M MAC"]
+    assert ooo <= inorder + 0.05
+    assert ooo < 1.0

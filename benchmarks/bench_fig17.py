@@ -1,0 +1,18 @@
+"""Figure 17: sensitivity to (a) thread count and (b) ORAM size.
+
+Shape targets: more threads -> better relative latency; bigger trees
+-> moderately worse relative latency (fixed merge depth).
+"""
+
+from repro.experiments import fig17
+
+
+def test_fig17a_thread_sweep(figure_runner):
+    result = figure_runner(fig17, "fig17")
+    threads_rows = [row for row in result.rows if row[0] == "a:threads"]
+    level_rows = [row for row in result.rows if row[0] == "b:levels"]
+    assert len(threads_rows) >= 2 and len(level_rows) >= 2
+    # (a) highest thread count at least as good as single-thread.
+    assert threads_rows[-1][2] <= threads_rows[0][2] + 0.05
+    # (b) the largest tree is no better than the smallest.
+    assert level_rows[-1][2] >= level_rows[0][2] - 0.10

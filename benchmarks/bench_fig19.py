@@ -1,0 +1,15 @@
+"""Figure 19: multi-threaded (PARSEC stand-in) ORAM latency.
+
+Shape target: Fork Path reduces ORAM latency for the 4-thread runs,
+most for the memory-intensive benchmarks (canneal, streamcluster).
+"""
+
+from repro.experiments import fig19
+
+
+def test_fig19_parsec(figure_runner):
+    result = figure_runner(fig19, "fig19")
+    ratios = {row[0]: row[2] for row in result.rows}
+    assert ratios["geomean"] < 1.0
+    assert ratios["canneal"] < 1.0
+    assert ratios["streamcluster"] < 1.0

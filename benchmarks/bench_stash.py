@@ -1,0 +1,21 @@
+"""Stash occupancy analysis (paper §2.3 and §3.6 claims).
+
+Shape targets: occupancy tail negligible at 50% utilisation, exploding
+only as the tree fills; Fork Path's persistent occupancy bounded by
+the baseline's transient path-load envelope.
+"""
+
+from repro.experiments import stash_analysis
+
+
+def test_stash_occupancy_claims(figure_runner):
+    result = figure_runner(stash_analysis, "stash")
+    util_rows = {row[1]: row for row in result.rows if row[0] == "A:util"}
+    # Negligible at the paper's 50% operating point...
+    assert util_rows[0.5][4] < 20
+    # ...and growing sharply toward full utilisation.
+    assert util_rows[1.0][4] > 10 * max(1.0, util_rows[0.5][4])
+    config_rows = {row[1]: row for row in result.rows if row[0] == "B:config"}
+    fork_max = config_rows["fork path q=64"][4]
+    # Within the two-path-load envelope of §3.6, far below capacity.
+    assert fork_max <= 2 * 4 * (15 + 1)

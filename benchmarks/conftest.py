@@ -1,0 +1,47 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_figXX.py`` regenerates one figure of the paper at the
+scale picked by ``REPRO_SCALE`` (small/medium/paper; default small),
+times it once via pytest-benchmark's pedantic mode (these are
+minutes-long simulations, not microbenchmarks), prints the figure's
+rows and archives them under ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+    REPRO_SCALE=medium pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import FigureResult, scale_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env()
+
+
+@pytest.fixture
+def figure_runner(benchmark, scale):
+    """Run a figure module once, print and archive its table."""
+
+    def run(figure_module, label: str, **kwargs) -> FigureResult:
+        result = benchmark.pedantic(
+            lambda: figure_module.run(scale, **kwargs), rounds=1, iterations=1
+        )
+        text = result.render()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{label}.{scale.name}.txt"
+        out.write_text(text + "\n")
+        return result
+
+    return run

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""The motivating attack: access patterns leak even through encryption.
+
+A victim runs binary search over an encrypted array in untrusted
+memory. The adversary sees only (encrypted) bus addresses — and still
+recovers the secret query, because the probe sequence of binary search
+*is* the query. The same victim behind a Path ORAM leaks nothing: the
+adversary's best guess degrades to chance.
+
+This is the scenario the paper's Section 1/2 motivates ORAM with
+(cf. Zhuang et al., HIDE; Liu et al., GhostRider).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro import PathOram, small_test_config
+
+
+class BusSpy:
+    """Adversary's view of a plain (non-ORAM) encrypted memory."""
+
+    def __init__(self) -> None:
+        self.addresses: List[int] = []
+
+    def observe(self, addr: int) -> None:
+        self.addresses.append(addr)
+
+
+def binary_search_plain(data_len: int, secret: int, spy: BusSpy) -> None:
+    """Victim probing plain memory: every probe address is on the bus."""
+    lo, hi = 0, data_len - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        spy.observe(mid)  # the bus shows the (encrypted) access to mid
+        if mid == secret:
+            return
+        if mid < secret:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+
+
+def recover_secret(data_len: int, probes: List[int]) -> int:
+    """Adversary replays the binary-search decision tree: the probe
+    sequence uniquely identifies the search target."""
+    lo, hi = 0, data_len - 1
+    for index, probe in enumerate(probes):
+        mid = (lo + hi) // 2
+        assert probe == mid, "not a binary search trace"
+        if index == len(probes) - 1:
+            return mid
+        nxt = probes[index + 1]
+        if nxt > mid:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return (lo + hi) // 2
+
+
+def binary_search_oram(oram: PathOram, data_len: int, secret: int) -> None:
+    """Same victim, but memory is a Path ORAM."""
+    lo, hi = 0, data_len - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        oram.read(mid)  # the bus shows a uniformly random tree path
+        if mid == secret:
+            return
+        if mid < secret:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+
+
+def main() -> None:
+    data_len = 1024
+    rng = random.Random(1)
+
+    print("=" * 64)
+    print("Plain encrypted memory: the probe addresses leak the query")
+    print("=" * 64)
+    recovered = 0
+    for _ in range(50):
+        secret = rng.randrange(data_len)
+        spy = BusSpy()
+        binary_search_plain(data_len, secret, spy)
+        if recover_secret(data_len, spy.addresses) == secret:
+            recovered += 1
+    print(f"adversary recovered the secret query in {recovered}/50 runs")
+    print()
+
+    print("=" * 64)
+    print("Behind Path ORAM: the bus shows only random paths")
+    print("=" * 64)
+    oram = PathOram(small_test_config(11), rng=random.Random(2))
+    for addr in range(data_len):
+        oram.write(addr, addr)
+    oram.memory.trace.clear()
+    oram.stats.leaf_sequence.clear()
+
+    secret = rng.randrange(data_len)
+    binary_search_oram(oram, data_len, secret)
+    leaves = oram.stats.leaf_sequence
+    print(f"victim searched for {secret}; bus shows leaves {leaves}")
+
+    # Adversary's best strategy: guess from the observed labels. But
+    # labels are uniform and independent of the probes, so simulate the
+    # attack: for each candidate secret, how consistent is the trace?
+    # Every candidate of the same search length is equally consistent.
+    probes_needed = len(leaves)
+    candidates = []
+    for guess in range(data_len):
+        lo, hi, steps = 0, data_len - 1, 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            steps += 1
+            if mid == guess:
+                break
+            if mid < guess:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        if steps == probes_needed:
+            candidates.append(guess)
+    print(
+        f"trace length is the only signal: {len(candidates)} candidate "
+        f"secrets are exactly consistent -> adversary success probability "
+        f"{1 / len(candidates):.2%} (vs {recovered * 2}% on plain memory)"
+    )
+    print(
+        "(and the paper's nonstop dummy stream removes even the "
+        "trace-length signal)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""An encrypted, access-pattern-hiding key-value store.
+
+Builds the full stack the paper assumes: counter-mode encrypted
+buckets in untrusted memory, a hierarchical (recursive) position map in
+the same unified tree, and a Path ORAM protocol on top — then shows
+what the adversary actually observes on the memory bus.
+
+The point of the demo: after encryption alone, *addresses* still leak
+(the same key touches the same location); after ORAM, the bus shows
+only uniformly random tree paths.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro import PathOram, RecursiveOram, small_test_config
+from repro.config import RecursionConfig
+from repro.oram.encryption import CounterModeCipher
+from repro.oram.memory import UntrustedMemory
+from repro.oram.tree import TreeGeometry
+from repro.security.properties import chi_square_uniformity
+
+
+class SecureKvStore:
+    """Dict-like store over an encrypted, recursive Path ORAM."""
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        config = small_test_config(12, block_bytes=64)
+        self._oram = RecursiveOram(
+            config,
+            RecursionConfig(
+                enabled=True, labels_per_block=16, onchip_posmap_bytes=1024
+            ),
+            rng=random.Random(seed),
+        )
+        self._capacity = min(capacity, self._oram.space.num_data_blocks)
+        self._slots: dict[str, int] = {}
+
+    def _slot(self, key: str) -> int:
+        slot = self._slots.get(key)
+        if slot is None:
+            if len(self._slots) >= self._capacity:
+                raise KeyError("store full")
+            slot = len(self._slots)
+            self._slots[key] = slot
+        return slot
+
+    def put(self, key: str, value: object) -> None:
+        self._oram.write(self._slot(key), value)
+
+    def get(self, key: str) -> object:
+        if key not in self._slots:
+            raise KeyError(key)
+        return self._oram.read(self._slots[key])
+
+    @property
+    def oram(self) -> RecursiveOram:
+        return self._oram
+
+
+def demo_store() -> None:
+    print("=" * 64)
+    print("Oblivious key-value store (recursive ORAM, unified tree)")
+    print("=" * 64)
+    store = SecureKvStore(seed=3)
+    store.put("alice", {"balance": 120})
+    store.put("bob", {"balance": 7})
+    store.put("alice", {"balance": 95})
+    print(f"get('alice') -> {store.get('alice')}")
+    print(f"get('bob')   -> {store.get('bob')}")
+    stats = store.oram.stats
+    print(
+        f"{stats.requests} requests -> {stats.oram_accesses} tree accesses "
+        f"({store.oram.space.depth} PosMap levels per request; "
+        f"layout: {store.oram.space.describe()})"
+    )
+    print()
+
+
+def demo_bus_view() -> None:
+    print("=" * 64)
+    print("What the adversary sees on the bus")
+    print("=" * 64)
+    cipher = CounterModeCipher(b"demo-key", block_bytes=16)
+    config = small_test_config(8, block_bytes=16)
+    geometry = TreeGeometry(config.levels)
+    memory = UntrustedMemory(geometry, config.bucket_slots, cipher)
+    oram = PathOram(config, rng=random.Random(1), memory=memory)
+
+    # A very biased program: hammer one key.
+    for step in range(400):
+        oram.write(5, step)
+
+    leaves = oram.stats.leaf_sequence
+    print(f"400 writes to ONE address produced {len(leaves)} path accesses")
+    print(f"first leaves observed: {leaves[:12]} ...")
+    p = chi_square_uniformity(leaves, geometry.num_leaves)
+    print(f"chi-square uniformity p-value of the leaf sequence: {p:.3f}")
+
+    counts = Counter(event.node_id for event in memory.trace.events)
+    root, leaf_nodes = counts[0], sum(
+        counts[geometry.leaf_node(leaf)] for leaf in range(geometry.num_leaves)
+    )
+    print(
+        f"bucket-touch histogram: root touched {root}x, "
+        f"all {geometry.num_leaves} leaf buckets together {leaf_nodes}x "
+        "- exactly the profile of uniformly random paths, nothing about "
+        "which program address was accessed."
+    )
+    sealed = memory._store[0]
+    print(f"a bucket on the bus is ciphertext: {sealed[:24].hex()}...")
+
+
+if __name__ == "__main__":
+    demo_store()
+    demo_bus_view()

@@ -1,0 +1,14 @@
+"""Result aggregation and plain-text reporting for the experiments."""
+
+from repro.analysis.stats import geomean, normalize, mean, summarize_latencies
+from repro.analysis.report import Table, format_table, format_series
+
+__all__ = [
+    "geomean",
+    "normalize",
+    "mean",
+    "summarize_latencies",
+    "Table",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,107 @@
+"""Calibrating benchmark stand-ins against the cache hierarchy.
+
+The SPEC/PARSEC stand-ins (see DESIGN.md §2) parameterise each
+benchmark by the LLC-miss properties the evaluation exercises. This
+module closes the loop: it replays a raw (pre-cache) access stream
+through the Table 1 L1/L2 hierarchy and measures the MPKI and miss
+stream the ORAM would actually see — the procedure used to sanity-check
+the stand-in parameters, exposed so users can calibrate their own
+workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.config import ProcessorConfig
+from repro.errors import ConfigError
+from repro.memsys.cache import CacheHierarchy
+
+
+@dataclass
+class CalibrationResult:
+    """Measured post-cache behaviour of one raw access stream."""
+
+    instructions: int
+    raw_accesses: int
+    llc_misses: int
+    mpki: float
+    miss_addresses: List[int]
+    l1_miss_rate: float
+    l2_miss_rate: float
+
+    @property
+    def miss_footprint(self) -> int:
+        return len(set(self.miss_addresses))
+
+
+def calibrate_stream(
+    accesses: Iterable[Tuple[int, bool]],
+    instructions_per_access: float = 3.0,
+    processor: ProcessorConfig | None = None,
+    core_id: int = 0,
+    keep_misses: bool = True,
+) -> CalibrationResult:
+    """Replay ``(line_addr, is_write)`` pairs through L1+L2.
+
+    ``instructions_per_access`` converts the memory-access count into
+    an instruction count for MPKI (typical programs execute ~1 memory
+    access per 3 instructions).
+    """
+    if instructions_per_access <= 0:
+        raise ConfigError("instructions_per_access must be positive")
+    processor = processor if processor is not None else ProcessorConfig(num_cores=1)
+    hierarchy = CacheHierarchy(processor)
+    raw = 0
+    misses: List[int] = []
+    for line_addr, is_write in accesses:
+        raw += 1
+        llc_miss, _requests = hierarchy.access(core_id, line_addr, is_write)
+        if llc_miss and keep_misses:
+            misses.append(line_addr)
+    if raw == 0:
+        raise ConfigError("empty access stream")
+    instructions = int(raw * instructions_per_access)
+    llc_misses = hierarchy.l2.stats.misses
+    return CalibrationResult(
+        instructions=instructions,
+        raw_accesses=raw,
+        llc_misses=llc_misses,
+        mpki=1000.0 * llc_misses / instructions,
+        miss_addresses=misses,
+        l1_miss_rate=hierarchy.l1s[core_id].stats.miss_rate,
+        l2_miss_rate=hierarchy.l2.stats.miss_rate,
+    )
+
+
+def raw_hotspot_stream(
+    num: int,
+    footprint_lines: int,
+    rng: random.Random,
+    hot_fraction: float = 0.05,
+    hot_weight: float = 0.9,
+    write_fraction: float = 0.3,
+) -> Iterator[Tuple[int, bool]]:
+    """A raw (pre-cache) access stream with cacheable locality.
+
+    Unlike the post-cache generators in
+    :mod:`repro.workloads.synthetic`, this stream has *strong* reuse —
+    the caches are supposed to filter most of it, which is the point of
+    calibration.
+    """
+    if not 0 < hot_fraction <= 1:
+        raise ConfigError("hot_fraction must be in (0, 1]")
+    hot_lines = max(1, int(footprint_lines * hot_fraction))
+    for _ in range(num):
+        if rng.random() < hot_weight:
+            addr = rng.randrange(hot_lines)
+        else:
+            addr = rng.randrange(footprint_lines)
+        yield addr, rng.random() < write_fraction
+
+
+def classify_group(mpki: float, threshold: float = 4.0) -> str:
+    """HG/LG classification at the paper's implied boundary."""
+    return "HG" if mpki >= threshold else "LG"

@@ -1,0 +1,70 @@
+"""Plain-text tables for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and readable in a
+terminal or a pytest log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Table:
+    """Column-aligned text table builder."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ConfigError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, ""]
+        header = "  ".join(
+            column.ljust(widths[index]) for index, column in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    table = Table(title, list(columns))
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def format_series(title: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One figure series as aligned x/y pairs."""
+    if len(xs) != len(ys):
+        raise ConfigError("xs and ys must have the same length")
+    return format_table(title, ["x", "y"], list(zip(xs, ys)))

@@ -1,0 +1,50 @@
+"""Small statistics helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigError
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ConfigError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, as the paper uses for cross-workload summaries."""
+    values = list(values)
+    if not values:
+        raise ConfigError("geomean of empty sequence")
+    if any(value <= 0 for value in values):
+        raise ConfigError("geomean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def normalize(values: Iterable[float], baseline: float) -> List[float]:
+    """Divide every value by a baseline (the paper's 'normalized to')."""
+    if baseline == 0:
+        raise ConfigError("cannot normalise to a zero baseline")
+    return [value / baseline for value in values]
+
+
+def summarize_latencies(latencies_ns: Sequence[float]) -> Dict[str, float]:
+    if not latencies_ns:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    ordered = sorted(latencies_ns)
+
+    def pct(fraction: float) -> float:
+        index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    return {
+        "mean": sum(ordered) / len(ordered),
+        "p50": pct(0.50),
+        "p95": pct(0.95),
+        "p99": pct(0.99),
+        "max": ordered[-1],
+    }

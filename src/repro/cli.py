@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the package version and the paper-default configuration.
+``figure FIG [--scale small|medium|paper]``
+    Regenerate one figure of the paper's evaluation (e.g. ``fig10``).
+``demo``
+    A 30-second tour: traditional vs Fork Path on one trace.
+``mix MIXNAME``
+    Full-system comparison on one Table 2 mix (see
+    ``examples/mix_simulation.py`` for the long-form version).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import random
+import sys
+
+from repro import __version__
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro.config import SystemConfig
+
+    config = SystemConfig()
+    print(f"repro {__version__} — Fork Path ORAM (MICRO 2015) reproduction")
+    print(f"default tree: L={config.oram.levels} "
+          f"({config.oram.num_blocks} data blocks, Z={config.oram.bucket_slots})")
+    print(f"default label queue: {config.scheduler.label_queue_size}")
+    print(f"default cache: {config.cache.policy} "
+          f"{config.cache.capacity_bytes >> 10} KiB")
+    print("figures: " + ", ".join(f"fig{n}" for n in range(10, 20)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import os
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    from repro.experiments.common import scale_from_env
+
+    name = args.figure if args.figure.startswith("fig") else f"fig{args.figure}"
+    try:
+        module = importlib.import_module(f"repro.experiments.{name}")
+    except ModuleNotFoundError:
+        print(f"unknown figure {args.figure!r}; try fig10 .. fig19",
+              file=sys.stderr)
+        return 2
+    print(module.run(scale_from_env()).render())
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import (
+        CacheConfig,
+        ForkPathController,
+        SystemConfig,
+        TraceSource,
+        fork_path_scheduler,
+        small_test_config,
+        traditional_scheduler,
+    )
+    from repro.workloads.synthetic import hotspot_trace
+
+    for name, scheduler in [
+        ("traditional", traditional_scheduler()),
+        ("fork path", fork_path_scheduler(64)),
+    ]:
+        config = SystemConfig(
+            oram=small_test_config(14, block_bytes=64),
+            scheduler=scheduler,
+            cache=CacheConfig(policy="none"),
+        )
+        trace = hotspot_trace(2000, 4000, 120.0, random.Random(1))
+        metrics = ForkPathController(config, TraceSource(trace)).run()
+        print(
+            f"{name:12s}: path {metrics.avg_path_buckets:5.2f} buckets/phase, "
+            f"latency {metrics.avg_latency_ns:9.0f} ns"
+        )
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from repro import (
+        CacheConfig,
+        OramConfig,
+        SystemConfig,
+        fork_path_scheduler,
+        traditional_scheduler,
+    )
+    from repro.memsys.system import simulate_system
+    from repro.workloads.mixes import mix_benchmarks, mix_names
+
+    if args.mix not in mix_names():
+        print(f"unknown mix {args.mix!r}; choose from {mix_names()}",
+              file=sys.stderr)
+        return 2
+    base = SystemConfig(
+        oram=OramConfig(levels=14, stash_capacity=300),
+        cache=CacheConfig(policy="mac", capacity_bytes=1 << 20),
+        scheduler=fork_path_scheduler(64),
+    )
+    for name, config in [
+        ("traditional", base.replace(
+            scheduler=traditional_scheduler(), cache=CacheConfig(policy="none")
+        )),
+        ("fork+1M MAC", base),
+    ]:
+        result = simulate_system(
+            config,
+            mix_benchmarks(args.mix),
+            instructions_per_core=150_000,
+            footprint_cap=8_000,
+        )
+        print(
+            f"{name:12s}: slowdown {result.slowdown:6.2f}x, "
+            f"ORAM latency {result.avg_oram_latency_ns:8.0f} ns, "
+            f"energy {result.energy.total_mj:6.2f} mJ"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Fork Path ORAM reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="package/config summary")
+
+    figure = subparsers.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("figure", help="fig10 .. fig19")
+    figure.add_argument("--scale", choices=["small", "medium", "paper"])
+
+    subparsers.add_parser("demo", help="30-second traditional-vs-fork demo")
+
+    mix = subparsers.add_parser("mix", help="full-system run of a Table 2 mix")
+    mix.add_argument("mix", help="Mix1 .. Mix10")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "figure": _cmd_figure,
+        "demo": _cmd_demo,
+        "mix": _cmd_mix,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

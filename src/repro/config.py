@@ -1,0 +1,504 @@
+"""Configuration objects for every subsystem of the reproduction.
+
+The defaults mirror Table 1 of the paper (MICRO 2015):
+
+* 4 out-of-order cores at 2 GHz, 32 KB 2-way L1s, 1 MB 8-way shared L2;
+* ORAM controller at 2 GHz, 64 B blocks, 4 GB data ORAM (``L = 24``),
+  ``Z = 4`` slots per bucket, 50% DRAM utilisation;
+* DDR3-1600, 2 channels, 12.8 GB/s peak.
+
+All configs are frozen dataclasses: build one, optionally derive a
+variant with :func:`dataclasses.replace`, and pass it down. Validation
+happens eagerly in ``__post_init__`` so a bad experiment fails at
+construction time, not three minutes into a sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Size of one cache line / ORAM block in bytes (Table 1).
+DEFAULT_BLOCK_BYTES = 64
+
+#: Blocks per bucket (Table 1, ``Z``).
+DEFAULT_Z = 4
+
+#: Paper's default label queue size (Section 5.2.1 picks 64).
+DEFAULT_LABEL_QUEUE_SIZE = 64
+
+#: Paper's default stash capacity in blocks (Section 2.3 cites ~200).
+DEFAULT_STASH_CAPACITY = 200
+
+
+def levels_for_capacity(
+    data_bytes: int,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    bucket_slots: int = DEFAULT_Z,
+    utilization: float = 0.5,
+) -> int:
+    """Tree depth ``L`` needed to store ``data_bytes`` of program data.
+
+    The paper assumes 50% utilisation: an 8 GB tree stores 4 GB of data.
+    The tree has ``2**(L+1) - 1`` buckets of ``bucket_slots`` blocks; we
+    return the smallest ``L`` whose tree capacity, scaled by
+    ``utilization``, covers the data. For the paper's 4 GB / 64 B / Z=4 /
+    50% configuration this yields ``L = 24``, matching Table 1.
+    """
+    if data_bytes <= 0:
+        raise ConfigError(f"data_bytes must be positive, got {data_bytes}")
+    if not 0.0 < utilization <= 1.0:
+        raise ConfigError(f"utilization must be in (0, 1], got {utilization}")
+    blocks_needed = -(-data_bytes // block_bytes)  # ceil division
+    level = 0
+    while True:
+        # Count the tree as ~2**(L+1) buckets (the paper's convention:
+        # an 8 GB tree at L = 24), not the exact 2**(L+1) - 1.
+        buckets = 1 << (level + 1)
+        if buckets * bucket_slots * utilization >= blocks_needed:
+            return level
+        level += 1
+
+
+@dataclass(frozen=True)
+class OramConfig:
+    """Static parameters of one ORAM tree and its controller.
+
+    Attributes
+    ----------
+    levels:
+        Tree depth ``L``; the tree has levels ``0`` (root) .. ``L``
+        (leaves) and ``2**levels`` leaves.
+    bucket_slots:
+        ``Z`` — block slots per bucket.
+    block_bytes:
+        Payload bytes per block.
+    stash_capacity:
+        Maximum *persistent* stash occupancy in blocks. Transient
+        occupancy during an access may additionally hold one full path.
+    utilization:
+        Fraction of tree block slots holding real data; bounds the
+        number of addressable program blocks.
+    num_blocks:
+        Number of addressable program blocks. Defaults (0) to the
+        maximum permitted by ``utilization``.
+    super_block_log2:
+        Static super blocks (Ren et al.): ``2**k`` consecutive program
+        addresses share one leaf label, so a single path access
+        prefetches the whole group into the stash and spatially-local
+        requests complete as stash hits. ``0`` disables grouping.
+    """
+
+    levels: int = 24
+    bucket_slots: int = DEFAULT_Z
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    stash_capacity: int = DEFAULT_STASH_CAPACITY
+    utilization: float = 0.5
+    num_blocks: int = 0
+    super_block_log2: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.levels <= 40:
+            raise ConfigError(f"levels must be in [0, 40], got {self.levels}")
+        if self.bucket_slots < 1:
+            raise ConfigError(f"bucket_slots must be >= 1, got {self.bucket_slots}")
+        if self.block_bytes < 1:
+            raise ConfigError(f"block_bytes must be >= 1, got {self.block_bytes}")
+        if self.stash_capacity < 1:
+            raise ConfigError(
+                f"stash_capacity must be >= 1, got {self.stash_capacity}"
+            )
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigError(
+                f"utilization must be in (0, 1], got {self.utilization}"
+            )
+        if not 0 <= self.super_block_log2 <= 8:
+            raise ConfigError(
+                f"super_block_log2 must be in [0, 8], got {self.super_block_log2}"
+            )
+        max_blocks = self.max_data_blocks()
+        if self.num_blocks == 0:
+            object.__setattr__(self, "num_blocks", max_blocks)
+        if not 0 < self.num_blocks <= max_blocks:
+            raise ConfigError(
+                f"num_blocks {self.num_blocks} exceeds the {max_blocks} blocks "
+                f"allowed by utilization {self.utilization}"
+            )
+
+    @property
+    def num_leaves(self) -> int:
+        return 1 << self.levels
+
+    @property
+    def num_buckets(self) -> int:
+        return (1 << (self.levels + 1)) - 1
+
+    @property
+    def path_length(self) -> int:
+        """Buckets on one root-to-leaf path: ``L + 1``."""
+        return self.levels + 1
+
+    @property
+    def bucket_bytes(self) -> int:
+        return self.bucket_slots * self.block_bytes
+
+    @property
+    def super_block_size(self) -> int:
+        """Blocks per super block (1 = grouping disabled)."""
+        return 1 << self.super_block_log2
+
+    def group_of(self, addr: int) -> int:
+        """Super-block (group) id of a program address."""
+        return addr >> self.super_block_log2
+
+    def group_base(self, addr: int) -> int:
+        """First program address of ``addr``'s super block."""
+        return (addr >> self.super_block_log2) << self.super_block_log2
+
+    def max_data_blocks(self) -> int:
+        return max(1, int(self.num_buckets * self.bucket_slots * self.utilization))
+
+    @classmethod
+    def for_capacity(
+        cls,
+        data_bytes: int,
+        *,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        bucket_slots: int = DEFAULT_Z,
+        utilization: float = 0.5,
+        **kwargs: object,
+    ) -> "OramConfig":
+        """Build a config sized for ``data_bytes`` of program data."""
+        levels = levels_for_capacity(
+            data_bytes, block_bytes, bucket_slots, utilization
+        )
+        return cls(
+            levels=levels,
+            bucket_slots=bucket_slots,
+            block_bytes=block_bytes,
+            utilization=utilization,
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Label queue / scheduling knobs (paper Sections 3.3-3.4, 4).
+
+    Attributes
+    ----------
+    label_queue_size:
+        Number of entries in the label queue; always kept full with
+        dummy labels so occupancy leaks nothing (Figure 7b). Size 1
+        degenerates to plain path merging with no reordering.
+    address_queue_size:
+        Entries in the address queue ahead of the position map.
+    aging_threshold:
+        Number of scheduling rounds an entry may be passed over before
+        being promoted to the head of the queue (the per-entry ``Cnt``
+        of Figure 9). ``0`` (the default) derives
+        ``16 * label_queue_size``: under a deep backlog every queued
+        entry is passed over roughly ``label_queue_size`` times before
+        winning on overlap, so the guard must sit well above that to
+        catch only pathological starvation without collapsing the
+        schedule into FIFO.
+    enable_merging:
+        When False the controller degenerates to traditional Path ORAM
+        (full path read and written on every access).
+    enable_scheduling:
+        When False the queue is FIFO (merging only).
+    enable_dummy_replacing:
+        When False, queued dummies are never taken over by late real
+        requests (ablation knob for Section 3.3).
+    replacement_scope:
+        Which real requests may take over a scheduled (pending) dummy
+        mid-refill. ``"queue"`` (default): any queued real — the swap
+        is invisible (the dummy was never revealed), and without it a
+        real that once lost the overlap contest can trail an idle
+        system's dummy stream indefinitely. ``"arrival"``: only
+        requests that arrived during the current write phase, the
+        literal reading of Algorithm 1's incoming-request swap; this
+        restores the paper's measurable dummy overhead (Figure 11's
+        +5% and Figure 12's 64->128 crossover) at the cost of much
+        worse low-intensity latency.
+    refresh_dummies:
+        Ablation knob: re-draw the labels of queued (never-revealed)
+        dummies at every scheduling round. Security-neutral (a queued
+        dummy's label has not crossed the chip boundary) but
+        counterproductive: fresh dummy pools out-compete the
+        partially-depleted real entries on overlap degree, so almost
+        every access becomes a dummy. The paper's lingering dummies
+        lose the overlap contest quickly and stop costing anything —
+        measured in ``benchmarks/bench_ablation.py``. Default off.
+    """
+
+    label_queue_size: int = DEFAULT_LABEL_QUEUE_SIZE
+    address_queue_size: int = 64
+    aging_threshold: int = 0
+    enable_merging: bool = True
+    enable_scheduling: bool = True
+    enable_dummy_replacing: bool = True
+    refresh_dummies: bool = False
+    replacement_scope: str = "queue"
+
+    def __post_init__(self) -> None:
+        if self.label_queue_size < 1:
+            raise ConfigError(
+                f"label_queue_size must be >= 1, got {self.label_queue_size}"
+            )
+        if self.address_queue_size < 1:
+            raise ConfigError(
+                f"address_queue_size must be >= 1, got {self.address_queue_size}"
+            )
+        if self.aging_threshold < 0:
+            raise ConfigError(
+                f"aging_threshold must be >= 0 (0 = auto), got {self.aging_threshold}"
+            )
+        if self.replacement_scope not in ("queue", "arrival"):
+            raise ConfigError(
+                f"unknown replacement_scope {self.replacement_scope!r}"
+            )
+
+    @property
+    def effective_aging_threshold(self) -> int:
+        if self.aging_threshold > 0:
+            return self.aging_threshold
+        return 16 * self.label_queue_size
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """On-chip ORAM data cache (treetop or merging-aware, Section 3.5).
+
+    ``mac_allocation`` selects how MAC capacity is spread over levels
+    ``m1 .. m2``:
+
+    * ``"full"`` (default) — level ``r`` gets all ``2**r`` of its
+      buckets until capacity runs out, i.e. a treetop shifted to start
+      below the merged region. This realises the paper's stated goal
+      ("only blocks located higher than len_overlap are cached") and
+      is the variant that reproduces Figure 13.
+    * ``"geometric"`` — the literal ``2**(r - m1 + 1)`` per-level
+      allocation printed with Equation (1). Kept as an ablation: with
+      uniformly remapped leaves its per-level hit probability is
+      ``~2**(1 - m1)`` and it measures near zero benefit (see
+      DESIGN.md, "Equation (1) discrepancy").
+    """
+
+    #: "none", "treetop" or "mac" (merging-aware caching).
+    policy: str = "mac"
+    capacity_bytes: int = 1 << 20
+    ways: int = 8
+    mac_allocation: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("none", "treetop", "mac"):
+            raise ConfigError(f"unknown cache policy {self.policy!r}")
+        if self.mac_allocation not in ("full", "geometric"):
+            raise ConfigError(
+                f"unknown mac_allocation {self.mac_allocation!r}"
+            )
+        if self.policy != "none":
+            if self.capacity_bytes < 1:
+                raise ConfigError("capacity_bytes must be positive")
+            if self.ways < 1:
+                raise ConfigError("ways must be >= 1")
+
+
+@dataclass(frozen=True)
+class DramTimingConfig:
+    """DDR3-1600 style timing, in nanoseconds (DRAMSim2 defaults).
+
+    The values follow Micron DDR3-1600 (11-11-11) sheets as shipped with
+    DRAMSim2: tCK = 1.25 ns, CL = tRCD = tRP = 13.75 ns.
+    """
+
+    t_ck_ns: float = 1.25
+    t_cas_ns: float = 13.75
+    t_rcd_ns: float = 13.75
+    t_rp_ns: float = 13.75
+    t_ras_ns: float = 35.0
+    burst_length: int = 8
+    bus_bytes: int = 8
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        for name in ("t_ck_ns", "t_cas_ns", "t_rcd_ns", "t_rp_ns", "t_ras_ns"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.burst_length < 1 or self.bus_bytes < 1 or self.row_bytes < 1:
+            raise ConfigError("burst_length, bus_bytes, row_bytes must be >= 1")
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes moved per burst: bus width x burst length."""
+        return self.bus_bytes * self.burst_length
+
+    @property
+    def burst_time_ns(self) -> float:
+        """Data-bus occupancy of one burst (double data rate)."""
+        return self.t_ck_ns * self.burst_length / 2.0
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Channel/bank organisation plus timing (Table 1: 2 channels)."""
+
+    channels: int = 2
+    banks_per_channel: int = 8
+    timing: DramTimingConfig = field(default_factory=DramTimingConfig)
+    #: Levels per sub-tree packed into one DRAM row (Ren et al. layout).
+    subtree_levels: int = 0  # 0 = derive from row size
+    #: "subtree" (paper baseline, from Ren et al.) or "flat" (naive).
+    layout: str = "subtree"
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigError(f"channels must be >= 1, got {self.channels}")
+        if self.banks_per_channel < 1:
+            raise ConfigError(
+                f"banks_per_channel must be >= 1, got {self.banks_per_channel}"
+            )
+        if self.layout not in ("subtree", "flat"):
+            raise ConfigError(f"unknown DRAM layout {self.layout!r}")
+        if self.subtree_levels < 0:
+            raise ConfigError("subtree_levels must be >= 0")
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Core + on-chip cache hierarchy parameters (Table 1)."""
+
+    num_cores: int = 4
+    core_type: str = "ooo"  # "ooo" or "inorder"
+    frequency_ghz: float = 2.0
+    #: Max outstanding LLC misses per core. Table 1's 8-issue OoO cores
+    #: with typical L2 MSHR provisioning sustain on the order of 16
+    #: outstanding misses; this is the occupancy knob that sets how
+    #: full the label queue runs with real requests.
+    mlp: int = 16
+    l1_bytes: int = 32 * 1024
+    l1_ways: int = 2
+    l1_latency_cycles: int = 1
+    l2_bytes: int = 1 << 20
+    l2_ways: int = 8
+    l2_latency_cycles: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.core_type not in ("ooo", "inorder"):
+            raise ConfigError(f"unknown core_type {self.core_type!r}")
+        if self.frequency_ghz <= 0:
+            raise ConfigError("frequency_ghz must be positive")
+        if self.mlp < 1:
+            raise ConfigError(f"mlp must be >= 1, got {self.mlp}")
+        for name in ("l1_bytes", "l1_ways", "l2_bytes", "l2_ways"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    @property
+    def effective_mlp(self) -> int:
+        """Outstanding-miss budget: 1 for in-order cores (blocking)."""
+        return 1 if self.core_type == "inorder" else self.mlp
+
+
+@dataclass(frozen=True)
+class RecursionConfig:
+    """Hierarchical (recursive) position-map ORAM layout (Section 2.3).
+
+    ``labels_per_block`` leaf labels are packed into each PosMap block;
+    recursion stops once the final map fits in ``onchip_posmap_bytes``.
+    """
+
+    enabled: bool = False
+    labels_per_block: int = 16
+    onchip_posmap_bytes: int = 256 * 1024
+    #: Bytes per PosMap entry used when sizing the on-chip map.
+    label_bytes: int = 4
+    #: PosMap Lookaside Buffer entries (Freecursive extension);
+    #: 0 disables the PLB.
+    plb_entries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.labels_per_block < 2:
+            raise ConfigError(
+                f"labels_per_block must be >= 2, got {self.labels_per_block}"
+            )
+        if self.onchip_posmap_bytes < self.label_bytes:
+            raise ConfigError("onchip_posmap_bytes too small for one label")
+        if self.label_bytes < 1:
+            raise ConfigError("label_bytes must be >= 1")
+        if self.plb_entries < 0:
+            raise ConfigError("plb_entries must be >= 0")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to instantiate a full secure-processor system."""
+
+    oram: OramConfig = field(default_factory=OramConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    recursion: RecursionConfig = field(default_factory=RecursionConfig)
+    #: Fixed idle gap between ORAM phases for timing protection, in ns.
+    idle_gap_ns: float = 0.0
+    #: Strict periodic issue (Figure 1c): when > 0, every tree access
+    #: starts on a multiple of this period, making the access *start
+    #: times* fully data-independent (Fletcher et al.'s static timing
+    #: protection). 0 = back-to-back issue.
+    issue_period_ns: float = 0.0
+    #: Keep the memory-bus stream nonstop with dummy accesses while the
+    #: LLC is idle (timing-channel protection, Figure 1c). When False,
+    #: idle periods are fast-forwarded instead of simulated.
+    nonstop: bool = True
+    #: Raise on reads of never-written addresses instead of returning
+    #: None-payload blocks.
+    strict: bool = False
+    seed: int = 0
+
+    def replace(self, **kwargs: object) -> "SystemConfig":
+        """Convenience wrapper around :func:`dataclasses.replace`."""
+        return dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+def table1_processor_config() -> ProcessorConfig:
+    """The exact processor configuration of the paper's Table 1."""
+    return ProcessorConfig(
+        num_cores=4,
+        core_type="ooo",
+        frequency_ghz=2.0,
+        mlp=8,
+        l1_bytes=32 * 1024,
+        l1_ways=2,
+        l1_latency_cycles=1,
+        l2_bytes=1 << 20,
+        l2_ways=8,
+        l2_latency_cycles=10,
+    )
+
+
+def table1_oram_config() -> OramConfig:
+    """The exact ORAM configuration of the paper's Table 1 (4 GB, L=24)."""
+    return OramConfig(levels=24, bucket_slots=4, block_bytes=64, utilization=0.5)
+
+
+def small_test_config(levels: int = 6, **kwargs: object) -> OramConfig:
+    """A small tree suitable for unit tests and examples."""
+    merged: dict = {
+        "levels": levels,
+        "bucket_slots": 4,
+        "block_bytes": 16,
+        "stash_capacity": 200,
+        "utilization": 0.5,
+    }
+    merged.update(kwargs)
+    return OramConfig(**merged)

@@ -1,0 +1,31 @@
+"""Fork Path ORAM core: the paper's contribution.
+
+Path merging (:mod:`repro.core.merging`), ORAM request scheduling with
+dummy padding and replacement (:mod:`repro.core.scheduling`),
+merging-aware caching (:mod:`repro.core.mac`), the hazard-resolving
+address queue (:mod:`repro.core.address_queue`) and the event-driven
+controller tying them together (:mod:`repro.core.controller`).
+"""
+
+from repro.core.requests import LlcRequest, LabelEntry, AccessRecord
+from repro.core.merging import ForkState
+from repro.core.scheduling import LabelQueue
+from repro.core.mac import MergingAwareCache, TreetopCache, NoCache, make_cache
+from repro.core.address_queue import AddressQueue
+from repro.core.controller import ForkPathController
+from repro.core.metrics import ControllerMetrics
+
+__all__ = [
+    "LlcRequest",
+    "LabelEntry",
+    "AccessRecord",
+    "ForkState",
+    "LabelQueue",
+    "MergingAwareCache",
+    "TreetopCache",
+    "NoCache",
+    "make_cache",
+    "AddressQueue",
+    "ForkPathController",
+    "ControllerMetrics",
+]

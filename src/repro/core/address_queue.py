@@ -1,0 +1,215 @@
+"""The address queue: hazard resolution ahead of the position map.
+
+Because the label queue reorders ORAM requests, same-address hazards
+must be resolved *before* requests are transformed into labels — once
+two accesses to one address are both in flight, scheduling could run
+the younger path first, and the block (which still lives on the older
+path) would not be found. The paper's four rules (Section 4), realised
+here with the invariant **at most one in-flight ORAM access per
+program address**:
+
+* **Read-before-Read** — the younger read *coalesces* onto the older
+  one (an MSHR merge, as the LLC would do) and completes with it.
+* **Read-before-Write** — the write is held in the address queue until
+  the earlier read completes.
+* **Write-before-Read** — the read completes immediately by forwarding
+  the pending write's data (it never becomes an ORAM request).
+* **Write-before-Write** — the earlier, still-queued write is
+  cancelled; a write already issued (its label is public) instead
+  blocks the newer write until it completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.config import SchedulerConfig
+from repro.core.requests import LlcRequest
+
+
+class AddressQueue:
+    """Bounded FIFO of LLC requests with hazard bookkeeping.
+
+    ``hazard_key`` maps an address to its exclusivity domain: identity
+    by default, the super-block (group) id when static super blocks
+    are enabled — all blocks of a group share one leaf, so two in-
+    flight accesses to one group would race exactly like two accesses
+    to one address.
+    """
+
+    def __init__(self, config: SchedulerConfig, hazard_key=None) -> None:
+        self.config = config
+        self.hazard_key = hazard_key if hazard_key is not None else (lambda a: a)
+        self._queue: Deque[LlcRequest] = deque()
+        #: hazard key -> the single issued-but-incomplete access in
+        #: that exclusivity domain.
+        self._inflight: Dict[int, LlcRequest] = {}
+        #: addr -> primary live read (queued or in flight) younger reads
+        #: coalesce onto.
+        self._live_reads: Dict[int, LlcRequest] = {}
+        #: addr -> newest pending write (queued or in flight); the
+        #: forwarding source for later reads.
+        self._pending_writes: Dict[int, LlcRequest] = {}
+        #: primary read -> coalesced younger reads awaiting its value.
+        self._coalesced: Dict[int, List[LlcRequest]] = {}
+        #: primary request -> same-group reads served by its path load
+        #: (super blocks only; the group's blocks all arrive in the
+        #: stash together, so one access fulfils all of them).
+        self._group_coalesced: Dict[int, List[LlcRequest]] = {}
+        self._grouping = hazard_key is not None
+        self.forwarded = 0
+        self.coalesced_reads = 0
+        self.group_coalesced_reads = 0
+        self.cancelled_writes = 0
+        self.max_occupancy = 0
+
+    # --------------------------------------------------------------- state
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.config.address_queue_size
+
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def has_inflight(self) -> bool:
+        return bool(self._inflight)
+
+    # ------------------------------------------------------------- arrival
+
+    def push(
+        self, request: LlcRequest, now_ns: float
+    ) -> tuple[bool, List[LlcRequest]]:
+        """Admit one LLC request.
+
+        Returns ``(queued, completed_now)``: whether the request
+        entered the queue (False means it was absorbed — forwarded or
+        coalesced), and any requests that completed as a side effect
+        (the forwarded request itself, or a WAW-cancelled older write)
+        which the caller must notify upstream about.
+        """
+        if request.is_write:
+            self._orphaned_group_waiters: List[LlcRequest] = []
+            cancelled = self._cancel_superseded_write(request.addr, now_ns)
+            self._queue.append(request)
+            self._pending_writes[request.addr] = request
+            if self._orphaned_group_waiters:
+                self._group_coalesced.setdefault(request.request_id, []).extend(
+                    self._orphaned_group_waiters
+                )
+                self._orphaned_group_waiters = []
+            self._note_occupancy()
+            return True, cancelled
+        pending_write = self._pending_writes.get(request.addr)
+        if pending_write is not None:
+            request.value = pending_write.payload
+            request.complete_ns = now_ns
+            request.served_by = "forward"
+            self.forwarded += 1
+            return False, [request]
+        primary = self._live_reads.get(request.addr)
+        if primary is not None:
+            self._coalesced.setdefault(primary.request_id, []).append(request)
+            request.served_by = "coalesced"
+            self.coalesced_reads += 1
+            return False, []
+        if self._grouping:
+            group_primary = self._find_group_primary(request.addr)
+            if group_primary is not None:
+                self._group_coalesced.setdefault(
+                    group_primary.request_id, []
+                ).append(request)
+                request.served_by = "group"
+                self.group_coalesced_reads += 1
+                return False, []
+        self._queue.append(request)
+        self._live_reads[request.addr] = request
+        self._note_occupancy()
+        return True, []
+
+    def _find_group_primary(self, addr: int) -> Optional[LlcRequest]:
+        """The live same-group access a read can ride on: the in-flight
+        one, else the oldest queued one."""
+        key = self.hazard_key(addr)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            return inflight
+        for queued in self._queue:
+            if self.hazard_key(queued.addr) == key:
+                return queued
+        return None
+
+    def _cancel_superseded_write(self, addr: int, now_ns: float) -> List[LlcRequest]:
+        """Write-before-Write: drop an earlier *queued* write to ``addr``.
+
+        A write already issued to the label queue cannot be recalled —
+        its label is public — so it instead blocks the newcomer in
+        :meth:`pop_issuable` until it completes.
+        """
+        for queued in self._queue:
+            if queued.is_write and queued.addr == addr:
+                self._queue.remove(queued)
+                queued.served_by = "cancelled"
+                queued.complete_ns = now_ns
+                self.cancelled_writes += 1
+                if self._pending_writes.get(addr) is queued:
+                    del self._pending_writes[addr]
+                # Group waiters riding on the cancelled write re-attach
+                # to whichever same-group access remains (the caller is
+                # about to queue the superseding write).
+                self._orphaned_group_waiters = self._group_coalesced.pop(
+                    queued.request_id, []
+                )
+                return [queued]
+        return []
+
+    def _note_occupancy(self) -> None:
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+
+    # -------------------------------------------------------------- issue
+
+    def pop_issuable(self) -> Optional[LlcRequest]:
+        """Remove and return the first request safe to send to the
+        position map, or None if everything is hazard-blocked.
+
+        A request issues only once no access in its hazard domain is in
+        flight (with identity keys, queued reads are always issuable —
+        coalescing and forwarding at push time guarantee no other live
+        access to their address). Requests still waiting on a PosMap
+        chain (``ready == False``) are skipped.
+        """
+        for index, request in enumerate(self._queue):
+            if not request.ready:
+                continue
+            if self.hazard_key(request.addr) not in self._inflight:
+                del self._queue[index]
+                self._inflight[self.hazard_key(request.addr)] = request
+                return request
+        return None
+
+    # ---------------------------------------------------------- completion
+
+    def on_complete(self, request: LlcRequest) -> List[LlcRequest]:
+        """Release hazard state when a request finishes in the ORAM.
+
+        Returns the coalesced reads the caller must now complete with
+        the primary's value.
+        """
+        key = self.hazard_key(request.addr)
+        if self._inflight.get(key) is request:
+            del self._inflight[key]
+        waiters = self._group_coalesced.pop(request.request_id, [])
+        if request.is_write:
+            if self._pending_writes.get(request.addr) is request:
+                del self._pending_writes[request.addr]
+            return waiters
+        if self._live_reads.get(request.addr) is request:
+            del self._live_reads[request.addr]
+        return self._coalesced.pop(request.request_id, []) + waiters
+
+    def queued_requests(self) -> List[LlcRequest]:
+        return list(self._queue)

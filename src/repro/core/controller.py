@@ -1,0 +1,533 @@
+"""The Fork Path ORAM controller — event-driven timing simulation.
+
+This is the architecture of the paper's Figure 9 in executable form:
+
+``LLC → address queue → position map → label queue → tree access``
+
+with the stash, the merging-aware cache and the DRAM model hanging off
+the access engine. One call to :meth:`ForkPathController.run` processes
+tree-path accesses back to back; inside each access:
+
+1. **read phase** — fetch the fork read set (current path minus the
+   resident prefix); merging-aware-cache hits skip DRAM;
+2. **serve** — the target block is found in the stash, adopts its new
+   leaf, and the LLC request completes (latency recorded);
+3. **schedule** — the label queue selects the next request (maximum
+   path overlap, dummy-padded, aging-protected);
+4. **write phase** — re-fill the current path leaf-to-fork-point,
+   skipping the prefix retained for the scheduled next path. While the
+   refill runs, a scheduled dummy may be taken over by a late-arriving
+   real request when the Figure 5 cases allow.
+
+The same class also models **traditional Path ORAM** — set
+``SchedulerConfig(enable_merging=False, enable_scheduling=False,
+label_queue_size=1)`` — so baseline and Fork Path share every other
+modelling decision, which is what makes their ratios meaningful.
+
+Request arrivals come from an :class:`ArrivalSource` (a fixed trace or
+closed-loop core models), which also receives completion callbacks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.config import SystemConfig
+from repro.core.address_queue import AddressQueue
+from repro.core.mac import make_cache
+from repro.core.merging import ForkState
+from repro.core.metrics import ControllerMetrics
+from repro.core.replacement import can_replace_dummy
+from repro.core.requests import AccessRecord, LabelEntry, LlcRequest
+from repro.core.scheduling import LabelQueue
+from repro.extensions.plb import PosMapLookasideBuffer
+from repro.dram.energy import EnergyModel
+from repro.dram.model import DramModel
+from repro.errors import ProtocolError
+from repro.oram.blocks import Block, Bucket
+from repro.oram.encryption import BucketCipher
+from repro.oram.memory import UntrustedMemory
+from repro.oram.posmap import (
+    PositionMap,
+    RecursiveAddressSpace,
+    geometry_for_unified_space,
+)
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+
+_INFINITY = math.inf
+
+
+class ArrivalSource:
+    """Interface delivering LLC requests to the controller.
+
+    Implementations: :class:`repro.workloads.trace.TraceSource` (open
+    loop) and :class:`repro.memsys.processor.CoreCluster` (closed
+    loop).
+    """
+
+    def next_arrival_ns(self) -> float:
+        """Earliest time a new request becomes available (inf if none
+        is currently scheduled)."""
+        raise NotImplementedError
+
+    def pop_arrivals(self, now_ns: float) -> List[LlcRequest]:
+        """Remove and return every request with arrival <= now."""
+        raise NotImplementedError
+
+    def on_complete(self, request: LlcRequest, now_ns: float) -> None:
+        """Completion callback (closed-loop sources update state here)."""
+
+    def exhausted(self) -> bool:
+        """True once no further request will ever arrive."""
+        raise NotImplementedError
+
+
+class ForkPathController:
+    """Timed Fork Path / Path ORAM controller over a DRAM model."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        source: ArrivalSource,
+        rng: Optional[random.Random] = None,
+        cipher: Optional[BucketCipher] = None,
+    ) -> None:
+        self.config = config
+        self.source = source
+        self.rng = rng if rng is not None else random.Random(config.seed)
+
+        oram = config.oram
+        if config.recursion.enabled:
+            self.space: Optional[RecursiveAddressSpace] = RecursiveAddressSpace(
+                num_data_blocks=oram.num_blocks,
+                labels_per_block=config.recursion.labels_per_block,
+                label_bytes=config.recursion.label_bytes,
+                onchip_bytes=config.recursion.onchip_posmap_bytes,
+            )
+            self.geometry = geometry_for_unified_space(
+                self.space, oram.bucket_slots, oram.utilization
+            )
+        else:
+            self.space = None
+            self.geometry = TreeGeometry(oram.levels)
+
+        self.memory = UntrustedMemory(self.geometry, oram.bucket_slots, cipher)
+        self.posmap = PositionMap(self.geometry, self.rng)
+        self.stash = Stash(self.geometry, oram.stash_capacity)
+        self.fork = ForkState(self.geometry, enabled=config.scheduler.enable_merging)
+        self.label_queue = LabelQueue(self.geometry, config.scheduler, self.rng)
+        # Static super blocks: all blocks of a group share a leaf, so
+        # in-flight exclusivity must hold per group (data addresses
+        # only; internal PosMap addresses stay ungrouped).
+        if oram.super_block_log2 > 0:
+            data_blocks = oram.num_blocks
+
+            def hazard_key(addr: int) -> int:
+                if addr < data_blocks:
+                    return oram.group_of(addr)
+                return addr
+
+            self.address_queue = AddressQueue(config.scheduler, hazard_key)
+        else:
+            self.address_queue = AddressQueue(config.scheduler)
+        self.cache = make_cache(
+            config.cache, oram, self.geometry, config.scheduler.label_queue_size
+        )
+        self.energy = EnergyModel(channels=config.dram.channels)
+        self.dram = DramModel(
+            self.geometry, config.dram, oram.bucket_bytes, self.energy
+        )
+        self.metrics = ControllerMetrics()
+        self.plb: Optional[PosMapLookasideBuffer] = None
+        if config.recursion.enabled and config.recursion.plb_entries > 0:
+            self.plb = PosMapLookasideBuffer(config.recursion.plb_entries)
+
+        self.clock_ns = 0.0
+        self.current_leaf: Optional[int] = None
+        #: Entry already selected as the next access (scheduled during
+        #: the previous access's write phase).
+        self._next_entry: Optional[LabelEntry] = None
+        self._written_addrs: set[int] = set()
+
+    # ------------------------------------------------------------- run loop
+
+    def run(
+        self,
+        max_requests: Optional[int] = None,
+        max_time_ns: Optional[float] = None,
+        max_accesses: Optional[int] = None,
+    ) -> ControllerMetrics:
+        """Process accesses until the workload drains or a cap is hit."""
+        while True:
+            self._admit(self.clock_ns)
+            if max_requests is not None and self.metrics.real_completed >= max_requests:
+                break
+            if max_time_ns is not None and self.clock_ns >= max_time_ns:
+                break
+            if max_accesses is not None and self.metrics.total_accesses >= max_accesses:
+                break
+            if not self._has_pending_real_work():
+                if self.source.exhausted():
+                    break
+                next_arrival = self.source.next_arrival_ns()
+                if next_arrival == _INFINITY:
+                    break
+                if next_arrival > self.clock_ns and not self.config.nonstop:
+                    self.clock_ns = next_arrival
+                    continue
+            self._process_one_access()
+        self.metrics.end_time_ns = self.clock_ns
+        self.energy.account_background(self.clock_ns)
+        return self.metrics
+
+    def _has_pending_real_work(self) -> bool:
+        return (
+            not self.address_queue.is_empty()
+            or self.address_queue.has_inflight()
+            or (self._next_entry is not None and self._next_entry.is_real)
+        )
+
+    # ------------------------------------------------------------ admission
+
+    def _admit(self, now_ns: float) -> None:
+        """Pull arrivals into the address queue and drain issuable
+        requests into the label queue — "as soon as possible" (§3.4)."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for request in self.source.pop_arrivals(now_ns):
+                self._submit(request, now_ns)
+                progressed = True
+            while self.label_queue.has_room_for_real():
+                request = self.address_queue.pop_issuable()
+                if request is None:
+                    break
+                self._issue(request, now_ns)
+                progressed = True
+
+    def _submit(self, request: LlcRequest, now_ns: float) -> None:
+        """One request arrives at the controller boundary."""
+        queued, completed_now = self.address_queue.push(request, now_ns)
+        for done in completed_now:
+            self._propagate_completion(done, now_ns)
+        if not queued:
+            return
+        if (
+            self.space is not None
+            and self.space.depth > 0
+            and request.kind == "data"
+        ):
+            # With super blocks the PosMap is indexed by group, so the
+            # chain serves the group's label entry.
+            chain = self.space.chain_for(self._posmap_key(request.addr))
+            if self.plb is not None:
+                # Freecursive PLB: skip chain levels whose PosMap block
+                # is still on chip.
+                chain = self.plb.plan_chain(chain)
+            posmap_part = chain[:-1]
+            if not posmap_part:
+                return  # whole PosMap chain short-circuited by the PLB
+            # The data request waits while its PosMap chain runs.
+            request.ready = False
+            first = LlcRequest(
+                addr=posmap_part[0],
+                is_write=False,
+                arrival_ns=now_ns,
+                core_id=request.core_id,
+                kind="posmap",
+                parent=request,
+                chain_rest=posmap_part[1:],
+            )
+            self._submit(first, now_ns)
+
+    def _issue(self, request: LlcRequest, now_ns: float) -> None:
+        """Address queue → position map → label queue (or an on-chip
+        hit that completes the request outright)."""
+        addr = request.addr
+        block = self.stash.get(addr)
+        if block is not None:
+            self._finish_with_block(request, block, now_ns, "stash")
+            return
+        block = self.cache.take_block(addr)
+        if block is not None:
+            self.energy.on_cache_access()
+            self.stash.add(block)
+            self._finish_with_block(request, block, now_ns, "cache")
+            return
+        old_leaf, new_leaf = self.posmap.remap(self._posmap_key(addr))
+        self.energy.on_controller_op()
+        entry = LabelEntry(
+            leaf=old_leaf,
+            target_addr=addr,
+            new_leaf=new_leaf,
+            request=request,
+            enqueue_ns=now_ns,
+        )
+        self.label_queue.insert_real(entry)
+
+    def _posmap_key(self, addr: int) -> int:
+        """Position-map index: the super-block id for grouped data
+        addresses, the address itself otherwise."""
+        oram = self.config.oram
+        if oram.super_block_log2 > 0 and addr < oram.num_blocks:
+            return oram.group_of(addr)
+        return addr
+
+    # ------------------------------------------------------------ completion
+
+    def _finish_with_block(
+        self, request: LlcRequest, block: Block, now_ns: float, via: str
+    ) -> None:
+        """Complete a request whose block is on chip."""
+        if request.is_write:
+            block.payload = request.payload
+            self._written_addrs.add(request.addr)
+        elif self.config.strict and request.kind == "data":
+            if request.addr not in self._written_addrs:
+                raise ProtocolError(
+                    f"strict mode: read of never-written address {request.addr}"
+                )
+        request.value = block.payload
+        request.complete_ns = now_ns
+        request.served_by = via
+        self._propagate_completion(request, now_ns)
+
+    def _propagate_completion(self, request: LlcRequest, now_ns: float) -> None:
+        """Book-keep one completed request and everything it unblocks."""
+        if request.kind == "posmap":
+            self._advance_chain(request, now_ns)
+        else:
+            self.metrics.on_request_complete(
+                now_ns - request.arrival_ns, request.served_by
+            )
+            self.source.on_complete(request, now_ns)
+        for waiter in self.address_queue.on_complete(request):
+            if waiter.served_by == "group":
+                # Super-block sibling: the primary's path load brought
+                # the whole group into the stash — serve from there.
+                block = self.stash.get(waiter.addr)
+                if block is None:
+                    block = self.cache.take_block(waiter.addr)
+                    if block is not None:
+                        self.stash.add(block)
+                if block is None and waiter.addr in self._written_addrs:
+                    # The sibling exists but is not on chip (the primary
+                    # completed without a path load): give the waiter
+                    # its own access instead of a wrong answer.
+                    waiter.served_by = ""
+                    self._submit(waiter, now_ns)
+                    continue
+                waiter.value = block.payload if block is not None else None
+            else:
+                waiter.value = request.value
+            waiter.complete_ns = now_ns
+            self._propagate_completion(waiter, now_ns)
+
+    def _advance_chain(self, posmap_request: LlcRequest, now_ns: float) -> None:
+        if self.plb is not None:
+            self.plb.insert(posmap_request.addr)
+        parent = posmap_request.parent
+        if parent is None:
+            raise ProtocolError("posmap request without a parent")
+        if parent.complete_ns is not None:
+            return  # parent was cancelled (WAW) while the chain ran
+        if posmap_request.chain_rest:
+            follow = LlcRequest(
+                addr=posmap_request.chain_rest[0],
+                is_write=False,
+                arrival_ns=now_ns,
+                core_id=parent.core_id,
+                kind="posmap",
+                parent=parent,
+                chain_rest=posmap_request.chain_rest[1:],
+            )
+            self._submit(follow, now_ns)
+        else:
+            parent.ready = True
+
+    # ----------------------------------------------------------- the access
+
+    def _process_one_access(self) -> None:
+        period = self.config.issue_period_ns
+        if period > 0.0:
+            # Static timing protection: access start times sit on a
+            # fixed grid, independent of the data (Figure 1c).
+            slots = int(self.clock_ns // period)
+            if self.clock_ns > slots * period:
+                slots += 1
+            self.clock_ns = slots * period
+            self._admit(self.clock_ns)
+        entry = self._next_entry
+        self._next_entry = None
+        if entry is None:  # bootstrap: nothing was pre-scheduled
+            entry = self.label_queue.select_next(self.current_leaf, self.clock_ns)
+        leaf = entry.leaf
+        record = AccessRecord(leaf=leaf, was_dummy=entry.is_dummy)
+
+        # ---- read phase: fetch the non-resident part of the path.
+        record.read_start_ns = self.clock_ns
+        read_nodes = self.fork.read_set(leaf)
+        dram_nodes: List[int] = []
+        for node_id in read_nodes:
+            level = self.geometry.level_of(node_id)
+            fetched = None
+            if self.cache.covers_level(level):
+                self.energy.on_cache_access()
+                fetched = self.cache.lookup_bucket(node_id)
+            if fetched is not None:
+                self.stash.add_all(fetched.take_all())
+                record.cache_read_hits += 1
+            else:
+                dram_nodes.append(node_id)
+        read_end = self.clock_ns
+        if dram_nodes:
+            read_end = self.dram.access_many(dram_nodes, False, self.clock_ns)
+            for node_id in dram_nodes:
+                bucket = self.memory.read_bucket(node_id, self.clock_ns)
+                self.stash.add_all(bucket.take_all())
+        record.read_nodes = len(read_nodes)
+        record.dram_read_nodes = len(dram_nodes)
+        record.read_end_ns = read_end
+        self.clock_ns = read_end
+
+        # ---- serve the request this access was for.
+        if entry.is_real:
+            self._serve_entry(entry)
+
+        self.clock_ns += self.config.idle_gap_ns
+        self._admit(self.clock_ns)
+
+        # ---- schedule the next access (defines the fork point).
+        next_entry = self.label_queue.select_next(leaf, self.clock_ns)
+        scheduled_at = self.clock_ns
+
+        # ---- write phase: refill leaf -> fork point, with takeover.
+        retain = self.fork.retain_depth(leaf, next_entry.leaf)
+        pending: Deque[int] = deque(self.fork.write_levels(leaf, retain))
+        record.write_start_ns = self.clock_ns
+        finish = self.clock_ns
+        lowest_written = self.geometry.levels + 1
+        z = self.config.oram.bucket_slots
+        while pending:
+            level = pending.popleft()
+            node_id = self.geometry.path_node_at(leaf, level)
+            bucket = Bucket(z)
+            for block in self.stash.collect_for_node(leaf, level, z):
+                bucket.add(block)
+            record.written_nodes += 1
+            if self.cache.covers_level(level):
+                self.energy.on_cache_access()
+                for victim_node, victim_bucket in self.cache.insert_bucket(
+                    node_id, bucket
+                ):
+                    # Capacity-eviction write-backs drain through a
+                    # write buffer: they occupy channel bandwidth (the
+                    # DRAM model serialises them per channel) but do
+                    # not extend this refill's critical path.
+                    self.memory.write_bucket(victim_node, victim_bucket, finish)
+                    self.dram.access(victim_node, True, finish)
+                    record.dram_written_nodes += 1
+            else:
+                self.memory.write_bucket(node_id, bucket, finish)
+                finish = self.dram.access(node_id, True, finish)
+                record.dram_written_nodes += 1
+            lowest_written = level
+
+            if (
+                pending
+                and next_entry.is_dummy
+                and self.config.scheduler.enable_dummy_replacing
+            ):
+                self._admit(finish)
+                replacement = self._find_replacement(
+                    leaf, lowest_written, record.write_start_ns
+                )
+                if replacement is not None:
+                    next_entry = replacement
+                    record.replaced_dummy = True
+                    retain = self.fork.retain_depth(leaf, replacement.leaf)
+                    pending = deque(range(lowest_written - 1, retain - 1, -1))
+
+        self.clock_ns = max(self.clock_ns, finish)
+        record.write_end_ns = self.clock_ns
+        self.fork.commit_write(leaf, retain)
+        self.stash.sample_occupancy()
+        self.stash.check_persistent_occupancy(slack=z * retain)
+        self.metrics.on_access(record)
+        self.clock_ns += self.config.idle_gap_ns
+        self.current_leaf = leaf
+        self._next_entry = next_entry
+
+    def _serve_entry(self, entry: LabelEntry) -> None:
+        """The target block is now in the stash: adopt the new leaf and
+        complete the owning request."""
+        addr = entry.target_addr
+        assert addr is not None and entry.new_leaf is not None
+        block = self.stash.get(addr)
+        if block is None:
+            # First-ever touch of this address: materialise the block.
+            block = Block(addr, entry.leaf, None)
+            self.stash.add(block)
+        block.leaf = entry.new_leaf
+        # Static super blocks: every group sibling rides the same leaf;
+        # siblings just loaded into the stash adopt the new label too
+        # (they must stay co-located for the shared PosMap entry).
+        oram = self.config.oram
+        if oram.super_block_log2 > 0 and addr < oram.num_blocks:
+            base = oram.group_base(addr)
+            for sibling in range(base, base + oram.super_block_size):
+                sibling_block = self.stash.get(sibling)
+                if sibling_block is not None:
+                    sibling_block.leaf = entry.new_leaf
+        request = entry.request
+        if request is None:
+            raise ProtocolError("real label entry without a request")
+        request.served_by = "oram"
+        self._finish_with_block(request, block, self.clock_ns, "oram")
+
+    def _find_replacement(
+        self, current_leaf: int, lowest_written: int, write_start_ns: float
+    ) -> Optional[LabelEntry]:
+        """Best takeover candidate for a scheduled dummy (Figure 5).
+
+        With the default ``replacement_scope="queue"``, any queued real
+        request qualifies while the Case-3 condition holds for its fork
+        point — the pending dummy has not been revealed, so the swap is
+        invisible (the paper's Section 3.6 argument). Without this, a
+        real that once lost the overlap contest could trail an idle
+        system's dummy stream for tens of accesses. The paper-literal
+        ``"arrival"`` scope admits only requests that arrived during
+        the current write phase (Algorithm 1's incoming-request swap).
+        """
+        arrival_scope = self.config.scheduler.replacement_scope == "arrival"
+        best: Optional[LabelEntry] = None
+        best_overlap = -1
+        for candidate in self.label_queue.entries:
+            if not candidate.is_real:
+                continue
+            if arrival_scope and candidate.enqueue_ns <= write_start_ns:
+                continue
+            if not can_replace_dummy(
+                self.geometry,
+                current_leaf,
+                candidate.leaf,
+                lowest_written,
+                refill_done=False,
+            ):
+                continue
+            overlap = self.geometry.divergence_level(current_leaf, candidate.leaf)
+            if overlap > best_overlap:
+                best_overlap = overlap
+                best = candidate
+        if best is not None:
+            self.label_queue.entries.remove(best)
+        return best
+
+    # ------------------------------------------------------------ inspection
+
+    def pending_real_requests(self) -> int:
+        return self.label_queue.real_count() + len(self.address_queue)

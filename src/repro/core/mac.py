@@ -1,0 +1,393 @@
+"""On-chip ORAM data caches: treetop and merging-aware (paper §3.5).
+
+Both caches hold *decrypted buckets awaiting write-back*, tagged by tree
+node id (the "logical address" LA of the paper's Figure 9). During the
+write phase the controller inserts covered buckets here instead of
+issuing DRAM writes; during the read phase a hit removes the bucket
+(its blocks go to the stash) and saves a DRAM read. Capacity evictions
+become real DRAM writes at eviction time.
+
+* :class:`TreetopCache` — the prior art (Phantom): the levels closest
+  to the root are pinned on chip, as many as the capacity allows. Very
+  effective for traditional Path ORAM because every access touches the
+  whole path — but after path merging those levels are *already* on
+  chip (the resident fork handle), so a treetop cache mostly duplicates
+  the stash.
+* :class:`MergingAwareCache` (MAC) — bypasses the first
+  ``m1 = len_overlap + 1`` levels and spends its capacity on levels
+  ``m1 .. m2``, which merged accesses still touch. Level ``x`` is
+  allocated ``2**(x - m1 + 1)`` bucket frames, grouped into
+  LRU sets indexed by the paper's Equation (1):
+  ``set(x, y) = base(x) + (y mod 2**(x-m1+1)) // bucket_ways`` with
+  ``base(x) = (2**(x-m1+1) - 2) // bucket_ways``. (The paper prints the
+  base as ``2**(x-m1) - 2``, which is negative for ``x = m1`` and does
+  not telescope; we use the geometric-series sum of the per-level
+  allocations, which does.)
+
+Each cache also maintains a program-address index so the controller can
+serve an LLC request straight from a cached bucket ("data in the cache
+can be prompted back to stash", paper §4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CacheConfig, OramConfig
+from repro.errors import ConfigError
+from repro.oram.blocks import Block, Bucket
+from repro.oram.tree import TreeGeometry
+
+
+@dataclass
+class CacheStats:
+    read_hits: int = 0
+    read_misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    block_promotions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+
+class OramDataCache:
+    """Interface shared by all bucket-cache policies."""
+
+    stats: CacheStats
+
+    def covers_level(self, level: int) -> bool:
+        """Whether buckets at ``level`` are cache-managed at all."""
+        raise NotImplementedError
+
+    def lookup_bucket(self, node_id: int) -> Optional[Bucket]:
+        """Remove and return the bucket for ``node_id`` on a read hit."""
+        raise NotImplementedError
+
+    def insert_bucket(self, node_id: int, bucket: Bucket) -> List[Tuple[int, Bucket]]:
+        """Insert a write-back bucket; returns evicted (node, bucket)s."""
+        raise NotImplementedError
+
+    def take_block(self, addr: int) -> Optional[Block]:
+        """Remove and return the block for program address ``addr`` if
+        some cached bucket holds it (controller promotes it to stash)."""
+        raise NotImplementedError
+
+    def capacity_buckets(self) -> int:
+        raise NotImplementedError
+
+
+class NoCache(OramDataCache):
+    """Null policy — every covered check fails; nothing is ever held."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def covers_level(self, level: int) -> bool:
+        return False
+
+    def lookup_bucket(self, node_id: int) -> Optional[Bucket]:
+        return None
+
+    def insert_bucket(self, node_id: int, bucket: Bucket) -> List[Tuple[int, Bucket]]:
+        raise ConfigError("NoCache cannot hold buckets")
+
+    def take_block(self, addr: int) -> Optional[Block]:
+        return None
+
+    def capacity_buckets(self) -> int:
+        return 0
+
+    def cached_node_ids(self) -> set:
+        return set()
+
+    def cached_addresses(self) -> set:
+        return set()
+
+
+class _BucketStore:
+    """Shared plumbing: node->bucket map plus a program-address index."""
+
+    def __init__(self) -> None:
+        self._addr_index: Dict[int, int] = {}  # program addr -> node id
+        self.stats = CacheStats()
+
+    def cached_addresses(self) -> set:
+        """Program addresses of every block currently held."""
+        return set(self._addr_index)
+
+    def _index_bucket(self, node_id: int, bucket: Bucket) -> None:
+        for block in bucket:
+            self._addr_index[block.addr] = node_id
+
+    def _unindex_bucket(self, bucket: Bucket) -> None:
+        for block in bucket:
+            self._addr_index.pop(block.addr, None)
+
+    def _take_block_from(self, addr: int, bucket: Bucket) -> Optional[Block]:
+        found = bucket.find(addr)
+        if found is None:  # stale index entry
+            self._addr_index.pop(addr, None)
+            return None
+        bucket.blocks.remove(found)
+        self._addr_index.pop(addr, None)
+        self.stats.block_promotions += 1
+        return found
+
+
+class TreetopCache(_BucketStore, OramDataCache):
+    """Pin the top ``cutoff + 1`` tree levels on chip (prior art).
+
+    Capacity in buckets is ``capacity_bytes // bucket_bytes``; the
+    cutoff is the deepest level whose complete treetop still fits:
+    ``2**(cutoff+1) - 1 <= capacity``. No evictions ever occur — a
+    covered bucket simply lives here once written.
+    """
+
+    def __init__(self, geometry: TreeGeometry, capacity_buckets: int) -> None:
+        super().__init__()
+        if capacity_buckets < 1:
+            raise ConfigError("treetop cache needs capacity for >= 1 bucket")
+        self.geometry = geometry
+        self._capacity = capacity_buckets
+        cutoff = -1
+        while (1 << (cutoff + 2)) - 1 <= capacity_buckets and cutoff + 1 <= geometry.levels:
+            cutoff += 1
+        self.cutoff_level = cutoff
+        self._store: Dict[int, Bucket] = {}
+
+    def covers_level(self, level: int) -> bool:
+        return level <= self.cutoff_level
+
+    def lookup_bucket(self, node_id: int) -> Optional[Bucket]:
+        bucket = self._store.pop(node_id, None)
+        if bucket is None:
+            self.stats.read_misses += 1
+            return None
+        self.stats.read_hits += 1
+        self._unindex_bucket(bucket)
+        return bucket
+
+    def insert_bucket(self, node_id: int, bucket: Bucket) -> List[Tuple[int, Bucket]]:
+        old = self._store.get(node_id)
+        if old is not None:
+            self._unindex_bucket(old)
+        self._store[node_id] = bucket
+        self._index_bucket(node_id, bucket)
+        self.stats.insertions += 1
+        return []
+
+    def take_block(self, addr: int) -> Optional[Block]:
+        node_id = self._addr_index.get(addr)
+        if node_id is None:
+            return None
+        return self._take_block_from(addr, self._store[node_id])
+
+    def capacity_buckets(self) -> int:
+        return self._capacity
+
+    def cached_node_ids(self) -> set:
+        """Tree nodes whose authoritative bucket lives in this cache
+        (their copy in external memory, if any, is stale)."""
+        return set(self._store)
+
+
+class MergingAwareCache(_BucketStore, OramDataCache):
+    """Set-associative bucket cache over levels ``m1 .. m2`` (MAC).
+
+    Parameters
+    ----------
+    geometry:
+        Tree geometry.
+    capacity_buckets:
+        Total bucket frames (``capacity_bytes // bucket_bytes``).
+    first_level:
+        ``m1`` — levels below this bypass the cache because merging
+        keeps them resident anyway. The controller derives it from the
+        expected overlap (``log2`` of the label queue size) + 1.
+    bucket_ways:
+        Associativity in buckets per set (the paper's block ``ways``
+        divided by ``Z``).
+    allocation:
+        ``"full"`` gives level ``r`` all ``2**r`` of its buckets until
+        capacity runs out (a treetop shifted to ``m1`` — the variant
+        that reproduces Figure 13); ``"geometric"`` is the literal
+        ``2**(r - m1 + 1)`` per-level allocation printed with the
+        paper's Equation (1), kept as an ablation.
+    """
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        capacity_buckets: int,
+        first_level: int,
+        bucket_ways: int = 2,
+        allocation: str = "full",
+    ) -> None:
+        super().__init__()
+        if capacity_buckets < 1:
+            raise ConfigError("MAC needs capacity for >= 1 bucket")
+        if bucket_ways < 1:
+            raise ConfigError("bucket_ways must be >= 1")
+        if allocation not in ("full", "geometric"):
+            raise ConfigError(f"unknown allocation {allocation!r}")
+        self.geometry = geometry
+        self._capacity = capacity_buckets
+        self.m1 = max(0, min(first_level, geometry.levels))
+        self.bucket_ways = bucket_ways
+        self.allocation = allocation
+
+        # Allocate bucket frames per level until the capacity runs out;
+        # the last level takes the remainder. A level whose allocation
+        # equals its bucket count is fully resident (its set mapping is
+        # injective, so no eviction can ever occur there).
+        self._alloc: Dict[int, int] = {}
+        remaining = capacity_buckets
+        level = self.m1
+        while remaining > 0 and level <= geometry.levels:
+            if allocation == "full":
+                want = 1 << level
+            else:
+                want = min(1 << (level - self.m1 + 1), 1 << level)
+            take = min(want, remaining)
+            if take < bucket_ways and remaining >= bucket_ways:
+                take = min(bucket_ways, want)
+            self._alloc[level] = take
+            remaining -= take
+            level += 1
+        if not self._alloc:
+            raise ConfigError("MAC capacity too small for its first level")
+        self.m2 = max(self._alloc)
+        # Sets: each level owns alloc(level) frames grouped into
+        # ceil(alloc / ways) sets, laid out contiguously after the
+        # previous level's sets (the telescoped base of Equation (1)).
+        self._set_base: Dict[int, int] = {}
+        self._sets_in_level: Dict[int, int] = {}
+        base = 0
+        for lvl in sorted(self._alloc):
+            sets = max(1, -(-self._alloc[lvl] // bucket_ways))
+            self._set_base[lvl] = base
+            self._sets_in_level[lvl] = sets
+            base += sets
+        self.num_sets = base
+        #: set index -> OrderedDict[node_id, Bucket] (LRU order).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(base)]
+        self._node_set: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- indexing
+
+    def set_index(self, node_id: int) -> int:
+        """Equation (1) generalised: the set a bucket maps to, from its
+        level ``x`` and in-level position ``y`` alone.
+
+        The modulus is the level's frame allocation (``2**(x-m1+1)`` in
+        geometric mode, ``2**x`` for fully-resident levels — where the
+        mapping becomes injective and evictions are impossible); the
+        base is the telescoped sum of the allocations of the levels
+        above, which is what the paper's second term must have meant
+        (as printed it is negative for ``x = m1``).
+        """
+        level = self.geometry.level_of(node_id)
+        if not self.m1 <= level <= self.m2:
+            raise ConfigError(f"level {level} not covered by MAC")
+        y = self.geometry.index_in_level(node_id)
+        modulus = self._alloc[level]
+        within = (y % modulus) // self.bucket_ways
+        return self._set_base[level] + within % self._sets_in_level[level]
+
+    def covers_level(self, level: int) -> bool:
+        return self.m1 <= level <= self.m2
+
+    # ------------------------------------------------------------ transfers
+
+    def lookup_bucket(self, node_id: int) -> Optional[Bucket]:
+        set_id = self._node_set.get(node_id)
+        if set_id is None:
+            self.stats.read_misses += 1
+            return None
+        bucket = self._sets[set_id].pop(node_id)
+        del self._node_set[node_id]
+        self._unindex_bucket(bucket)
+        self.stats.read_hits += 1
+        return bucket
+
+    def insert_bucket(self, node_id: int, bucket: Bucket) -> List[Tuple[int, Bucket]]:
+        set_id = self.set_index(node_id)
+        entries = self._sets[set_id]
+        evicted: List[Tuple[int, Bucket]] = []
+        if node_id in entries:  # overwrite in place, refresh LRU
+            old = entries.pop(node_id)
+            self._unindex_bucket(old)
+        while len(entries) >= self.bucket_ways:
+            victim_node, victim_bucket = entries.popitem(last=False)
+            del self._node_set[victim_node]
+            self._unindex_bucket(victim_bucket)
+            evicted.append((victim_node, victim_bucket))
+            self.stats.evictions += 1
+        entries[node_id] = bucket
+        self._node_set[node_id] = set_id
+        self._index_bucket(node_id, bucket)
+        self.stats.insertions += 1
+        return evicted
+
+    def take_block(self, addr: int) -> Optional[Block]:
+        node_id = self._addr_index.get(addr)
+        if node_id is None:
+            return None
+        set_id = self._node_set[node_id]
+        return self._take_block_from(addr, self._sets[set_id][node_id])
+
+    def capacity_buckets(self) -> int:
+        return self._capacity
+
+    def cached_node_ids(self) -> set:
+        """Tree nodes whose authoritative bucket lives in this cache
+        (their copy in external memory, if any, is stale)."""
+        return set(self._node_set)
+
+
+def expected_overlap_levels(label_queue_size: int) -> int:
+    """Statistical average overlap of the scheduled next path.
+
+    Scheduling picks the best of ``M`` uniform candidates; the maximum
+    overlap of ``M`` independent paths with a fixed path concentrates
+    around ``log2(M) + 1`` levels (each extra doubling of candidates
+    buys one more matched level on average). The paper's Figure 10
+    shows exactly this log-linear path-length reduction.
+    """
+    if label_queue_size < 1:
+        raise ConfigError("label_queue_size must be >= 1")
+    return int(math.log2(label_queue_size)) + 1
+
+
+def make_cache(
+    cache_config: CacheConfig,
+    oram_config: OramConfig,
+    geometry: TreeGeometry,
+    label_queue_size: int,
+) -> OramDataCache:
+    """Build the configured cache policy sized in buckets."""
+    if cache_config.policy == "none":
+        return NoCache()
+    capacity = cache_config.capacity_bytes // oram_config.bucket_bytes
+    if capacity < 1:
+        raise ConfigError(
+            f"cache of {cache_config.capacity_bytes} B holds no "
+            f"{oram_config.bucket_bytes} B bucket"
+        )
+    if cache_config.policy == "treetop":
+        return TreetopCache(geometry, capacity)
+    first_level = expected_overlap_levels(label_queue_size)
+    bucket_ways = max(1, cache_config.ways // oram_config.bucket_slots)
+    return MergingAwareCache(
+        geometry,
+        capacity,
+        first_level,
+        bucket_ways,
+        allocation=cache_config.mac_allocation,
+    )

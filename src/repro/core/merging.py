@@ -1,0 +1,91 @@
+"""Path merging — the fork-path bookkeeping (paper Section 3.2).
+
+The observation: buckets shared by two consecutive ORAM paths are
+written back only to be read straight in again; both transfers can be
+dropped. :class:`ForkState` tracks the *resident* buckets — the shared
+prefix whose blocks stay parked in the stash between accesses — and
+derives, for each access:
+
+* the **read set**: buckets of the current path *not* resident
+  (modified Step 3);
+* the **retain depth** against the next scheduled path: buckets at
+  levels ``0 .. retain_depth-1`` are kept on chip, the rest re-filled
+  (modified Step 5).
+
+An invariant worth stating: because the next access is always the path
+the controller retained for, the resident set is a root-anchored prefix
+of every subsequent path — so the read set is simply a path suffix, and
+consecutive accesses touch memory in the shape of a fork.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import InvariantViolationError
+from repro.oram.tree import TreeGeometry
+
+
+class ForkState:
+    """Resident (on-chip) bucket prefix between consecutive accesses."""
+
+    def __init__(self, geometry: TreeGeometry, enabled: bool = True) -> None:
+        self.geometry = geometry
+        #: Merging switch: disabled reproduces traditional Path ORAM
+        #: (every path fully read and fully written).
+        self.enabled = enabled
+        #: Node ids currently held on chip; always a path prefix,
+        #: root first. Their blocks live in the stash.
+        self.resident: List[int] = []
+
+    @property
+    def resident_depth(self) -> int:
+        return len(self.resident)
+
+    def read_set(self, leaf: int) -> List[int]:
+        """Buckets of path-``leaf`` that must be fetched from memory.
+
+        With merging on, the resident prefix is skipped; its blocks are
+        already in the stash. Root-first order.
+        """
+        path = self.geometry.path_nodes(leaf)
+        if not self.enabled or not self.resident:
+            return path
+        depth = len(self.resident)
+        if path[:depth] != self.resident:
+            raise InvariantViolationError(
+                f"resident nodes {self.resident} are not a prefix of "
+                f"path-{leaf} {path[:depth]} — scheduler/merge desync"
+            )
+        return path[depth:]
+
+    def retain_depth(self, current_leaf: int, next_leaf: int) -> int:
+        """Levels ``0 .. depth-1`` of the current path to keep on chip.
+
+        This is the overlap (divergence level) with the next scheduled
+        path; with merging off it is 0 (write everything back).
+        """
+        if not self.enabled:
+            return 0
+        return self.geometry.divergence_level(current_leaf, next_leaf)
+
+    def write_levels(self, current_leaf: int, retain: int) -> List[int]:
+        """Levels of the current path to re-fill, leaf first.
+
+        The refill descends from the leaf toward the root and stops at
+        the fork point — the order that makes dummy-label replacing
+        possible (the fork position is not revealed until the refill
+        stops).
+        """
+        del current_leaf  # levels are leaf-relative; kept for symmetry
+        return list(range(self.geometry.levels, retain - 1, -1))
+
+    def commit_write(self, current_leaf: int, retain: int) -> None:
+        """Record the post-access resident set: the retained prefix."""
+        if not self.enabled or retain <= 0:
+            self.resident = []
+        else:
+            self.resident = self.geometry.path_nodes(current_leaf)[:retain]
+
+    def reset(self) -> None:
+        self.resident = []

@@ -1,0 +1,137 @@
+"""Measurement plumbing for the Fork Path controller.
+
+The headline metric is the paper's *average data request ORAM latency*
+("ORAM latency"): the completion time of an LLC request measured from
+when it enters the ORAM controller — it folds together path-length
+savings, extra dummy traffic and queueing delay, which is why the paper
+standardises on it (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.requests import AccessRecord
+
+
+@dataclass
+class ControllerMetrics:
+    """Counters and samples accumulated over one controller run."""
+
+    #: completed *data* requests (the paper's real requests).
+    real_completed: int = 0
+    #: per-request ORAM latency samples, ns.
+    latencies_ns: List[float] = field(default_factory=list)
+    #: tree-path accesses actually performed, split by kind.
+    real_accesses: int = 0
+    dummy_accesses: int = 0
+    #: accesses where a scheduled dummy was taken over mid-refill.
+    dummies_replaced: int = 0
+    #: requests served without a path access, by mechanism.
+    served_without_access: Dict[str, int] = field(default_factory=dict)
+    #: bucket movement totals.
+    read_nodes: int = 0
+    written_nodes: int = 0
+    dram_read_nodes: int = 0
+    dram_written_nodes: int = 0
+    cache_read_hits: int = 0
+    #: sum of per-access DRAM time, ns.
+    dram_time_ns: float = 0.0
+    #: wall-clock span of the run, ns.
+    end_time_ns: float = 0.0
+    records: List[AccessRecord] = field(default_factory=list)
+    #: cap on per-access records retained (latency samples always kept).
+    max_records: int = 200_000
+
+    # ------------------------------------------------------------ recording
+
+    def on_access(self, record: AccessRecord) -> None:
+        if record.was_dummy:
+            self.dummy_accesses += 1
+        else:
+            self.real_accesses += 1
+        if record.replaced_dummy:
+            self.dummies_replaced += 1
+        self.read_nodes += record.read_nodes
+        self.written_nodes += record.written_nodes
+        self.dram_read_nodes += record.dram_read_nodes
+        self.dram_written_nodes += record.dram_written_nodes
+        self.cache_read_hits += record.cache_read_hits
+        self.dram_time_ns += record.dram_time_ns
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+
+    def on_request_complete(self, latency_ns: float, served_by: str) -> None:
+        self.real_completed += 1
+        self.latencies_ns.append(latency_ns)
+        if served_by != "oram":
+            self.served_without_access[served_by] = (
+                self.served_without_access.get(served_by, 0) + 1
+            )
+
+    # ------------------------------------------------------------ summaries
+
+    @property
+    def total_accesses(self) -> int:
+        return self.real_accesses + self.dummy_accesses
+
+    @property
+    def avg_latency_ns(self) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        return sum(self.latencies_ns) / len(self.latencies_ns)
+
+    def latency_percentile(self, fraction: float) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
+        return ordered[max(0, index)]
+
+    @property
+    def avg_path_buckets(self) -> float:
+        """Average buckets per phase — the paper's "ORAM path length".
+
+        Traditional Path ORAM pins this at ``L + 1`` (a full path per
+        phase); merging shrinks it toward ``L + 1 - log2(queue)``.
+        """
+        phases = 2 * self.total_accesses
+        if phases == 0:
+            return 0.0
+        return (self.read_nodes + self.written_nodes) / phases
+
+    @property
+    def avg_dram_time_per_access_ns(self) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return self.dram_time_ns / self.total_accesses
+
+    @property
+    def dummy_fraction(self) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return self.dummy_accesses / self.total_accesses
+
+    def normalized_request_count(self) -> float:
+        """Total path accesses per completed data request — the quantity
+        Figure 11 normalises against traditional Path ORAM."""
+        if self.real_completed == 0:
+            return 0.0
+        return self.total_accesses / self.real_completed
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "real_completed": float(self.real_completed),
+            "real_accesses": float(self.real_accesses),
+            "dummy_accesses": float(self.dummy_accesses),
+            "dummies_replaced": float(self.dummies_replaced),
+            "avg_latency_ns": self.avg_latency_ns,
+            "p95_latency_ns": self.latency_percentile(0.95),
+            "avg_path_buckets": self.avg_path_buckets,
+            "avg_dram_time_per_access_ns": self.avg_dram_time_per_access_ns,
+            "dummy_fraction": self.dummy_fraction,
+            "cache_read_hits": float(self.cache_read_hits),
+            "end_time_ns": self.end_time_ns,
+        }

@@ -1,0 +1,70 @@
+"""Dummy label replacing — the three cases of Figure 5 (paper §3.3).
+
+When the write phase of the current access starts with no real request
+to merge with, a dummy label is scheduled as "next" and the refill plan
+stops at the current/dummy fork point. The refill descends leaf → root,
+so the adversary learns the fork position only when the refill *stops*.
+Until then, a real request that arrives may silently take the dummy's
+place — provided the refill can still honour the real path's fork:
+
+* **Case 1** — the refill already finished: the dummy's fork position
+  is public; replacing it would change an already-revealed access.
+* **Case 2** — the refill is still running but the bucket at the
+  current/real crossing point (level ``divergence - 1``) has already
+  been written back: the real path would need that bucket retained,
+  and un-writing it is impossible.
+* **Case 3** — everything written so far lies strictly below the
+  current/real crossing point: replace. The refill simply continues
+  and stops at the real fork instead of the dummy fork.
+"""
+
+from __future__ import annotations
+
+from repro.oram.tree import TreeGeometry
+
+
+def can_replace_dummy(
+    geometry: TreeGeometry,
+    current_leaf: int,
+    real_leaf: int,
+    lowest_written_level: int,
+    refill_done: bool,
+) -> bool:
+    """Decide whether a queued-as-next dummy can be taken over.
+
+    Parameters
+    ----------
+    current_leaf:
+        Path currently in its write (refill) phase.
+    real_leaf:
+        Path of the newly arrived real request.
+    lowest_written_level:
+        Smallest (closest-to-root) level of the current path already
+        written back in this refill; ``levels + 1`` if none yet. The
+        refill writes leaf-first, so written levels are exactly
+        ``lowest_written_level .. levels``.
+    refill_done:
+        Whether the refill has stopped (its stop position is public).
+    """
+    if refill_done:
+        return False  # Case 1
+    divergence = geometry.divergence_level(current_leaf, real_leaf)
+    if lowest_written_level <= divergence - 1:
+        return False  # Case 2: the crossing bucket is already written
+    return True  # Case 3
+
+
+def replacement_case(
+    geometry: TreeGeometry,
+    current_leaf: int,
+    real_leaf: int,
+    lowest_written_level: int,
+    refill_done: bool,
+) -> int:
+    """Classify into the paper's case 1/2/3 (3 = replaceable)."""
+    if refill_done:
+        return 1
+    divergence = geometry.divergence_level(current_leaf, real_leaf)
+    if lowest_written_level <= divergence - 1:
+        return 2
+    return 3

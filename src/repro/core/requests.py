@@ -1,0 +1,124 @@
+"""Request objects flowing through the Fork Path controller.
+
+An LLC miss enters the controller as an :class:`LlcRequest`. After
+passing the address queue (hazard checks) and the position map (label
+lookup + remap) it becomes a :class:`LabelEntry` in the label queue —
+the unit the scheduler reorders and the unit one tree-path access
+serves. With recursion enabled, one ``LlcRequest`` spawns a *chain* of
+label entries (PosMap levels first), each inserted only once its
+predecessor has completed and revealed its label.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class LlcRequest:
+    """One memory request from the LLC: ``(addr, op, data)`` plus timing.
+
+    ``arrival_ns`` is when the request entered the ORAM controller; the
+    paper's *ORAM latency* metric is ``complete_ns - arrival_ns``.
+
+    With recursion enabled the controller also creates *internal*
+    PosMap requests (``kind == "posmap"``): reads of unified-space
+    PosMap block addresses that must complete, in order, before the
+    originating data request itself enters the address queue. They flow
+    through the same hazard machinery, so two data requests sharing a
+    PosMap block coalesce instead of racing.
+    """
+
+    addr: int
+    is_write: bool
+    payload: object = None
+    arrival_ns: float = 0.0
+    core_id: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: "data" for LLC requests, "posmap" for internal chain elements.
+    kind: str = "data"
+    #: For posmap requests: the originating data request.
+    parent: Optional["LlcRequest"] = None
+    #: For posmap requests: unified addresses still to visit after this
+    #: one, before the parent data request can issue.
+    chain_rest: List[int] = field(default_factory=list)
+    #: False while a data request waits for its PosMap chain; the
+    #: address queue will not issue it to the position map until then.
+    ready: bool = True
+    #: Set when the request finishes (data returned / write retired).
+    complete_ns: Optional[float] = None
+    #: Value returned to the LLC (for reads).
+    value: object = None
+    #: How the request was satisfied: "oram", "stash", "cache",
+    #: "forward" (store-to-load forwarding), "coalesced" (merged with an
+    #: in-flight read), or "cancelled" (WAW).
+    served_by: str = ""
+
+    @property
+    def latency_ns(self) -> float:
+        if self.complete_ns is None:
+            raise ValueError(f"request {self.request_id} not complete")
+        return self.complete_ns - self.arrival_ns
+
+    def is_complete(self) -> bool:
+        return self.complete_ns is not None
+
+
+@dataclass
+class LabelEntry:
+    """One pending ORAM request in the label queue.
+
+    ``leaf`` is the (public) path to traverse — the *old* label of the
+    target block; the fresh label was already installed in the position
+    map when this entry was created. Dummy entries (``request is None``
+    and no chain) carry a uniform random leaf and serve no one.
+    """
+
+    leaf: int
+    #: Unified-space address this access serves (None for dummies).
+    target_addr: Optional[int] = None
+    #: New leaf the target block must adopt when found.
+    new_leaf: Optional[int] = None
+    #: The request this access serves (None for dummies).
+    request: Optional[LlcRequest] = None
+    #: Scheduling age — rounds this entry was passed over (Cnt field).
+    age: int = 0
+    enqueue_ns: float = 0.0
+
+    @property
+    def is_dummy(self) -> bool:
+        return self.target_addr is None
+
+    @property
+    def is_real(self) -> bool:
+        return self.target_addr is not None
+
+
+@dataclass
+class AccessRecord:
+    """Measurement record of one completed tree-path access."""
+
+    leaf: int
+    was_dummy: bool
+    read_nodes: int = 0
+    written_nodes: int = 0
+    dram_read_nodes: int = 0
+    dram_written_nodes: int = 0
+    cache_read_hits: int = 0
+    read_start_ns: float = 0.0
+    read_end_ns: float = 0.0
+    write_start_ns: float = 0.0
+    write_end_ns: float = 0.0
+    retained_depth: int = 0
+    replaced_dummy: bool = False
+
+    @property
+    def dram_time_ns(self) -> float:
+        """Total DRAM occupancy of the access (read + write phases)."""
+        return (self.read_end_ns - self.read_start_ns) + (
+            self.write_end_ns - self.write_start_ns
+        )

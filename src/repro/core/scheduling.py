@@ -1,0 +1,162 @@
+"""ORAM request scheduling — the label queue (paper §3.4, Algorithm 1).
+
+The label queue holds the next ``M`` ORAM requests as (leaf-label)
+entries. Security constraints shape everything here:
+
+* The queue is **always full**: if fewer than ``M`` real requests are
+  pending, dummy labels pad the rest (Figure 7b). Scheduling therefore
+  always chooses among ``M`` candidates, so the choice itself cannot
+  leak LLC intensity.
+* Selection picks the entry with the **highest overlap degree** with
+  the path currently being processed; a real request beats a dummy
+  only on equal overlap (so dummies are genuinely scheduled sometimes —
+  the price of the padding, visible in Figures 11 and 16).
+* Each entry carries an age counter (``Cnt`` in Figure 9); a real entry
+  passed over ``aging_threshold`` times is promoted to the head to
+  prevent starvation.
+* An arriving real request may take over a queued dummy at any time —
+  queued entries are not yet revealed to the adversary. (Taking over
+  the *scheduled* dummy mid-refill is the controller's job, gated by
+  the Figure 5 cases — see :mod:`repro.core.replacement`.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.config import SchedulerConfig
+from repro.core.requests import LabelEntry
+from repro.errors import ProtocolError
+from repro.oram.tree import TreeGeometry
+
+
+class LabelQueue:
+    """Fixed-size scheduled queue of pending ORAM requests."""
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        config: SchedulerConfig,
+        rng: random.Random,
+    ) -> None:
+        self.geometry = geometry
+        self.config = config
+        self.rng = rng
+        self.entries: List[LabelEntry] = []
+        self.dummies_created = 0
+        self.reals_inserted = 0
+        self.dummies_taken_over = 0
+
+    # --------------------------------------------------------------- state
+
+    @property
+    def size(self) -> int:
+        return self.config.label_queue_size
+
+    def real_count(self) -> int:
+        return sum(1 for entry in self.entries if entry.is_real)
+
+    def dummy_count(self) -> int:
+        return sum(1 for entry in self.entries if entry.is_dummy)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------ mutation
+
+    def top_up(self, now_ns: float) -> None:
+        """Pad the queue to its fixed size with fresh dummy labels."""
+        while len(self.entries) < self.size:
+            self.entries.append(self._fresh_dummy(now_ns))
+
+    def _fresh_dummy(self, now_ns: float) -> LabelEntry:
+        self.dummies_created += 1
+        return LabelEntry(
+            leaf=self.geometry.random_leaf(self.rng), enqueue_ns=now_ns
+        )
+
+    def has_room_for_real(self) -> bool:
+        """Whether a real entry can enter (a dummy to take over, or a
+        genuinely free slot before top-up)."""
+        if len(self.entries) < self.size:
+            return True
+        return any(entry.is_dummy for entry in self.entries)
+
+    def insert_real(self, entry: LabelEntry) -> None:
+        """Admit a real entry, taking over the first queued dummy.
+
+        Queued dummies are invisible to the adversary, so the takeover
+        is free (Algorithm 1: "replace the first dummy request with
+        incoming request"). Raises if the queue is saturated with real
+        requests — callers must check :meth:`has_room_for_real`.
+        """
+        if entry.is_dummy:
+            raise ProtocolError("insert_real() requires a real entry")
+        self.reals_inserted += 1
+        for index, existing in enumerate(self.entries):
+            if existing.is_dummy:
+                self.entries[index] = entry
+                self.dummies_taken_over += 1
+                return
+        if len(self.entries) < self.size:
+            self.entries.append(entry)
+            return
+        raise ProtocolError("label queue saturated with real requests")
+
+    # ----------------------------------------------------------- selection
+
+    def select_next(self, current_leaf: Optional[int], now_ns: float) -> LabelEntry:
+        """Remove and return the entry to merge with the current path.
+
+        ``current_leaf`` is the path whose write phase the selected
+        entry will fork from (None only at bootstrap). The queue is
+        topped up first so the choice is always among ``size``
+        candidates.
+        """
+        self.top_up(now_ns)
+        if self.config.refresh_dummies and self.config.enable_scheduling:
+            for entry in self.entries:
+                if entry.is_dummy:
+                    entry.leaf = self.geometry.random_leaf(self.rng)
+        if not self.config.enable_scheduling or current_leaf is None:
+            index = self._fifo_choice()
+        else:
+            index = self._aged_choice()
+            if index is None:
+                index = self._overlap_choice(current_leaf)
+        chosen = self.entries.pop(index)
+        for entry in self.entries:
+            if entry.is_real:
+                entry.age += 1
+        return chosen
+
+    def _fifo_choice(self) -> int:
+        """Oldest real first; a dummy only when no real is queued."""
+        for index, entry in enumerate(self.entries):
+            if entry.is_real:
+                return index
+        return 0
+
+    def _aged_choice(self) -> Optional[int]:
+        """Starvation guard: a real entry past the aging threshold wins,
+        oldest age first."""
+        best: Optional[int] = None
+        best_age = self.config.effective_aging_threshold - 1
+        for index, entry in enumerate(self.entries):
+            if entry.is_real and entry.age > best_age:
+                best_age = entry.age
+                best = index
+        return best
+
+    def _overlap_choice(self, current_leaf: int) -> int:
+        """Highest overlap degree; real beats dummy on ties; then FIFO."""
+        divergence = self.geometry.divergence_level
+        best_index = 0
+        best_key = (-1, False)
+        for index, entry in enumerate(self.entries):
+            key = (divergence(current_leaf, entry.leaf), entry.is_real)
+            if key > best_key:
+                best_key = key
+                best_index = index
+        return best_index

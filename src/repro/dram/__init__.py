@@ -1,0 +1,15 @@
+"""DRAM substrate: DDR3 timing/bank model, sub-tree layout, energy."""
+
+from repro.dram.layout import SubtreeLayout, FlatLayout, make_layout, Location
+from repro.dram.model import DramModel
+from repro.dram.energy import EnergyModel, EnergyBreakdown
+
+__all__ = [
+    "SubtreeLayout",
+    "FlatLayout",
+    "make_layout",
+    "Location",
+    "DramModel",
+    "EnergyModel",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,120 @@
+"""Energy accounting for the ORAM memory system (paper Figure 15).
+
+The paper reports *total* ORAM memory-system energy: external DRAM
+(dominant, per its own analysis) plus the ORAM controller's added
+structures. We use representative per-event constants in the range of
+Micron DDR3 datasheet numbers and CACTI SRAM estimates; Figure 15 only
+depends on the *ratios* between configurations, which are driven by
+event counts (activations, bytes moved, cache lookups), not by the
+absolute constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy constants (representative DDR3 + SRAM values)."""
+
+    #: One row activation + implied precharge (nJ).
+    activate_nj: float = 17.5
+    #: Moving one byte over a read column access (nJ/B).
+    read_nj_per_byte: float = 0.10
+    #: Moving one byte over a write column access (nJ/B).
+    write_nj_per_byte: float = 0.11
+    #: Standby/background power per channel (mW).
+    background_mw_per_channel: float = 130.0
+    #: One on-chip cache (MAC/treetop) lookup or fill (nJ).
+    cache_access_nj: float = 0.06
+    #: One stash/queue/posmap controller operation (nJ).
+    controller_op_nj: float = 0.02
+    #: Encrypting/decrypting one byte in the AES pipeline (nJ/B).
+    crypto_nj_per_byte: float = 0.005
+
+    def __post_init__(self) -> None:
+        for name in (
+            "activate_nj",
+            "read_nj_per_byte",
+            "write_nj_per_byte",
+            "background_mw_per_channel",
+            "cache_access_nj",
+            "controller_op_nj",
+            "crypto_nj_per_byte",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Accumulated energy per component, in nanojoules."""
+
+    dram_activate_nj: float = 0.0
+    dram_read_nj: float = 0.0
+    dram_write_nj: float = 0.0
+    dram_background_nj: float = 0.0
+    cache_nj: float = 0.0
+    controller_nj: float = 0.0
+    crypto_nj: float = 0.0
+
+    @property
+    def dram_nj(self) -> float:
+        return (
+            self.dram_activate_nj
+            + self.dram_read_nj
+            + self.dram_write_nj
+            + self.dram_background_nj
+        )
+
+    @property
+    def onchip_nj(self) -> float:
+        return self.cache_nj + self.controller_nj + self.crypto_nj
+
+    @property
+    def total_nj(self) -> float:
+        return self.dram_nj + self.onchip_nj
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_nj * 1e-6
+
+
+class EnergyModel:
+    """Event-count based energy accumulator."""
+
+    def __init__(self, params: EnergyParams | None = None, channels: int = 2) -> None:
+        if channels < 1:
+            raise ConfigError("channels must be >= 1")
+        self.params = params if params is not None else EnergyParams()
+        self.channels = channels
+        self.breakdown = EnergyBreakdown()
+
+    def on_activate(self, count: int = 1) -> None:
+        self.breakdown.dram_activate_nj += self.params.activate_nj * count
+
+    def on_read(self, num_bytes: int) -> None:
+        self.breakdown.dram_read_nj += self.params.read_nj_per_byte * num_bytes
+        self.breakdown.crypto_nj += self.params.crypto_nj_per_byte * num_bytes
+
+    def on_write(self, num_bytes: int) -> None:
+        self.breakdown.dram_write_nj += self.params.write_nj_per_byte * num_bytes
+        self.breakdown.crypto_nj += self.params.crypto_nj_per_byte * num_bytes
+
+    def on_cache_access(self, count: int = 1) -> None:
+        self.breakdown.cache_nj += self.params.cache_access_nj * count
+
+    def on_controller_op(self, count: int = 1) -> None:
+        self.breakdown.controller_nj += self.params.controller_op_nj * count
+
+    def account_background(self, duration_ns: float) -> None:
+        """Background power over a run's duration across all channels."""
+        if duration_ns < 0:
+            raise ConfigError("duration_ns must be >= 0")
+        # mW * ns = pJ; convert to nJ.
+        self.breakdown.dram_background_nj += (
+            self.params.background_mw_per_channel * self.channels * duration_ns
+        ) * 1e-3

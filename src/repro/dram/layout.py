@@ -1,0 +1,134 @@
+"""Mapping ORAM tree buckets onto DRAM channels/banks/rows.
+
+Two layouts are provided:
+
+* :class:`SubtreeLayout` — the layout of Ren et al. adopted by the
+  paper: the tree is cut into sub-trees of ``s`` levels, and each
+  sub-tree (``2**s - 1`` buckets) is packed contiguously into one DRAM
+  row. A root-to-leaf path then touches only ``ceil((L+1)/s)`` rows, so
+  most consecutive bucket transfers are row-buffer hits.
+* :class:`FlatLayout` — the naive heap-order mapping, as the ablation
+  baseline: buckets at adjacent levels of a path land in unrelated
+  rows, so path traversals are mostly row misses.
+
+Both spread work across channels at row granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramConfig
+from repro.errors import ConfigError
+from repro.oram.tree import TreeGeometry
+
+
+@dataclass(frozen=True)
+class Location:
+    """Physical placement of one bucket."""
+
+    channel: int
+    bank: int
+    row: int
+    col_byte: int
+
+
+class SubtreeLayout:
+    """Pack ``s``-level sub-trees into DRAM rows (Ren et al.)."""
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        config: DramConfig,
+        bucket_bytes: int,
+    ) -> None:
+        if bucket_bytes < 1:
+            raise ConfigError("bucket_bytes must be >= 1")
+        self.geometry = geometry
+        self.config = config
+        self.bucket_bytes = bucket_bytes
+        buckets_per_row = config.timing.row_bytes // bucket_bytes
+        if buckets_per_row < 1:
+            raise ConfigError(
+                f"bucket of {bucket_bytes} B does not fit a "
+                f"{config.timing.row_bytes} B row"
+            )
+        if config.subtree_levels > 0:
+            self.subtree_levels = config.subtree_levels
+        else:
+            # Largest s with 2**s - 1 buckets per row.
+            s = 1
+            while (1 << (s + 1)) - 1 <= buckets_per_row:
+                s += 1
+            self.subtree_levels = s
+        if (1 << self.subtree_levels) - 1 > buckets_per_row:
+            raise ConfigError(
+                f"subtree of {self.subtree_levels} levels "
+                f"({(1 << self.subtree_levels) - 1} buckets) exceeds row "
+                f"capacity of {buckets_per_row} buckets"
+            )
+        # Cumulative sub-tree counts per level group, for id offsets:
+        # group g spans tree levels [g*s, (g+1)*s) and contains
+        # 2**(g*s) sub-trees (one per node at its top level).
+        s = self.subtree_levels
+        self._group_offsets = []
+        offset = 0
+        group = 0
+        while group * s <= geometry.levels:
+            self._group_offsets.append(offset)
+            offset += 1 << (group * s)
+            group += 1
+
+    def subtree_of(self, node_id: int) -> tuple[int, int]:
+        """(subtree id, position within subtree) of a bucket."""
+        level = self.geometry.level_of(node_id)
+        index = self.geometry.index_in_level(node_id)
+        s = self.subtree_levels
+        group = level // s
+        local_level = level - group * s
+        root_index = index >> local_level
+        subtree_id = self._group_offsets[group] + root_index
+        local_index = index - (root_index << local_level)
+        position = (1 << local_level) - 1 + local_index
+        return subtree_id, position
+
+    def locate(self, node_id: int) -> Location:
+        subtree_id, position = self.subtree_of(node_id)
+        channel = subtree_id % self.config.channels
+        linear = subtree_id // self.config.channels
+        bank = linear % self.config.banks_per_channel
+        row = linear // self.config.banks_per_channel
+        return Location(channel, bank, row, position * self.bucket_bytes)
+
+
+class FlatLayout:
+    """Naive heap-order placement (ablation baseline)."""
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        config: DramConfig,
+        bucket_bytes: int,
+    ) -> None:
+        if bucket_bytes < 1:
+            raise ConfigError("bucket_bytes must be >= 1")
+        self.geometry = geometry
+        self.config = config
+        self.bucket_bytes = bucket_bytes
+        self.buckets_per_row = max(1, config.timing.row_bytes // bucket_bytes)
+
+    def locate(self, node_id: int) -> Location:
+        row_linear = node_id // self.buckets_per_row
+        within = node_id % self.buckets_per_row
+        channel = row_linear % self.config.channels
+        linear = row_linear // self.config.channels
+        bank = linear % self.config.banks_per_channel
+        row = linear // self.config.banks_per_channel
+        return Location(channel, bank, row, within * self.bucket_bytes)
+
+
+def make_layout(geometry: TreeGeometry, config: DramConfig, bucket_bytes: int):
+    """Build the configured layout ("subtree" or "flat")."""
+    if config.layout == "subtree":
+        return SubtreeLayout(geometry, config, bucket_bytes)
+    return FlatLayout(geometry, config, bucket_bytes)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Fork Path ORAM reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the interesting failure modes (stash
+overflow, configuration mistakes, security-invariant violations).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class StashOverflowError(ReproError):
+    """The stash exceeded its configured capacity.
+
+    In a hardware Path ORAM this is a catastrophic (unrecoverable)
+    condition; the paper keeps its probability negligible by choosing
+    ``Z >= 4``, stash capacity ``C >= 200`` and 50% DRAM utilisation.
+    """
+
+    def __init__(self, occupancy: int, capacity: int) -> None:
+        self.occupancy = occupancy
+        self.capacity = capacity
+        super().__init__(
+            f"stash overflow: {occupancy} blocks exceed capacity {capacity}"
+        )
+
+
+class InvariantViolationError(ReproError):
+    """A Path ORAM correctness/security invariant was violated.
+
+    Raised by the self-checking code paths (enabled in tests) — e.g. a
+    block that is neither in the stash nor on its mapped path, or a
+    bucket holding more than ``Z`` real blocks.
+    """
+
+
+class ProtocolError(ReproError):
+    """The ORAM controller was driven in an unsupported way.
+
+    Examples: completing a read phase twice, scheduling a label for a
+    request that has already been issued, or reading an address that was
+    never written when strict mode is on.
+    """
+
+
+class DecryptionError(ReproError):
+    """Ciphertext failed authentication / structural checks on decrypt."""

@@ -1,0 +1,25 @@
+"""One module per figure of the paper's evaluation (Figures 10-19).
+
+Each module exposes ``run(scale) -> FigureResult``; run any of them as
+a script (``python -m repro.experiments.fig10``) or through the
+benchmark harness in ``benchmarks/``. Scales: ``SMALL`` (default),
+``MEDIUM``, ``PAPER`` — pick via the ``REPRO_SCALE`` env var.
+"""
+
+from repro.experiments.common import (
+    SMALL,
+    MEDIUM,
+    PAPER,
+    FigureResult,
+    Scale,
+    scale_from_env,
+)
+
+__all__ = [
+    "SMALL",
+    "MEDIUM",
+    "PAPER",
+    "FigureResult",
+    "Scale",
+    "scale_from_env",
+]

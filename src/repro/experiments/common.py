@@ -1,0 +1,261 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Every figure module exposes ``run(scale) -> FigureResult``. A
+:class:`Scale` bundles the knobs that trade fidelity for wall-clock
+time; ``SMALL`` (the default, used by the benchmark harness) runs a
+reduced tree and a subset of the Table 2 mixes in seconds-to-minutes,
+``PAPER`` uses the paper's tree depth and all ten mixes. Select with
+the ``REPRO_SCALE`` environment variable (``small`` / ``medium`` /
+``paper``).
+
+Absolute numbers differ from the paper (our substrate is a functional
+DDR3 model, not gem5 + DRAMSim2 on SPEC binaries); the *shapes* —
+who wins, roughly by how much, where the crossovers sit — are the
+reproduction targets, recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import (
+    CacheConfig,
+    DramConfig,
+    OramConfig,
+    ProcessorConfig,
+    RecursionConfig,
+    SchedulerConfig,
+    SystemConfig,
+)
+from repro.core.controller import ForkPathController
+from repro.core.metrics import ControllerMetrics
+from repro.errors import ConfigError
+from repro.memsys.system import FullSystemResult, simulate_system
+from repro.workloads.mixes import TABLE2_MIXES, mix_benchmarks
+from repro.workloads.synthetic import uniform_trace
+from repro.workloads.trace import TraceSource
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Fidelity/runtime trade-off for one experiment run."""
+
+    name: str
+    #: ORAM tree depth for trace- and system-level runs.
+    levels: int
+    #: Instruction budget per core for full-system (slowdown) runs.
+    instructions_per_core: int
+    #: Requests for open-loop trace runs (figure 10 style).
+    trace_requests: int
+    #: Table 2 mixes to evaluate (subset at small scales).
+    mixes: Sequence[str]
+    #: Per-core footprint cap in blocks (None = benchmark-native).
+    footprint_cap: Optional[int]
+    #: Stash capacity used in experiment configs.
+    stash_capacity: int = 300
+    #: Hierarchical (recursive) position map, as the paper's baseline.
+    recursion: bool = False
+    seed: int = 1
+
+
+SMALL = Scale(
+    name="small",
+    levels=14,
+    instructions_per_core=150_000,
+    trace_requests=1_500,
+    mixes=("Mix1", "Mix3", "Mix8", "Mix9"),
+    footprint_cap=8_000,
+)
+
+MEDIUM = Scale(
+    name="medium",
+    levels=16,
+    instructions_per_core=400_000,
+    trace_requests=4_000,
+    mixes=tuple(TABLE2_MIXES),
+    footprint_cap=30_000,
+)
+
+PAPER = Scale(
+    name="paper",
+    levels=24,
+    instructions_per_core=2_000_000,
+    trace_requests=20_000,
+    mixes=tuple(TABLE2_MIXES),
+    footprint_cap=None,
+    recursion=True,
+)
+
+_SCALES: Dict[str, Scale] = {s.name: s for s in (SMALL, MEDIUM, PAPER)}
+
+
+def scale_from_env(default: Scale = SMALL) -> Scale:
+    """Pick the scale from ``REPRO_SCALE`` (small/medium/paper)."""
+    name = os.environ.get("REPRO_SCALE", default.name).lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ConfigError(
+            f"REPRO_SCALE={name!r} unknown; use one of {sorted(_SCALES)}"
+        ) from None
+
+
+def base_config(
+    scale: Scale,
+    scheduler: Optional[SchedulerConfig] = None,
+    cache: Optional[CacheConfig] = None,
+    processor: Optional[ProcessorConfig] = None,
+    dram: Optional[DramConfig] = None,
+) -> SystemConfig:
+    """The experiment-standard system config at a given scale."""
+    return SystemConfig(
+        oram=OramConfig(levels=scale.levels, stash_capacity=scale.stash_capacity),
+        scheduler=scheduler if scheduler is not None else SchedulerConfig(),
+        cache=cache if cache is not None else CacheConfig(policy="none"),
+        processor=processor if processor is not None else ProcessorConfig(),
+        dram=dram if dram is not None else DramConfig(),
+        recursion=RecursionConfig(
+            enabled=scale.recursion,
+            labels_per_block=16,
+            onchip_posmap_bytes=4096,
+        ),
+    )
+
+
+def traditional_config(scale: Scale, **kwargs: object) -> SystemConfig:
+    """Baseline (traditional Path ORAM) at a given scale."""
+    from repro import traditional_scheduler
+
+    return base_config(scale, scheduler=traditional_scheduler(), **kwargs)  # type: ignore[arg-type]
+
+
+#: The cache/scheduler variants of Figures 13-15, in paper order.
+def figure_variants(scale: Scale) -> List[tuple[str, SystemConfig]]:
+    from repro import fork_path_scheduler
+
+    fork = fork_path_scheduler(64)
+    return [
+        ("Traditional ORAM", traditional_config(scale)),
+        ("Merge only", base_config(scale, scheduler=fork)),
+        (
+            "Merge+128K MAC",
+            base_config(
+                scale,
+                scheduler=fork,
+                cache=CacheConfig(policy="mac", capacity_bytes=128 * 1024),
+            ),
+        ),
+        (
+            "Merge+256K MAC",
+            base_config(
+                scale,
+                scheduler=fork,
+                cache=CacheConfig(policy="mac", capacity_bytes=256 * 1024),
+            ),
+        ),
+        (
+            "Merge+1M MAC",
+            base_config(
+                scale,
+                scheduler=fork,
+                cache=CacheConfig(policy="mac", capacity_bytes=1 << 20),
+            ),
+        ),
+        (
+            "Merge+1M Treetop",
+            base_config(
+                scale,
+                scheduler=fork,
+                cache=CacheConfig(policy="treetop", capacity_bytes=1 << 20),
+            ),
+        ),
+    ]
+
+
+def run_mix(
+    config: SystemConfig, mix: str, scale: Scale, shared_footprint: bool = False
+) -> FullSystemResult:
+    """One closed-loop full-system run of a Table 2 mix."""
+    return simulate_system(
+        config,
+        mix_benchmarks(mix),
+        instructions_per_core=scale.instructions_per_core,
+        seed=scale.seed,
+        footprint_cap=scale.footprint_cap,
+        shared_footprint=shared_footprint,
+    )
+
+
+def run_saturating_trace(
+    config: SystemConfig,
+    scale: Scale,
+    mean_gap_ns: float = 50.0,
+    footprint: int = 0,
+) -> ControllerMetrics:
+    """Open-loop run at saturating intensity (for Figure 10).
+
+    The paper measures path length with the queue kept busy; a dense
+    Poisson stream over a wide footprint does that without core models.
+    """
+    rng = random.Random(scale.seed)
+    if footprint <= 0:
+        footprint = min(config.oram.num_blocks, 1 << 20)
+    trace = uniform_trace(
+        scale.trace_requests, footprint, mean_gap_ns, rng, write_fraction=0.3
+    )
+    controller = ForkPathController(
+        config, TraceSource(trace), rng=random.Random(scale.seed + 1)
+    )
+    return controller.run()
+
+
+@dataclass
+class FigureResult:
+    """Rendered output of one figure reproduction."""
+
+    figure: str
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ConfigError(
+                f"{self.figure}: row width {len(cells)} != {len(self.columns)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        from repro.analysis.report import format_table
+
+        text = format_table(f"{self.figure}: {self.title}", self.columns, self.rows)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+    def series(self, column: str) -> List[object]:
+        index = self.columns.index(column)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """The figure's rows as CSV (header included), for plotting."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def save(self, path) -> None:
+        """Write both the rendered table (.txt) and the CSV (.csv)."""
+        import pathlib
+
+        base = pathlib.Path(path)
+        base.with_suffix(".txt").write_text(self.render() + "\n")
+        base.with_suffix(".csv").write_text(self.to_csv())

@@ -1,0 +1,69 @@
+"""Figure 10 — average ORAM path length and DRAM latency vs label
+queue size.
+
+The paper's claims for this figure:
+
+* traditional Path ORAM always moves a full ``L + 1``-bucket path per
+  phase (25 at ``L = 24``);
+* with merging + scheduling the average path length falls roughly
+  linearly in ``log2(queue size)``;
+* normalised per-access DRAM latency falls *faster* than path length,
+  because shorter fork paths also see better row-buffer behaviour.
+"""
+
+from __future__ import annotations
+
+from repro import fork_path_scheduler
+from repro.experiments.common import (
+    FigureResult,
+    Scale,
+    SMALL,
+    base_config,
+    run_saturating_trace,
+    traditional_config,
+)
+
+QUEUE_SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def run(scale: Scale = SMALL, queue_sizes=QUEUE_SIZES) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 10",
+        title="Average ORAM path length / DRAM latency vs label queue size",
+        columns=[
+            "config",
+            "queue",
+            "avg_path_buckets",
+            "norm_path",
+            "avg_dram_ns_per_access",
+            "norm_dram_latency",
+        ],
+    )
+    baseline = run_saturating_trace(traditional_config(scale), scale)
+    base_path = baseline.avg_path_buckets
+    base_dram = baseline.avg_dram_time_per_access_ns
+    result.add(
+        "Traditional ORAM", "-", round(base_path, 2), 1.0, round(base_dram, 1), 1.0
+    )
+    for queue in queue_sizes:
+        config = base_config(scale, scheduler=fork_path_scheduler(queue))
+        metrics = run_saturating_trace(config, scale)
+        result.add(
+            "Merging",
+            queue,
+            round(metrics.avg_path_buckets, 2),
+            round(metrics.avg_path_buckets / base_path, 3),
+            round(metrics.avg_dram_time_per_access_ns, 1),
+            round(metrics.avg_dram_time_per_access_ns / base_dram, 3),
+        )
+    result.notes.append(
+        f"traditional path length pinned at L+1 = {scale.levels + 1}; "
+        "merging decreases ~linearly in log2(queue)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from repro.experiments.common import scale_from_env
+
+    print(run(scale_from_env()).render())

@@ -1,0 +1,61 @@
+"""Figure 11 — normalised total ORAM request count per mix and queue
+size.
+
+Path merging inserts dummy requests whenever the write phase has no
+real successor to fork toward, so the *total* number of tree accesses
+grows with the label queue size (more dummy candidates win the overlap
+contest). The paper reports a moderate average increase thanks to
+dummy-request replacing, with low-intensity mixes (e.g. Mix2) the worst
+offenders.
+"""
+
+from __future__ import annotations
+
+from repro import fork_path_scheduler
+from repro.analysis.stats import geomean
+from repro.experiments.common import (
+    FigureResult,
+    Scale,
+    SMALL,
+    base_config,
+    run_mix,
+    traditional_config,
+)
+
+QUEUE_SIZES = (1, 8, 64, 128)
+
+
+def run(scale: Scale = SMALL, queue_sizes=QUEUE_SIZES) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 11",
+        title="Total ORAM requests, normalised to traditional Path ORAM",
+        columns=["mix", "traditional"] + [f"queue={q}" for q in queue_sizes],
+    )
+    per_queue: dict[int, list[float]] = {q: [] for q in queue_sizes}
+    for mix in scale.mixes:
+        base = run_mix(traditional_config(scale), mix, scale)
+        base_accesses = base.metrics.normalized_request_count()
+        row: list[object] = [mix, 1.0]
+        for queue in queue_sizes:
+            config = base_config(scale, scheduler=fork_path_scheduler(queue))
+            fork = run_mix(config, mix, scale)
+            ratio = fork.metrics.normalized_request_count() / base_accesses
+            per_queue[queue].append(ratio)
+            row.append(round(ratio, 3))
+        result.add(*row)
+    result.add(
+        "geomean",
+        1.0,
+        *[round(geomean(per_queue[q]), 3) for q in queue_sizes],
+    )
+    result.notes.append(
+        "ratios > 1 are extra dummy accesses; they grow with queue size "
+        "and are largest for low-intensity mixes"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from repro.experiments.common import scale_from_env
+
+    print(run(scale_from_env()).render())

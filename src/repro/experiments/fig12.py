@@ -1,0 +1,56 @@
+"""Figure 12 — ORAM latency per mix across label queue sizes.
+
+ORAM latency (completion time of an LLC request from entering the
+controller) folds together path-length savings, dummy overhead and
+queueing. The paper's shape: latency falls as the queue grows, bottoms
+out around 64, and worsens again at 128 when the extra dummy accesses
+outweigh further path-length gains.
+"""
+
+from __future__ import annotations
+
+from repro import fork_path_scheduler
+from repro.analysis.stats import geomean
+from repro.experiments.common import (
+    FigureResult,
+    Scale,
+    SMALL,
+    base_config,
+    run_mix,
+    traditional_config,
+)
+
+QUEUE_SIZES = (1, 8, 64, 128)
+
+
+def run(scale: Scale = SMALL, queue_sizes=QUEUE_SIZES) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 12",
+        title="ORAM latency vs label queue size, normalised to traditional",
+        columns=["mix", "traditional"] + [f"queue={q}" for q in queue_sizes],
+    )
+    per_queue: dict[int, list[float]] = {q: [] for q in queue_sizes}
+    for mix in scale.mixes:
+        base = run_mix(traditional_config(scale), mix, scale)
+        base_latency = base.metrics.avg_latency_ns
+        row: list[object] = [mix, 1.0]
+        for queue in queue_sizes:
+            config = base_config(scale, scheduler=fork_path_scheduler(queue))
+            fork = run_mix(config, mix, scale)
+            ratio = fork.metrics.avg_latency_ns / base_latency
+            per_queue[queue].append(ratio)
+            row.append(round(ratio, 3))
+        result.add(*row)
+    result.add(
+        "geomean",
+        1.0,
+        *[round(geomean(per_queue[q]), 3) for q in queue_sizes],
+    )
+    result.notes.append("the paper picks queue=64 as the sweet spot")
+    return result
+
+
+if __name__ == "__main__":
+    from repro.experiments.common import scale_from_env
+
+    print(run(scale_from_env()).render())

@@ -1,0 +1,54 @@
+"""Figure 14 — full-system execution-time slowdown versus an insecure
+processor.
+
+Each mix runs closed-loop on 4 OoO cores with a fixed instruction
+budget; slowdown is the makespan ratio against the same cores served by
+plain DRAM. The paper's headline: Fork Path with a 1 MB MAC cuts
+execution time by ~58% versus traditional Path ORAM (and ~29% versus
+merge + 1 MB treetop in their measurements; see EXPERIMENTS.md for how
+our treetop compares).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import geomean
+from repro.experiments.common import (
+    FigureResult,
+    Scale,
+    SMALL,
+    figure_variants,
+    run_mix,
+)
+
+
+def run(scale: Scale = SMALL) -> FigureResult:
+    variants = figure_variants(scale)
+    result = FigureResult(
+        figure="Figure 14",
+        title="Execution-time slowdown vs insecure processor",
+        columns=["mix"] + [name for name, _ in variants],
+    )
+    per_variant: dict[str, list[float]] = {name: [] for name, _ in variants}
+    for mix in scale.mixes:
+        row: list[object] = [mix]
+        for name, config in variants:
+            slowdown = run_mix(config, mix, scale).slowdown
+            per_variant[name].append(slowdown)
+            row.append(round(slowdown, 2))
+        result.add(*row)
+    geomeans = {name: geomean(values) for name, values in per_variant.items()}
+    result.add("geomean", *[round(geomeans[name], 2) for name, _ in variants])
+    trad = geomeans["Traditional ORAM"]
+    best = geomeans["Merge+1M MAC"]
+    result.notes.append(
+        f"Merge+1M MAC reduces execution time by "
+        f"{100 * (1 - best / trad):.0f}% vs traditional "
+        f"(paper: 58%)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from repro.experiments.common import scale_from_env
+
+    print(run(scale_from_env()).render())

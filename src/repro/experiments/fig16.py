@@ -1,0 +1,90 @@
+"""Figure 16 — in-order versus out-of-order cores.
+
+An in-order core blocks on every LLC miss, so at most one real request
+per core is ever pending — the label queue runs nearly empty of reals
+and the queue-64 Fork Path schedule launches many more dummy accesses.
+The paper's point: Fork Path's advantage grows with memory intensity,
+and an in-order processor would prefer a smaller label queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import fork_path_scheduler
+from repro.analysis.stats import geomean
+from repro.config import CacheConfig
+from repro.experiments.common import (
+    FigureResult,
+    Scale,
+    SMALL,
+    base_config,
+    run_mix,
+    traditional_config,
+)
+
+VARIANTS = (
+    ("Traditional ORAM", None, None),
+    ("Merge only", 64, None),
+    ("Merge+1M MAC", 64, "mac"),
+    ("Merge+1M Treetop", 64, "treetop"),
+)
+
+
+def _config(scale: Scale, queue, cache_policy, core_type: str):
+    if queue is None:
+        config = traditional_config(scale)
+    else:
+        cache = (
+            CacheConfig(policy=cache_policy, capacity_bytes=1 << 20)
+            if cache_policy
+            else CacheConfig(policy="none")
+        )
+        config = base_config(scale, scheduler=fork_path_scheduler(queue), cache=cache)
+    return config.replace(
+        processor=dataclasses.replace(config.processor, core_type=core_type)
+    )
+
+
+def run(scale: Scale = SMALL) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 16",
+        title="ORAM latency, in-order vs out-of-order (normalised to each "
+        "core type's traditional ORAM; geomean over mixes)",
+        columns=["config", "inorder", "ooo"],
+    )
+    baselines = {
+        (core_type, mix): run_mix(
+            _config(scale, None, None, core_type), mix, scale
+        ).metrics.avg_latency_ns
+        for core_type in ("inorder", "ooo")
+        for mix in scale.mixes
+    }
+    for name, queue, cache_policy in VARIANTS:
+        ratios: dict[str, list[float]] = {"inorder": [], "ooo": []}
+        for core_type in ("inorder", "ooo"):
+            for mix in scale.mixes:
+                if queue is None:
+                    ratios[core_type].append(1.0)
+                    continue
+                this = run_mix(
+                    _config(scale, queue, cache_policy, core_type), mix, scale
+                ).metrics.avg_latency_ns
+                ratios[core_type].append(this / baselines[(core_type, mix)])
+        result.add(
+            name,
+            round(geomean(ratios["inorder"]), 3),
+            round(geomean(ratios["ooo"]), 3),
+        )
+    result.notes.append(
+        "in-order cores keep the label queue starved of real requests, "
+        "so Fork Path helps them less (or hurts) — paper suggests a "
+        "smaller queue for in-order processors"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from repro.experiments.common import scale_from_env
+
+    print(run(scale_from_env()).render())

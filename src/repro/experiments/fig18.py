@@ -1,0 +1,59 @@
+"""Figure 18 — speedup of ORAM latency with 1/2/4 DRAM channels.
+
+With fewer channels every access takes longer, the backlog of pending
+real requests deepens, and the label queue gives the scheduler more to
+merge with — so Fork Path's relative speedup is largest at 1 channel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import fork_path_scheduler
+from repro.analysis.stats import geomean
+from repro.config import CacheConfig, DramConfig
+from repro.experiments.common import (
+    FigureResult,
+    Scale,
+    SMALL,
+    base_config,
+    run_mix,
+    traditional_config,
+)
+
+CHANNELS = (1, 2, 4)
+
+
+def run(scale: Scale = SMALL, channels=CHANNELS) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 18",
+        title="Speedup of ORAM latency vs traditional, by DRAM channels",
+        columns=["channels", "speedup"],
+    )
+    for num_channels in channels:
+        dram = DramConfig(channels=num_channels)
+        ratios = []
+        for mix in scale.mixes:
+            base = run_mix(
+                traditional_config(scale, dram=dram), mix, scale
+            ).metrics.avg_latency_ns
+            fork_config = base_config(
+                scale,
+                scheduler=fork_path_scheduler(64),
+                cache=CacheConfig(policy="mac", capacity_bytes=1 << 20),
+                dram=dram,
+            )
+            fork = run_mix(fork_config, mix, scale).metrics.avg_latency_ns
+            ratios.append(base / fork)
+        result.add(num_channels, round(geomean(ratios), 3))
+    result.notes.append(
+        "fewer channels -> longer accesses -> deeper real backlog -> "
+        "bigger Fork Path speedup"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from repro.experiments.common import scale_from_env
+
+    print(run(scale_from_env()).render())

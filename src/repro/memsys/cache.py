@@ -1,0 +1,154 @@
+"""Generic set-associative LRU caches (the L1/L2 of Table 1).
+
+These model the *trusted* on-chip hierarchy in front of the ORAM
+controller. The large experiments generate LLC-miss streams directly
+from calibrated MPKI parameters (simulating every L1 access for
+billions of instructions is out of scope for a functional simulator),
+but the cache classes are exercised by the small-system examples and by
+the calibration path that derives miss rates from raw access streams.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import ProcessorConfig
+from repro.errors import ConfigError
+
+
+@dataclass
+class CacheLevelStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """Write-back, write-allocate set-associative cache with LRU."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ) -> None:
+        if capacity_bytes < line_bytes:
+            raise ConfigError("capacity must hold at least one line")
+        if ways < 1:
+            raise ConfigError("ways must be >= 1")
+        if line_bytes < 1 or line_bytes & (line_bytes - 1):
+            raise ConfigError("line_bytes must be a positive power of two")
+        lines = capacity_bytes // line_bytes
+        if lines % ways:
+            raise ConfigError(
+                f"{name}: {lines} lines not divisible by {ways} ways"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = lines // ways
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(f"{name}: set count {self.num_sets} not a power of two")
+        #: per-set OrderedDict[line_addr, dirty] in LRU order.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheLevelStats()
+
+    def _set_of(self, line_addr: int) -> OrderedDict:
+        return self._sets[line_addr % self.num_sets]
+
+    def access(self, line_addr: int, is_write: bool) -> tuple[bool, Optional[int]]:
+        """Access one line; returns ``(hit, evicted_dirty_line_or_None)``."""
+        entries = self._set_of(line_addr)
+        if line_addr in entries:
+            self.stats.hits += 1
+            entries.move_to_end(line_addr)
+            if is_write:
+                entries[line_addr] = True
+            return True, None
+        self.stats.misses += 1
+        victim: Optional[int] = None
+        if len(entries) >= self.ways:
+            victim_addr, victim_dirty = entries.popitem(last=False)
+            if victim_dirty:
+                victim = victim_addr
+                self.stats.writebacks += 1
+        entries[line_addr] = is_write
+        return False, victim
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._set_of(line_addr)
+
+    def flush(self) -> List[int]:
+        """Drop everything; returns the dirty lines."""
+        dirty: List[int] = []
+        for entries in self._sets:
+            dirty.extend(addr for addr, was_dirty in entries.items() if was_dirty)
+            entries.clear()
+        return dirty
+
+
+class CacheHierarchy:
+    """Private L1 per core + shared L2; yields the LLC-miss stream.
+
+    Feed raw per-core block addresses through :meth:`access`; the
+    return value says whether the access misses all the way to the
+    ORAM, and carries any dirty eviction that must be written back.
+    """
+
+    def __init__(self, config: ProcessorConfig, line_bytes: int = 64) -> None:
+        self.config = config
+        self.l1s = [
+            SetAssociativeCache(
+                config.l1_bytes, config.l1_ways, line_bytes, name=f"l1.{core}"
+            )
+            for core in range(config.num_cores)
+        ]
+        self.l2 = SetAssociativeCache(
+            config.l2_bytes, config.l2_ways, line_bytes, name="l2"
+        )
+
+    def access(
+        self, core_id: int, line_addr: int, is_write: bool
+    ) -> tuple[bool, List[tuple[int, bool]]]:
+        """Returns ``(llc_miss, memory_requests)``.
+
+        ``memory_requests`` are ``(addr, is_write)`` pairs bound for the
+        ORAM: the demand fill on an L2 miss plus any dirty L2 victim.
+        """
+        if not 0 <= core_id < len(self.l1s):
+            raise ConfigError(f"core_id {core_id} out of range")
+        l1_hit, l1_victim = self.l1s[core_id].access(line_addr, is_write)
+        requests: List[tuple[int, bool]] = []
+        llc_miss = False
+        if not l1_hit:
+            l2_hit, l2_victim = self.l2.access(line_addr, False)
+            if not l2_hit:
+                llc_miss = True
+                requests.append((line_addr, False))
+            if l2_victim is not None:
+                requests.append((l2_victim, True))
+        if l1_victim is not None:
+            _, l2_victim = self.l2.access(l1_victim, True)
+            if l2_victim is not None:
+                requests.append((l2_victim, True))
+        return llc_miss, requests
+
+    def miss_rate(self) -> float:
+        return self.l2.stats.miss_rate
+
+    def calibrated_mpki(self, instructions: int) -> float:
+        """LLC misses per kilo-instruction over a replayed stream."""
+        if instructions <= 0:
+            raise ConfigError("instructions must be positive")
+        return 1000.0 * self.l2.stats.misses / instructions

@@ -1,0 +1,240 @@
+"""Closed-loop core models: the arrival source for full-system runs.
+
+Each :class:`Core` replays one benchmark stand-in as a *closed loop*:
+the core issues LLC misses separated by compute gaps (drawn from the
+benchmark's MPKI/IPC), keeps at most ``mlp`` misses outstanding
+(1 for an in-order core — it blocks on every miss), and stalls when the
+window is full until the ORAM returns something. This reproduces the
+property every Fork Path result hinges on: *memory intensity as seen by
+the label queue* — an OoO core keeps the queue populated with real
+requests, an in-order core does not (paper Figure 16).
+
+Execution-time accounting: the compute gaps are identical whichever
+memory system serves the misses, so the slowdown of Figure 14 is the
+ratio of makespans of the same per-core miss programs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional
+
+from repro.config import ProcessorConfig
+from repro.core.controller import ArrivalSource
+from repro.core.requests import LlcRequest
+from repro.errors import ConfigError
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.synthetic import address_stream
+
+
+class Core:
+    """One closed-loop core running one benchmark stand-in."""
+
+    def __init__(
+        self,
+        core_id: int,
+        benchmark: BenchmarkSpec,
+        processor: ProcessorConfig,
+        rng: random.Random,
+        num_requests: int,
+        addr_base: int = 0,
+        footprint_cap: Optional[int] = None,
+    ) -> None:
+        if num_requests < 0:
+            raise ConfigError("num_requests must be >= 0")
+        self.core_id = core_id
+        self.benchmark = benchmark
+        self.processor = processor
+        self.rng = rng
+        self.num_requests = num_requests
+        self.mlp = processor.effective_mlp
+        self.mean_gap_ns = benchmark.mean_gap_ns(processor.frequency_ghz)
+        footprint = benchmark.footprint_blocks
+        if footprint_cap is not None:
+            footprint = max(1, min(footprint, footprint_cap))
+        self.footprint = footprint
+        self._addresses: Iterator[int] = address_stream(
+            footprint,
+            rng,
+            hot_fraction=benchmark.hot_fraction,
+            hot_weight=benchmark.hot_weight,
+            addr_base=addr_base,
+        )
+        self.issued = 0
+        self.completed = 0
+        self.outstanding = 0
+        self._next_issue_ns = self._draw_gap()
+        self.finish_ns = 0.0
+        #: Instruction budget this miss program represents (optional;
+        #: set by :func:`cluster_for_instructions` for slowdown runs).
+        self.instructions = 0
+
+    def _draw_gap(self) -> float:
+        return self.rng.expovariate(1.0 / self.mean_gap_ns)
+
+    def exec_time_ns(self) -> float:
+        """Estimated time to retire the core's instruction budget.
+
+        Memory stalls are captured by the closed loop (``finish_ns`` of
+        the last miss); compute is the unstalled instruction time. The
+        two bound the true execution time from below; their max is the
+        standard trace-replay estimate.
+        """
+        compute_ns = 0.0
+        if self.instructions:
+            cycles = self.instructions / self.benchmark.ipc
+            compute_ns = cycles / self.processor.frequency_ghz
+        return max(compute_ns, self.finish_ns + 0.5 * self.mean_gap_ns)
+
+    # ------------------------------------------------------------- protocol
+
+    def next_arrival_ns(self) -> float:
+        if self.issued >= self.num_requests or self.outstanding >= self.mlp:
+            return float("inf")
+        return self._next_issue_ns
+
+    def pop_arrivals(self, now_ns: float) -> List[LlcRequest]:
+        """Issue every miss whose compute gap has elapsed, up to the
+        outstanding-miss window."""
+        issued: List[LlcRequest] = []
+        while (
+            self.issued < self.num_requests
+            and self.outstanding < self.mlp
+            and self._next_issue_ns <= now_ns
+        ):
+            addr = next(self._addresses)
+            is_write = self.rng.random() < self.benchmark.write_fraction
+            request = LlcRequest(
+                addr=addr,
+                is_write=is_write,
+                payload=(
+                    ((self.issued << 32) | (addr & 0xFFFFFFFF)) if is_write else None
+                ),
+                arrival_ns=self._next_issue_ns,
+                core_id=self.core_id,
+            )
+            issued.append(request)
+            self.issued += 1
+            self.outstanding += 1
+            self._next_issue_ns += self._draw_gap()
+        return issued
+
+    def on_complete(self, request: LlcRequest, now_ns: float) -> None:
+        self.outstanding -= 1
+        if self.outstanding < 0:
+            raise ConfigError(
+                f"core {self.core_id}: completion without outstanding miss"
+            )
+        self.completed += 1
+        self.finish_ns = max(self.finish_ns, now_ns)
+        # While the window was full the core was stalled: compute for
+        # the next miss could not overlap the wait, so its issue time
+        # moves out to the response.
+        if self.outstanding == self.mlp - 1:
+            self._next_issue_ns = max(self._next_issue_ns, now_ns + self._draw_gap())
+
+    def exhausted(self) -> bool:
+        return self.issued >= self.num_requests
+
+    def done(self) -> bool:
+        return self.exhausted() and self.completed >= self.issued
+
+
+class CoreCluster(ArrivalSource):
+    """Aggregates per-core closed loops into one arrival source."""
+
+    def __init__(self, cores: List[Core]) -> None:
+        if not cores:
+            raise ConfigError("need at least one core")
+        self.cores = cores
+        self._by_id: Dict[int, Core] = {core.core_id: core for core in cores}
+        if len(self._by_id) != len(cores):
+            raise ConfigError("duplicate core ids")
+
+    def next_arrival_ns(self) -> float:
+        return min(core.next_arrival_ns() for core in self.cores)
+
+    def pop_arrivals(self, now_ns: float) -> List[LlcRequest]:
+        arrivals: List[LlcRequest] = []
+        for core in self.cores:
+            arrivals.extend(core.pop_arrivals(now_ns))
+        arrivals.sort(key=lambda request: request.arrival_ns)
+        return arrivals
+
+    def on_complete(self, request: LlcRequest, now_ns: float) -> None:
+        self._by_id[request.core_id].on_complete(request, now_ns)
+
+    def exhausted(self) -> bool:
+        return all(core.exhausted() for core in self.cores)
+
+    def done(self) -> bool:
+        return all(core.done() for core in self.cores)
+
+    def finish_ns(self) -> float:
+        return max(core.finish_ns for core in self.cores)
+
+    def makespan_ns(self) -> float:
+        """Execution time of the multi-program: the slowest core."""
+        return max(core.exec_time_ns() for core in self.cores)
+
+    def total_issued(self) -> int:
+        return sum(core.issued for core in self.cores)
+
+    def total_completed(self) -> int:
+        return sum(core.completed for core in self.cores)
+
+
+def build_cluster(
+    benchmarks: List[BenchmarkSpec],
+    processor: ProcessorConfig,
+    rng: random.Random,
+    requests_per_core: int = 0,
+    footprint_cap: Optional[int] = None,
+    shared_footprint: bool = False,
+    instructions_per_core: int = 0,
+) -> CoreCluster:
+    """One core per benchmark entry.
+
+    Exactly one of ``requests_per_core`` and ``instructions_per_core``
+    must be positive. With an instruction budget each core gets
+    ``budget * mpki / 1000`` misses — the paper's methodology, where a
+    low-MPKI core runs few misses and its makespan is compute-bound.
+
+    Multi-programmed mixes give each core a private address region;
+    multi-threaded (PARSEC) runs set ``shared_footprint=True`` so every
+    thread walks the same region.
+    """
+    if len(benchmarks) != processor.num_cores:
+        raise ConfigError(
+            f"{len(benchmarks)} benchmarks for {processor.num_cores} cores"
+        )
+    if (requests_per_core > 0) == (instructions_per_core > 0):
+        raise ConfigError(
+            "set exactly one of requests_per_core / instructions_per_core"
+        )
+    cores: List[Core] = []
+    base = 0
+    for core_id, benchmark in enumerate(benchmarks):
+        footprint = benchmark.footprint_blocks
+        if footprint_cap is not None:
+            footprint = min(footprint, footprint_cap)
+        if instructions_per_core > 0:
+            num_requests = max(
+                1, round(instructions_per_core * benchmark.mpki / 1000.0)
+            )
+        else:
+            num_requests = requests_per_core
+        core = Core(
+            core_id=core_id,
+            benchmark=benchmark,
+            processor=processor,
+            rng=random.Random(rng.randrange(1 << 62)),
+            num_requests=num_requests,
+            addr_base=0 if shared_footprint else base,
+            footprint_cap=footprint_cap,
+        )
+        core.instructions = instructions_per_core
+        cores.append(core)
+        if not shared_footprint:
+            base += footprint
+    return CoreCluster(cores)

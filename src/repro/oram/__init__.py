@@ -1,0 +1,20 @@
+"""Path ORAM substrate: tree geometry, blocks, stash, position map,
+encryption, untrusted memory and the baseline Path ORAM controller."""
+
+from repro.oram.blocks import Block, Bucket
+from repro.oram.tree import TreeGeometry
+from repro.oram.stash import Stash
+from repro.oram.posmap import PositionMap
+from repro.oram.memory import UntrustedMemory, MemoryOp
+from repro.oram.path_oram import PathOram
+
+__all__ = [
+    "Block",
+    "Bucket",
+    "TreeGeometry",
+    "Stash",
+    "PositionMap",
+    "UntrustedMemory",
+    "MemoryOp",
+    "PathOram",
+]

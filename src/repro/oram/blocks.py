@@ -1,0 +1,102 @@
+"""Blocks and buckets — the unit contents of the ORAM tree.
+
+A :class:`Block` carries a program address, its current leaf label and
+an opaque payload. A :class:`Bucket` is a fixed-capacity container of
+``Z`` slots; empty slots conceptually hold encrypted dummy blocks, which
+we represent as ``None`` (the encryption layer materialises real dummy
+ciphertext when enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigError, InvariantViolationError
+
+#: Sentinel program address used for dummy blocks when they must be
+#: materialised (e.g. by the encryption layer).
+DUMMY_ADDR = -1
+
+
+@dataclass
+class Block:
+    """One data block: ``(addr, leaf, payload)``.
+
+    ``addr`` is the program (query) address, ``leaf`` the current leaf
+    label assigned by the position map, and ``payload`` whatever the
+    client stored (bytes in the encrypted configurations, any object in
+    the fast functional configurations).
+    """
+
+    addr: int
+    leaf: int
+    payload: object = None
+
+    def is_dummy(self) -> bool:
+        return self.addr == DUMMY_ADDR
+
+    def copy(self) -> "Block":
+        return Block(self.addr, self.leaf, self.payload)
+
+    @staticmethod
+    def dummy() -> "Block":
+        return Block(DUMMY_ADDR, 0, None)
+
+
+@dataclass
+class Bucket:
+    """A bucket of ``Z`` slots; missing entries are dummy blocks."""
+
+    capacity: int
+    blocks: List[Block] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigError(f"bucket capacity must be >= 1, got {self.capacity}")
+        if len(self.blocks) > self.capacity:
+            raise InvariantViolationError(
+                f"bucket holds {len(self.blocks)} blocks, capacity {self.capacity}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.blocks)
+
+    def is_full(self) -> bool:
+        return len(self.blocks) >= self.capacity
+
+    def add(self, block: Block) -> None:
+        """Place a real block into a free slot."""
+        if self.is_full():
+            raise InvariantViolationError(
+                f"cannot add block {block.addr}: bucket full ({self.capacity})"
+            )
+        if block.is_dummy():
+            raise InvariantViolationError("dummy blocks are implicit; do not add")
+        self.blocks.append(block)
+
+    def find(self, addr: int) -> Optional[Block]:
+        for block in self.blocks:
+            if block.addr == addr:
+                return block
+        return None
+
+    def take_all(self) -> List[Block]:
+        """Remove and return every real block (bucket becomes all-dummy)."""
+        taken = self.blocks
+        self.blocks = []
+        return taken
+
+    def copy(self) -> "Bucket":
+        return Bucket(self.capacity, [block.copy() for block in self.blocks])
+
+    @staticmethod
+    def empty(capacity: int) -> "Bucket":
+        return Bucket(capacity)

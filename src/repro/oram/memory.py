@@ -1,0 +1,151 @@
+"""The untrusted external memory holding the ORAM tree.
+
+The memory stores one sealed bucket per tree node. Buckets are
+materialised lazily: a node that has never been written holds an
+implicit all-dummy bucket, which lets us "allocate" the paper's 8 GB
+tree (``L = 24``, 32M buckets) without touching more than the buckets an
+experiment actually visits.
+
+Everything the adversary of the threat model can see crosses this
+boundary, so the memory doubles as the measurement point for security
+tests: it records the full access trace — ``(op, node_id)`` with
+timestamps — via :class:`TraceRecorder`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.oram.blocks import Bucket
+from repro.oram.encryption import BucketCipher, NullCipher
+from repro.oram.tree import TreeGeometry
+
+
+class MemoryOp(enum.Enum):
+    """Direction of a bucket transfer as seen on the memory bus."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One adversary-visible bus event: a whole-bucket read or write."""
+
+    op: MemoryOp
+    node_id: int
+    time_ns: float
+
+
+class TraceRecorder:
+    """Append-only record of the adversary-visible access trace."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.enabled = True
+
+    def record(self, op: MemoryOp, node_id: int, time_ns: float) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(op, node_id, time_ns))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def node_sequence(self) -> List[int]:
+        return [event.node_id for event in self.events]
+
+    def op_sequence(self) -> List[tuple]:
+        return [(event.op, event.node_id) for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class UntrustedMemory:
+    """Sealed-bucket store addressed by tree node id.
+
+    Parameters
+    ----------
+    geometry:
+        Tree shape; bounds valid node ids.
+    bucket_slots:
+        ``Z`` — capacity of each bucket.
+    cipher:
+        Seals buckets on write and opens them on read. ``NullCipher``
+        by default (timing experiments); pass a
+        :class:`~repro.oram.encryption.CounterModeCipher` for real
+        byte-level encryption.
+    trace:
+        Optional shared :class:`TraceRecorder`; a private one is created
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        bucket_slots: int,
+        cipher: Optional[BucketCipher] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if bucket_slots < 1:
+            raise ConfigError(f"bucket_slots must be >= 1, got {bucket_slots}")
+        self.geometry = geometry
+        self.bucket_slots = bucket_slots
+        self.cipher = cipher if cipher is not None else NullCipher()
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._store: Dict[int, object] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------- transfers
+
+    def read_bucket(self, node_id: int, time_ns: float = 0.0) -> Bucket:
+        """Fetch and decrypt the bucket at ``node_id``."""
+        self._check_node(node_id)
+        self.reads += 1
+        self.trace.record(MemoryOp.READ, node_id, time_ns)
+        sealed = self._store.get(node_id)
+        if sealed is None:
+            return Bucket.empty(self.bucket_slots)
+        return self.cipher.open(sealed, self.bucket_slots)
+
+    def write_bucket(self, node_id: int, bucket: Bucket, time_ns: float = 0.0) -> None:
+        """Re-encrypt and store a bucket at ``node_id``."""
+        self._check_node(node_id)
+        if bucket.capacity != self.bucket_slots:
+            raise ConfigError(
+                f"bucket capacity {bucket.capacity} != memory Z {self.bucket_slots}"
+            )
+        self.writes += 1
+        self.trace.record(MemoryOp.WRITE, node_id, time_ns)
+        self._store[node_id] = self.cipher.seal(bucket, self.bucket_slots)
+
+    # ------------------------------------------------------------ inspection
+
+    def peek_bucket(self, node_id: int) -> Bucket:
+        """Decrypt a bucket *without* recording a bus event.
+
+        Test/diagnostic helper only — a real adversary cannot do this,
+        and a real controller would not bypass the bus.
+        """
+        self._check_node(node_id)
+        sealed = self._store.get(node_id)
+        if sealed is None:
+            return Bucket.empty(self.bucket_slots)
+        return self.cipher.open(sealed, self.bucket_slots)
+
+    def materialised_nodes(self) -> List[int]:
+        """Node ids that have been written at least once."""
+        return sorted(self._store)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._store
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.geometry.num_nodes:
+            raise ConfigError(
+                f"node {node_id} out of range [0, {self.geometry.num_nodes})"
+            )

@@ -1,0 +1,238 @@
+"""Baseline Path ORAM — the functional reference implementation.
+
+This is the classic Stefanov et al. protocol exactly as recapped in
+Section 2.3 of the paper, *without* any Fork Path optimisation and
+without timing: every access reads one full root-to-leaf path into the
+stash and re-fills the same path greedily. It serves three purposes:
+
+* the correctness oracle the Fork Path controller is differentially
+  tested against (same request sequence → same values returned);
+* the baseline whose adversary-visible trace the security tests compare
+  to;
+* a small, readable artefact of the protocol for examples and docs.
+
+The per-access flow (paper Steps 1-5):
+
+1. search the stash for ``addr``; on a hit, return immediately;
+2. look up leaf ``l`` in the position map, remap ``addr`` to a fresh
+   uniform ``l'``;
+3. read every bucket on path-``l`` into the stash;
+4. update the block (payload on writes, label to ``l'``);
+5. re-fill path-``l`` greedily from the stash, leaf first, padding free
+   slots with dummies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import OramConfig
+from repro.errors import InvariantViolationError, ProtocolError
+from repro.oram.blocks import Block, Bucket
+from repro.oram.memory import UntrustedMemory
+from repro.oram.posmap import PositionMap
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+
+
+@dataclass
+class PathOramStats:
+    """Counters accumulated across the lifetime of one ORAM instance."""
+
+    accesses: int = 0
+    dummy_accesses: int = 0
+    stash_hits: int = 0
+    buckets_read: int = 0
+    buckets_written: int = 0
+    leaf_sequence: List[int] = field(default_factory=list)
+
+    @property
+    def avg_path_buckets(self) -> float:
+        """Average buckets moved per phase (read or write)."""
+        phases = 2 * self.accesses
+        if phases == 0:
+            return 0.0
+        return (self.buckets_read + self.buckets_written) / phases
+
+
+class PathOram:
+    """Functional (untimed) Path ORAM over an :class:`UntrustedMemory`.
+
+    Parameters
+    ----------
+    config:
+        Tree/bucket/stash sizing.
+    rng:
+        Source of all randomness (leaf remapping). Supplying a seeded
+        ``random.Random`` makes runs bit-reproducible.
+    memory:
+        Optional externally-owned memory (e.g. to share a trace
+        recorder); a private one is created when omitted.
+    strict:
+        When True, reading an address that was never written raises
+        :class:`ProtocolError` instead of returning ``None``.
+    check_invariants:
+        When True, the Path ORAM invariant (every mapped block is in the
+        stash or on its path) is re-verified after every access —
+        expensive, intended for tests.
+    """
+
+    def __init__(
+        self,
+        config: OramConfig,
+        rng: Optional[random.Random] = None,
+        memory: Optional[UntrustedMemory] = None,
+        strict: bool = False,
+        check_invariants: bool = False,
+    ) -> None:
+        self.config = config
+        self.geometry = TreeGeometry(config.levels)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.memory = (
+            memory
+            if memory is not None
+            else UntrustedMemory(self.geometry, config.bucket_slots)
+        )
+        self.posmap = PositionMap(self.geometry, self.rng)
+        self.stash = Stash(self.geometry, config.stash_capacity)
+        self.stats = PathOramStats()
+        self.strict = strict
+        self.check_invariants = check_invariants
+        self._written_addrs: set[int] = set()
+
+    # ------------------------------------------------------------- requests
+
+    def read(self, addr: int) -> object:
+        """ORAM read; returns the stored payload (or ``None`` if never
+        written and ``strict`` is off)."""
+        return self._access(addr, is_write=False, payload=None)
+
+    def write(self, addr: int, payload: object) -> None:
+        """ORAM write of ``payload`` at ``addr``."""
+        self._access(addr, is_write=True, payload=payload)
+
+    def dummy_access(self) -> None:
+        """A dummy ORAM request: read and re-fill a uniform random path.
+
+        Indistinguishable from a real access from outside the processor;
+        used to keep the memory-bus stream nonstop when the LLC is idle.
+        """
+        leaf = self.geometry.random_leaf(self.rng)
+        self.stats.accesses += 1
+        self.stats.dummy_accesses += 1
+        self.stats.leaf_sequence.append(leaf)
+        self._read_path(leaf)
+        self._write_path(leaf)
+        self._post_access_checks()
+
+    # ------------------------------------------------------------ internals
+
+    def _access(self, addr: int, is_write: bool, payload: object) -> object:
+        self._check_addr(addr)
+        # Step 1: stash hit returns immediately (no path access).
+        block = self.stash.get(addr)
+        if block is not None:
+            self.stats.stash_hits += 1
+            if is_write:
+                block.payload = payload
+                self._written_addrs.add(addr)
+            return block.payload
+
+        # Step 2: look up and remap.
+        old_leaf, new_leaf = self.posmap.remap(addr)
+        self.stats.accesses += 1
+        self.stats.leaf_sequence.append(old_leaf)
+
+        # Step 3: load the full path.
+        self._read_path(old_leaf)
+
+        # Step 4: update the block in the stash.
+        block = self.stash.get(addr)
+        value: object = None
+        if block is None:
+            if self.strict and not is_write:
+                raise ProtocolError(f"read of never-written address {addr}")
+            block = Block(addr, new_leaf, None)
+            self.stash.add(block)
+        block.leaf = new_leaf
+        if is_write:
+            block.payload = payload
+            self._written_addrs.add(addr)
+        value = block.payload
+
+        # Step 5: re-fill the same path.
+        self._write_path(old_leaf)
+        self._post_access_checks()
+        return value
+
+    def _read_path(self, leaf: int) -> None:
+        for node_id in self.geometry.path_nodes(leaf):
+            bucket = self.memory.read_bucket(node_id)
+            self.stats.buckets_read += 1
+            self.stash.add_all(bucket.take_all())
+
+    def _write_path(self, leaf: int) -> None:
+        z = self.config.bucket_slots
+        for level in range(self.geometry.levels, -1, -1):
+            node_id = self.geometry.path_node_at(leaf, level)
+            bucket = Bucket(z)
+            for block in self.stash.collect_for_node(leaf, level, z):
+                bucket.add(block)
+            self.memory.write_bucket(node_id, bucket)
+            self.stats.buckets_written += 1
+
+    def _post_access_checks(self) -> None:
+        self.stash.sample_occupancy()
+        self.stash.check_persistent_occupancy()
+        if self.check_invariants:
+            self.verify_invariant()
+
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.config.num_blocks:
+            raise ProtocolError(
+                f"address {addr} out of range [0, {self.config.num_blocks})"
+            )
+
+    # ----------------------------------------------------------- inspection
+
+    def verify_invariant(self) -> None:
+        """Check: every written address is in the stash or on its path,
+        exactly once, with a consistent label."""
+        seen: dict[int, str] = {}
+        for block in self.stash.blocks():
+            if block.addr in seen:
+                raise InvariantViolationError(
+                    f"address {block.addr} duplicated in stash"
+                )
+            seen[block.addr] = "stash"
+        for node_id in self.memory.materialised_nodes():
+            bucket = self.memory.peek_bucket(node_id)
+            if len(bucket) > self.config.bucket_slots:
+                raise InvariantViolationError(
+                    f"bucket {node_id} over capacity"
+                )
+            for block in bucket:
+                if block.addr in seen:
+                    raise InvariantViolationError(
+                        f"address {block.addr} present in {seen[block.addr]} "
+                        f"and bucket {node_id}"
+                    )
+                seen[block.addr] = f"bucket {node_id}"
+                if not self.geometry.node_on_path(node_id, block.leaf):
+                    raise InvariantViolationError(
+                        f"block {block.addr} (leaf {block.leaf}) stored off "
+                        f"its path at node {node_id}"
+                    )
+                mapped = self.posmap.peek(block.addr)
+                if mapped != block.leaf:
+                    raise InvariantViolationError(
+                        f"block {block.addr} label {block.leaf} != posmap "
+                        f"{mapped}"
+                    )
+        for addr in self._written_addrs:
+            if addr not in seen:
+                raise InvariantViolationError(
+                    f"written address {addr} lost (not in stash or tree)"
+                )

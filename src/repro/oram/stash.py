@@ -1,0 +1,113 @@
+"""The stash: trusted on-chip block buffer of the ORAM controller.
+
+The stash temporarily holds blocks between the read and write phases of
+an access, plus any blocks that could not be evicted back into the tree.
+Fork Path additionally parks the blocks of *retained* (overlap) buckets
+here between consecutive accesses, so transient occupancy can exceed
+the persistent capacity by up to one path's worth of blocks — exactly
+as in the baseline, whose read phase also holds a full path (paper
+Section 3.6 argues occupancy distributions are identical).
+
+Eviction implements the standard Path ORAM greedy rule: when re-filling
+the bucket at ``level`` on path-``leaf``, any stash block whose own path
+shares that bucket is eligible; filling from the leaf upward places each
+block as deep as possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import StashOverflowError
+from repro.oram.blocks import Block
+from repro.oram.tree import TreeGeometry
+
+
+class Stash:
+    """Addressable block store with greedy path eviction.
+
+    Parameters
+    ----------
+    geometry:
+        Tree geometry, used to decide eviction eligibility.
+    capacity:
+        Persistent capacity ``C`` in blocks. Occupancy is checked by
+        :meth:`check_persistent_occupancy` *between* accesses (after
+        write-back), mirroring how the hardware sizes the stash; the
+        check tolerates ``slack`` extra blocks for retained fork-path
+        buckets when the controller asks for it.
+    """
+
+    def __init__(self, geometry: TreeGeometry, capacity: int) -> None:
+        self.geometry = geometry
+        self.capacity = capacity
+        self._blocks: Dict[int, Block] = {}
+        self.max_occupancy = 0
+        self.occupancy_samples: List[int] = []
+
+    # --------------------------------------------------------------- basics
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._blocks
+
+    def blocks(self) -> Iterable[Block]:
+        return self._blocks.values()
+
+    def addresses(self) -> List[int]:
+        return list(self._blocks)
+
+    def get(self, addr: int) -> Optional[Block]:
+        return self._blocks.get(addr)
+
+    def add(self, block: Block) -> None:
+        """Insert or replace the block for ``block.addr``."""
+        self._blocks[block.addr] = block
+        if len(self._blocks) > self.max_occupancy:
+            self.max_occupancy = len(self._blocks)
+
+    def add_all(self, blocks: Iterable[Block]) -> None:
+        for block in blocks:
+            self.add(block)
+
+    def pop(self, addr: int) -> Optional[Block]:
+        return self._blocks.pop(addr, None)
+
+    # ------------------------------------------------------------- eviction
+
+    def collect_for_node(self, leaf: int, level: int, capacity: int) -> List[Block]:
+        """Remove and return up to ``capacity`` blocks placeable at the
+        bucket on path-``leaf`` at ``level``.
+
+        A block is eligible iff its own path shares that bucket, i.e.
+        its leaf label and ``leaf`` diverge strictly below ``level``.
+        Called leaf-level first by the controller, this realises the
+        greedy "as deep as possible" refill of Path ORAM.
+        """
+        chosen: List[Block] = []
+        divergence = self.geometry.divergence_level
+        for addr, block in self._blocks.items():
+            if divergence(block.leaf, leaf) > level:
+                chosen.append(block)
+                if len(chosen) == capacity:
+                    break
+        for block in chosen:
+            del self._blocks[block.addr]
+        return chosen
+
+    # ----------------------------------------------------------- accounting
+
+    def sample_occupancy(self) -> int:
+        """Record (and return) the current occupancy for statistics."""
+        occupancy = len(self._blocks)
+        self.occupancy_samples.append(occupancy)
+        return occupancy
+
+    def check_persistent_occupancy(self, slack: int = 0) -> None:
+        """Raise :class:`StashOverflowError` if occupancy exceeds
+        ``capacity + slack``."""
+        occupancy = len(self._blocks)
+        if occupancy > self.capacity + slack:
+            raise StashOverflowError(occupancy, self.capacity + slack)

@@ -1,0 +1,34 @@
+"""Security analysis: adversary-visible trace reconstruction and
+statistical tests on the public label sequence."""
+
+from repro.security.adversary import (
+    expected_fork_trace,
+    executed_leaves,
+    split_trace_into_accesses,
+)
+from repro.security.properties import (
+    chi_square_uniformity,
+    mean_pairwise_overlap,
+    expected_pairwise_overlap,
+)
+from repro.security.indistinguishability import (
+    TraceProfile,
+    profile_run,
+    leaf_distribution_pvalue,
+    shape_distribution_pvalue,
+    adversary_advantage,
+)
+
+__all__ = [
+    "expected_fork_trace",
+    "executed_leaves",
+    "split_trace_into_accesses",
+    "chi_square_uniformity",
+    "mean_pairwise_overlap",
+    "expected_pairwise_overlap",
+    "TraceProfile",
+    "profile_run",
+    "leaf_distribution_pvalue",
+    "shape_distribution_pvalue",
+    "adversary_advantage",
+]

@@ -1,0 +1,134 @@
+"""Reconstructing what the adversary sees — and proving it is public.
+
+The paper's security argument (Section 3.6) is that every Fork Path
+modification is a deterministic function of the *label sequence*, which
+the adversary observes anyway. :func:`expected_fork_trace` makes that
+argument executable: given only the executed leaf labels, it recomputes
+the entire bucket-level bus trace the controller must have produced
+(merging on or off, no caching). The security tests then assert the
+actual :class:`~repro.oram.memory.TraceRecorder` contents equal this
+reconstruction — i.e. nothing beyond the labels leaks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.metrics import ControllerMetrics
+from repro.errors import ConfigError
+from repro.oram.memory import MemoryOp, TraceEvent
+from repro.oram.tree import TreeGeometry
+
+
+def executed_leaves(metrics: ControllerMetrics) -> List[int]:
+    """The public label sequence: one leaf per executed path access."""
+    return [record.leaf for record in metrics.records]
+
+
+def expected_fork_trace(
+    geometry: TreeGeometry,
+    leaves: Sequence[int],
+    merging: bool = True,
+) -> List[Tuple[MemoryOp, int]]:
+    """Recompute the full bus trace from the label sequence alone.
+
+    For access ``i`` with leaf ``l_i``:
+
+    * read phase: nodes of path-``l_i`` below the prefix shared with
+      ``l_{i-1}`` (the whole path when merging is off or ``i = 0``),
+      root-side first;
+    * write phase: nodes of path-``l_i`` below the prefix shared with
+      ``l_{i+1}`` (the whole path when merging is off or ``i`` is
+      last), leaf first.
+
+    This matches a controller with no on-chip data cache; caching
+    removes bus events but only as a function of the same public
+    sequence plus the (public) cache geometry.
+    """
+    trace: List[Tuple[MemoryOp, int]] = []
+    for index, leaf in enumerate(leaves):
+        path = geometry.path_nodes(leaf)
+        if merging and index > 0:
+            read_from = geometry.divergence_level(leaves[index - 1], leaf)
+        else:
+            read_from = 0
+        for node_id in path[read_from:]:
+            trace.append((MemoryOp.READ, node_id))
+        if merging and index + 1 < len(leaves):
+            retain = geometry.divergence_level(leaf, leaves[index + 1])
+        elif merging:
+            # The final access retains nothing only if the run drained;
+            # the controller always schedules a successor, so the last
+            # observed refill stops at the fork with a label the test
+            # cannot see. Callers should trim the final access.
+            retain = 0
+        else:
+            retain = 0
+        for level in range(geometry.levels, retain - 1, -1):
+            trace.append((MemoryOp.WRITE, path[level]))
+    return trace
+
+
+def split_trace_into_accesses(
+    geometry: TreeGeometry, events: Sequence[TraceEvent]
+) -> List[List[TraceEvent]]:
+    """Group bus events into per-access chunks.
+
+    An access is a maximal run of reads followed by a run of writes;
+    the next read after a write starts a new access. (Write-buffer
+    drains can interleave writes among reads — callers using exact
+    comparison should disable caching, as the security tests do.)
+    """
+    accesses: List[List[TraceEvent]] = []
+    current: List[TraceEvent] = []
+    in_write_phase = False
+    for event in events:
+        if event.op is MemoryOp.READ and in_write_phase:
+            accesses.append(current)
+            current = []
+            in_write_phase = False
+        if event.op is MemoryOp.WRITE:
+            in_write_phase = True
+        current.append(event)
+    if current:
+        accesses.append(current)
+    return accesses
+
+
+def verify_trace_matches_labels(
+    geometry: TreeGeometry,
+    events: Sequence[TraceEvent],
+    leaves: Sequence[int],
+    merging: bool = True,
+) -> None:
+    """Raise unless the observed trace equals the label reconstruction.
+
+    The final access's write set depends on the next (unexecuted)
+    scheduled label, so both sequences are compared up to the last
+    access boundary.
+    """
+    if not leaves:
+        raise ConfigError("need at least one executed access")
+    expected = expected_fork_trace(geometry, leaves, merging)
+    observed = [(event.op, event.node_id) for event in events]
+    # Trim to the shorter of the two at the final access boundary: the
+    # reconstruction assumes the last refill wrote a full path, the
+    # real controller stopped at a fork we cannot see.
+    last_leaf_path = set(geometry.path_nodes(leaves[-1]))
+    limit = min(len(expected), len(observed))
+    for position in range(limit):
+        if expected[position] != observed[position]:
+            exp_op, exp_node = expected[position]
+            obs_op, obs_node = observed[position]
+            in_tail = (
+                exp_op is MemoryOp.WRITE
+                and obs_node in last_leaf_path
+                and position >= limit - (geometry.levels + 1)
+            )
+            if in_tail:
+                break  # inside the final, unseen-fork refill
+            raise ConfigError(
+                f"trace diverges from label reconstruction at event "
+                f"{position}: expected {exp_op.value} {exp_node}, "
+                f"observed {obs_op.value} {obs_node}"
+            )

@@ -1,0 +1,129 @@
+"""Two-trace indistinguishability experiments.
+
+The ORAM security definition: for any two request sequences of equal
+length, the resulting transformed sequences must be computationally
+indistinguishable. These helpers run the *statistical* version of that
+experiment end to end — drive two maximally different programs through
+the same controller configuration and compare what the adversary
+observes (leaf labels, bucket-touch histograms, per-access shapes) with
+two-sample tests. They power the security test suite and the attack
+demo; a failure here means an implementation change broke obliviousness
+in a way a real observer could measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from scipy import stats
+
+from repro.config import SystemConfig
+from repro.core.controller import ForkPathController
+from repro.errors import ConfigError
+from repro.security.adversary import executed_leaves
+from repro.workloads.trace import TraceSource, make_trace
+
+
+@dataclass
+class TraceProfile:
+    """Adversary-observable summary of one run."""
+
+    leaves: List[int]
+    #: per-access (read buckets, written buckets) shape sequence.
+    shapes: List[tuple]
+    num_leaves: int
+
+
+def profile_run(
+    config: SystemConfig,
+    events: Sequence[tuple],
+    seed: int = 0,
+) -> TraceProfile:
+    """Run one request sequence and capture the adversary's view."""
+    controller = ForkPathController(
+        config, TraceSource(make_trace(events)), rng=random.Random(seed)
+    )
+    metrics = controller.run()
+    shapes = [
+        (record.read_nodes, record.written_nodes) for record in metrics.records
+    ]
+    return TraceProfile(
+        leaves=executed_leaves(metrics),
+        shapes=shapes,
+        num_leaves=controller.geometry.num_leaves,
+    )
+
+
+def leaf_distribution_pvalue(a: TraceProfile, b: TraceProfile, bins: int = 16) -> float:
+    """Two-sample chi-square over binned leaf labels.
+
+    Under obliviousness both runs draw leaves from the same (uniform)
+    distribution, so the p-value should be non-tiny; a small p-value
+    flags a distinguisher.
+    """
+    if a.num_leaves != b.num_leaves:
+        raise ConfigError("profiles come from different tree sizes")
+    bins = min(bins, a.num_leaves)
+
+    def histogram(profile: TraceProfile) -> List[int]:
+        counts = [0] * bins
+        for leaf in profile.leaves:
+            counts[leaf * bins // profile.num_leaves] += 1
+        return counts
+
+    row_a, row_b = histogram(a), histogram(b)
+    # Drop bins neither run touched (degenerate columns break the test).
+    kept = [
+        (count_a, count_b)
+        for count_a, count_b in zip(row_a, row_b)
+        if count_a + count_b > 0
+    ]
+    if len(kept) < 2:
+        return 1.0  # both runs concentrated in one bin: identical views
+    table = list(zip(*kept))
+    _stat, p_value, _dof, _expected = stats.chi2_contingency(table)
+    return float(p_value)
+
+
+def shape_distribution_pvalue(a: TraceProfile, b: TraceProfile) -> float:
+    """KS test on the per-access bucket-count distributions.
+
+    Fork Path accesses have variable (public) fork depths; the
+    *distribution* of those depths must not depend on the program.
+    """
+    a_sizes = [read + written for read, written in a.shapes]
+    b_sizes = [read + written for read, written in b.shapes]
+    if not a_sizes or not b_sizes:
+        raise ConfigError("profiles contain no accesses")
+    _stat, p_value = stats.ks_2samp(a_sizes, b_sizes)
+    return float(p_value)
+
+
+def adversary_advantage(
+    a: TraceProfile, b: TraceProfile, trials: int = 200, seed: int = 0
+) -> float:
+    """Empirical distinguishing advantage of a simple classifier.
+
+    Train-free experiment: an adversary guesses which program produced
+    a bootstrap sample of leaves by comparing sample means to each
+    profile's mean. For oblivious traces the advantage over 0.5 should
+    vanish. Returns the absolute advantage in [0, 0.5].
+    """
+    rng = random.Random(seed)
+    mean_a = sum(a.leaves) / len(a.leaves)
+    mean_b = sum(b.leaves) / len(b.leaves)
+    if mean_a == mean_b:
+        return 0.0
+    correct = 0
+    sample = min(64, len(a.leaves), len(b.leaves))
+    for _ in range(trials):
+        source_is_a = rng.random() < 0.5
+        pool = a.leaves if source_is_a else b.leaves
+        draw = [pool[rng.randrange(len(pool))] for _ in range(sample)]
+        mean_draw = sum(draw) / sample
+        guess_a = abs(mean_draw - mean_a) < abs(mean_draw - mean_b)
+        if guess_a == source_is_a:
+            correct += 1
+    return abs(correct / trials - 0.5)

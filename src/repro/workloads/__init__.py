@@ -1,0 +1,32 @@
+"""Workloads: request traces, synthetic generators and the paper's
+SPEC 2006 / PARSEC benchmark stand-ins with the Table 2 mixes."""
+
+from repro.workloads.trace import TraceSource, make_trace
+from repro.workloads.synthetic import (
+    uniform_trace,
+    hotspot_trace,
+    strided_trace,
+    pointer_chase_trace,
+    poisson_arrivals,
+)
+from repro.workloads.spec import BenchmarkSpec, SPEC_BENCHMARKS, spec_benchmark
+from repro.workloads.parsec import PARSEC_BENCHMARKS, parsec_benchmark
+from repro.workloads.mixes import TABLE2_MIXES, mix_benchmarks, mix_names
+
+__all__ = [
+    "TraceSource",
+    "make_trace",
+    "uniform_trace",
+    "hotspot_trace",
+    "strided_trace",
+    "pointer_chase_trace",
+    "poisson_arrivals",
+    "BenchmarkSpec",
+    "SPEC_BENCHMARKS",
+    "spec_benchmark",
+    "PARSEC_BENCHMARKS",
+    "parsec_benchmark",
+    "TABLE2_MIXES",
+    "mix_benchmarks",
+    "mix_names",
+]

@@ -1,0 +1,42 @@
+"""The paper's Table 2: ten multi-programmed SPEC 2006 mixes.
+
+Mix1/Mix2 draw from the low-overhead group, Mix3/Mix4 from the
+high-overhead group, Mix5-Mix8 model duplicated programs, Mix9/Mix10
+mix both groups — verbatim from Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.workloads.spec import BenchmarkSpec, spec_benchmark
+
+#: Table 2, verbatim.
+TABLE2_MIXES: Dict[str, List[str]] = {
+    "Mix1": ["453.povray", "458.sjeng", "459.GemsFDTD", "464.h264ref"],
+    "Mix2": ["401.bzip2", "465.tonto", "471.omnetpp", "473.astar"],
+    "Mix3": ["403.gcc", "410.bwaves", "429.mcf", "435.gromacs"],
+    "Mix4": ["462.libquantum", "470.lbm", "481.wrf", "444.namd"],
+    "Mix5": ["453.povray", "453.povray", "458.sjeng", "458.sjeng"],
+    "Mix6": ["444.namd", "444.namd", "435.gromacs", "435.gromacs"],
+    "Mix7": ["410.bwaves", "410.bwaves", "410.bwaves", "410.bwaves"],
+    "Mix8": ["464.h264ref", "464.h264ref", "464.h264ref", "464.h264ref"],
+    "Mix9": ["454.calculix", "464.h264ref", "429.mcf", "458.sjeng"],
+    "Mix10": ["401.bzip2", "453.povray", "462.libquantum", "462.libquantum"],
+}
+
+
+def mix_names() -> List[str]:
+    return list(TABLE2_MIXES)
+
+
+def mix_benchmarks(mix: str) -> List[BenchmarkSpec]:
+    """The four per-core benchmark specs of one mix."""
+    try:
+        names = TABLE2_MIXES[mix]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mix {mix!r}; known: {list(TABLE2_MIXES)}"
+        ) from None
+    return [spec_benchmark(name) for name in names]

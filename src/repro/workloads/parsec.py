@@ -1,0 +1,64 @@
+"""PARSEC multi-threaded benchmark stand-ins (paper Figure 19).
+
+Same substitution rationale as :mod:`repro.workloads.spec`: each
+benchmark is a parameter bundle whose MPKI ordering follows the PARSEC
+characterisation papers (canneal/streamcluster memory-bound,
+swaptions/blackscholes compute-bound). Threads of one benchmark share a
+footprint (they are one program), unlike the multi-programmed SPEC
+mixes where each core has a private region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.workloads.spec import BenchmarkSpec
+
+
+def _parsec(
+    name: str,
+    mpki: float,
+    footprint_mb: float,
+    write_fraction: float = 0.3,
+    hot_weight: float = 0.5,
+    ipc: float = 1.4,
+) -> BenchmarkSpec:
+    group = "HG" if mpki >= 5.0 else "LG"
+    return BenchmarkSpec(
+        name=name,
+        suite="parsec",
+        group=group,
+        mpki=mpki,
+        footprint_blocks=max(64, int(footprint_mb * (1 << 20) / 64)),
+        write_fraction=write_fraction,
+        hot_weight=hot_weight,
+        ipc=ipc,
+    )
+
+
+PARSEC_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        _parsec("blackscholes", 0.3, 2, write_fraction=0.2, ipc=1.8),
+        _parsec("bodytrack", 1.0, 32, write_fraction=0.3, ipc=1.4),
+        _parsec("canneal", 12.0, 700, write_fraction=0.3, ipc=0.5),
+        _parsec("dedup", 4.0, 600, write_fraction=0.4, ipc=1.1),
+        _parsec("ferret", 3.0, 60, write_fraction=0.3, ipc=1.2),
+        _parsec("fluidanimate", 2.5, 120, write_fraction=0.4, ipc=1.3),
+        _parsec("freqmine", 1.5, 500, write_fraction=0.3, ipc=1.4),
+        _parsec("streamcluster", 15.0, 100, write_fraction=0.25, ipc=0.6),
+        _parsec("swaptions", 0.1, 1, write_fraction=0.2, ipc=1.9),
+        _parsec("vips", 1.2, 60, write_fraction=0.35, ipc=1.5),
+        _parsec("x264", 1.8, 130, write_fraction=0.3, ipc=1.4),
+    ]
+}
+
+
+def parsec_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return PARSEC_BENCHMARKS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown PARSEC benchmark {name!r}; known: {sorted(PARSEC_BENCHMARKS)}"
+        ) from None

@@ -1,0 +1,149 @@
+"""SPEC CPU2006 benchmark stand-ins.
+
+SPEC binaries and their gem5 traces are not redistributable, so each
+benchmark is characterised by the properties the paper's evaluation
+actually exercises (see DESIGN.md, Substitutions):
+
+* **memory intensity** — LLC misses per kilo-instruction (MPKI), which
+  with the core's IPC sets the mean gap between ORAM requests and thus
+  the label-queue occupancy that drives every Fork Path result;
+* **footprint** — how much of the ORAM tree the benchmark touches;
+* **locality** — hot-set reuse surviving the LLC, which sets stash /
+  merging-aware-cache hit opportunity;
+* **write fraction** of LLC traffic.
+
+The HG (high ORAM overhead) / LG (low) group split follows the paper's
+Table 2 usage: Mix1/Mix2 members are LG, Mix3/Mix4 members are HG. The
+MPKI magnitudes follow the well-known SPEC2006 characterisation
+ordering (mcf/lbm/libquantum/bwaves memory-bound; povray/sjeng/namd
+compute-bound); absolute values are representative, and the experiment
+shapes depend on the HG≫LG contrast, not on the exact numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.requests import LlcRequest
+from repro.errors import ConfigError
+from repro.workloads.synthetic import hotspot_trace
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Parameter bundle for one benchmark stand-in."""
+
+    name: str
+    suite: str
+    #: "HG" (high ORAM overhead) or "LG" (low), per the paper's split.
+    group: str
+    #: LLC misses per kilo-instruction.
+    mpki: float
+    #: Touched blocks (64 B) — the LLC-miss footprint.
+    footprint_blocks: int
+    #: Fraction of LLC traffic that is write-backs/stores.
+    write_fraction: float
+    #: Hot-set locality of the miss stream.
+    hot_fraction: float = 0.1
+    hot_weight: float = 0.5
+    #: Non-memory IPC of the core running it (for gap conversion).
+    ipc: float = 1.5
+
+    def mean_gap_instructions(self) -> float:
+        """Mean instructions between consecutive LLC misses."""
+        if self.mpki <= 0:
+            raise ConfigError(f"{self.name}: mpki must be positive")
+        return 1000.0 / self.mpki
+
+    def mean_gap_ns(self, frequency_ghz: float = 2.0) -> float:
+        """Mean time between misses on an unstalled core."""
+        cycles = self.mean_gap_instructions() / self.ipc
+        return cycles / frequency_ghz
+
+
+def _spec(
+    name: str,
+    group: str,
+    mpki: float,
+    footprint_mb: float,
+    write_fraction: float = 0.3,
+    hot_weight: float = 0.5,
+    ipc: float = 1.5,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        suite="spec2006",
+        group=group,
+        mpki=mpki,
+        footprint_blocks=max(64, int(footprint_mb * (1 << 20) / 64)),
+        write_fraction=write_fraction,
+        hot_weight=hot_weight,
+        ipc=ipc,
+    )
+
+
+#: All SPEC 2006 benchmarks referenced by Table 2 of the paper.
+SPEC_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- LG: low ORAM overhead (compute-bound, low MPKI) ----------
+        _spec("453.povray", "LG", 0.05, 4, write_fraction=0.2, ipc=1.8),
+        _spec("458.sjeng", "LG", 0.4, 150, write_fraction=0.3, ipc=1.6),
+        _spec("459.GemsFDTD", "LG", 1.5, 700, write_fraction=0.4, ipc=1.2),
+        _spec("464.h264ref", "LG", 0.5, 24, write_fraction=0.25, ipc=1.7),
+        _spec("401.bzip2", "LG", 1.2, 80, write_fraction=0.35, ipc=1.4),
+        _spec("465.tonto", "LG", 0.3, 30, write_fraction=0.3, ipc=1.6),
+        _spec("471.omnetpp", "LG", 2.0, 140, write_fraction=0.35, ipc=1.0),
+        _spec("473.astar", "LG", 1.8, 170, write_fraction=0.3, ipc=1.1),
+        _spec("444.namd", "LG", 0.1, 40, write_fraction=0.2, ipc=1.9),
+        _spec("435.gromacs", "LG", 0.3, 14, write_fraction=0.25, ipc=1.7),
+        _spec("454.calculix", "LG", 0.5, 60, write_fraction=0.3, ipc=1.6),
+        # --- HG: high ORAM overhead (memory-bound, high MPKI) ---------
+        _spec("403.gcc", "HG", 6.0, 90, write_fraction=0.4, ipc=1.0),
+        _spec("410.bwaves", "HG", 18.0, 870, write_fraction=0.3, ipc=0.8),
+        _spec("429.mcf", "HG", 32.0, 860, write_fraction=0.3, ipc=0.3),
+        _spec("462.libquantum", "HG", 25.0, 64, write_fraction=0.25, ipc=0.6),
+        _spec("470.lbm", "HG", 20.0, 400, write_fraction=0.45, ipc=0.7),
+        _spec("481.wrf", "HG", 7.0, 680, write_fraction=0.35, ipc=1.0),
+    ]
+}
+
+
+def spec_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a SPEC stand-in by its ``NNN.name`` identifier."""
+    try:
+        return SPEC_BENCHMARKS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown SPEC benchmark {name!r}; known: {sorted(SPEC_BENCHMARKS)}"
+        ) from None
+
+
+def benchmark_trace(
+    spec: BenchmarkSpec,
+    num_requests: int,
+    rng: random.Random,
+    frequency_ghz: float = 2.0,
+    addr_base: int = 0,
+    footprint_cap: int | None = None,
+) -> List[LlcRequest]:
+    """Open-loop miss trace for one benchmark at its natural intensity.
+
+    ``footprint_cap`` clips the footprint so small-tree experiments can
+    still run every benchmark.
+    """
+    footprint = spec.footprint_blocks
+    if footprint_cap is not None:
+        footprint = min(footprint, footprint_cap)
+    return hotspot_trace(
+        num=num_requests,
+        footprint_blocks=footprint,
+        mean_gap_ns=spec.mean_gap_ns(frequency_ghz),
+        rng=rng,
+        hot_fraction=spec.hot_fraction,
+        hot_weight=spec.hot_weight,
+        write_fraction=spec.write_fraction,
+        addr_base=addr_base,
+    )

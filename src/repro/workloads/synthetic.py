@@ -1,0 +1,177 @@
+"""Synthetic LLC-miss address/arrival generators.
+
+These produce the *post-cache* miss streams the ORAM controller sees.
+The experiments only depend on three stream properties — arrival
+intensity (queue pressure), footprint (tree occupancy) and reuse
+(stash/cache hit opportunity) — so the generators expose exactly those
+knobs:
+
+* :func:`uniform_trace` — independent uniform addresses (worst-case
+  reuse), fixed or Poisson arrivals;
+* :func:`hotspot_trace` — a two-class mixture (a hot subset of the
+  footprint receives most accesses), the standard stand-in for cache-
+  filtered locality;
+* :func:`strided_trace` — streaming/sequential misses;
+* :func:`pointer_chase_trace` — a random-permutation cycle walk, the
+  classic latency-bound dependent-miss pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.core.requests import LlcRequest
+from repro.errors import ConfigError
+from repro.workloads.trace import make_trace
+
+
+def poisson_arrivals(
+    num: int, mean_gap_ns: float, rng: random.Random, start_ns: float = 0.0
+) -> List[float]:
+    """Exponentially distributed inter-arrival times (Poisson stream)."""
+    if num < 0:
+        raise ConfigError("num must be >= 0")
+    if mean_gap_ns <= 0:
+        raise ConfigError("mean_gap_ns must be positive")
+    times: List[float] = []
+    now = start_ns
+    for _ in range(num):
+        now += rng.expovariate(1.0 / mean_gap_ns)
+        times.append(now)
+    return times
+
+
+def _arrivals(
+    num: int,
+    mean_gap_ns: float,
+    rng: random.Random,
+    poisson: bool,
+) -> List[float]:
+    if poisson:
+        return poisson_arrivals(num, mean_gap_ns, rng)
+    return [mean_gap_ns * (index + 1) for index in range(num)]
+
+
+def uniform_trace(
+    num: int,
+    footprint_blocks: int,
+    mean_gap_ns: float,
+    rng: random.Random,
+    write_fraction: float = 0.3,
+    poisson: bool = True,
+) -> List[LlcRequest]:
+    """Independent uniform addresses over ``footprint_blocks``."""
+    _check_common(num, footprint_blocks, write_fraction)
+    events = [
+        (
+            arrival,
+            rng.randrange(footprint_blocks),
+            rng.random() < write_fraction,
+        )
+        for arrival in _arrivals(num, mean_gap_ns, rng, poisson)
+    ]
+    return make_trace(events)
+
+
+def hotspot_trace(
+    num: int,
+    footprint_blocks: int,
+    mean_gap_ns: float,
+    rng: random.Random,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.7,
+    write_fraction: float = 0.3,
+    poisson: bool = True,
+    addr_base: int = 0,
+) -> List[LlcRequest]:
+    """Two-class locality: ``hot_weight`` of accesses land in the hot
+    ``hot_fraction`` of the footprint."""
+    _check_common(num, footprint_blocks, write_fraction)
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ConfigError("hot_fraction must be in (0, 1]")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise ConfigError("hot_weight must be in [0, 1]")
+    hot_blocks = max(1, int(footprint_blocks * hot_fraction))
+    events = []
+    for arrival in _arrivals(num, mean_gap_ns, rng, poisson):
+        if rng.random() < hot_weight:
+            addr = rng.randrange(hot_blocks)
+        else:
+            addr = rng.randrange(footprint_blocks)
+        events.append((arrival, addr_base + addr, rng.random() < write_fraction))
+    return make_trace(events)
+
+
+def strided_trace(
+    num: int,
+    footprint_blocks: int,
+    mean_gap_ns: float,
+    rng: random.Random,
+    stride: int = 1,
+    write_fraction: float = 0.0,
+    poisson: bool = False,
+) -> List[LlcRequest]:
+    """Sequential (streaming) miss addresses with a fixed stride."""
+    _check_common(num, footprint_blocks, write_fraction)
+    if stride < 1:
+        raise ConfigError("stride must be >= 1")
+    events = [
+        (
+            arrival,
+            (index * stride) % footprint_blocks,
+            rng.random() < write_fraction,
+        )
+        for index, arrival in enumerate(_arrivals(num, mean_gap_ns, rng, poisson))
+    ]
+    return make_trace(events)
+
+
+def pointer_chase_trace(
+    num: int,
+    footprint_blocks: int,
+    mean_gap_ns: float,
+    rng: random.Random,
+) -> List[LlcRequest]:
+    """Walk a random-permutation cycle over the footprint (all reads)."""
+    _check_common(num, footprint_blocks, 0.0)
+    order = list(range(footprint_blocks))
+    rng.shuffle(order)
+    events = []
+    position = 0
+    for arrival in _arrivals(num, mean_gap_ns, rng, poisson=False):
+        events.append((arrival, order[position], False))
+        position = (position + 1) % footprint_blocks
+    return make_trace(events)
+
+
+def interleave_traces(traces: List[List[LlcRequest]]) -> List[LlcRequest]:
+    """Merge several traces by arrival time (multi-programmed stream)."""
+    merged: List[LlcRequest] = [request for trace in traces for request in trace]
+    merged.sort(key=lambda request: request.arrival_ns)
+    return merged
+
+
+def _check_common(num: int, footprint_blocks: int, write_fraction: float) -> None:
+    if num < 0:
+        raise ConfigError("num must be >= 0")
+    if footprint_blocks < 1:
+        raise ConfigError("footprint_blocks must be >= 1")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigError("write_fraction must be in [0, 1]")
+
+
+def address_stream(
+    footprint_blocks: int,
+    rng: random.Random,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.7,
+    addr_base: int = 0,
+) -> Iterator[int]:
+    """Endless hotspot-mixture address generator (for closed-loop cores)."""
+    hot_blocks = max(1, int(footprint_blocks * hot_fraction))
+    while True:
+        if rng.random() < hot_weight:
+            yield addr_base + rng.randrange(hot_blocks)
+        else:
+            yield addr_base + rng.randrange(footprint_blocks)

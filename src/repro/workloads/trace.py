@@ -1,0 +1,77 @@
+"""Open-loop request traces and the :class:`TraceSource` adapter.
+
+A trace is simply a time-ordered list of :class:`LlcRequest`;
+``TraceSource`` feeds it to the controller at the recorded arrival
+times regardless of completions (open loop). Closed-loop sources —
+where the next arrival depends on earlier completions, as with real
+cores — live in :mod:`repro.memsys.processor`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Sequence, Tuple
+
+from repro.core.controller import ArrivalSource
+from repro.core.requests import LlcRequest
+from repro.errors import ConfigError
+
+
+def make_trace(
+    events: Iterable[Tuple[float, int, bool]],
+    payload_for_writes: bool = True,
+) -> List[LlcRequest]:
+    """Build a trace from ``(arrival_ns, addr, is_write)`` tuples.
+
+    Writes get a distinguishable integer payload (``ordinal << 32 |
+    addr``) so functional tests can verify read-back values; integers
+    stay serialisable by the counter-mode cipher.
+    """
+    trace: List[LlcRequest] = []
+    for ordinal, (arrival_ns, addr, is_write) in enumerate(events):
+        payload = (
+            ((ordinal << 32) | (addr & 0xFFFFFFFF))
+            if (is_write and payload_for_writes)
+            else None
+        )
+        trace.append(
+            LlcRequest(
+                addr=addr,
+                is_write=is_write,
+                payload=payload,
+                arrival_ns=float(arrival_ns),
+            )
+        )
+    return trace
+
+
+class TraceSource(ArrivalSource):
+    """Open-loop arrival source over a pre-built request list."""
+
+    def __init__(self, requests: Sequence[LlcRequest]) -> None:
+        ordered = sorted(requests, key=lambda request: request.arrival_ns)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.arrival_ns < earlier.arrival_ns:
+                raise ConfigError("trace must be time-ordered")
+        self._pending: Deque[LlcRequest] = deque(ordered)
+        self.completed: List[LlcRequest] = []
+
+    def next_arrival_ns(self) -> float:
+        if not self._pending:
+            return float("inf")
+        return self._pending[0].arrival_ns
+
+    def pop_arrivals(self, now_ns: float) -> List[LlcRequest]:
+        ready: List[LlcRequest] = []
+        while self._pending and self._pending[0].arrival_ns <= now_ns:
+            ready.append(self._pending.popleft())
+        return ready
+
+    def on_complete(self, request: LlcRequest, now_ns: float) -> None:
+        self.completed.append(request)
+
+    def exhausted(self) -> bool:
+        return not self._pending
+
+    def remaining(self) -> int:
+        return len(self._pending)

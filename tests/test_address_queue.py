@@ -1,0 +1,181 @@
+"""Address-queue hazards: the four rules of Section 4 plus the
+one-in-flight-access-per-address invariant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.core.address_queue import AddressQueue
+from repro.core.requests import LlcRequest
+
+
+def make_queue(size: int = 16) -> AddressQueue:
+    return AddressQueue(SchedulerConfig(address_queue_size=size))
+
+
+def read(addr: int, **kw) -> LlcRequest:
+    return LlcRequest(addr=addr, is_write=False, **kw)
+
+
+def write(addr: int, payload="w", **kw) -> LlcRequest:
+    return LlcRequest(addr=addr, is_write=True, payload=payload, **kw)
+
+
+class TestReadBeforeRead:
+    def test_second_read_coalesces(self):
+        queue = make_queue()
+        first = read(5)
+        second = read(5)
+        assert queue.push(first, 0.0) == (True, [])
+        queued, completed = queue.push(second, 1.0)
+        assert not queued
+        assert completed == []
+        assert second.served_by == "coalesced"
+        assert len(queue) == 1
+
+    def test_coalesced_read_completes_with_primary(self):
+        queue = make_queue()
+        first, second = read(5), read(5)
+        queue.push(first, 0.0)
+        queue.push(second, 1.0)
+        primary = queue.pop_issuable()
+        assert primary is first
+        first.value = "data"
+        waiters = queue.on_complete(first)
+        assert waiters == [second]
+
+    def test_reads_to_different_addresses_are_independent(self):
+        queue = make_queue()
+        queue.push(read(1), 0.0)
+        queue.push(read(2), 0.0)
+        assert len(queue) == 2
+
+
+class TestWriteBeforeRead:
+    def test_read_forwards_from_queued_write(self):
+        queue = make_queue()
+        pending = write(5, payload="fresh")
+        queue.push(pending, 0.0)
+        reader = read(5)
+        queued, completed = queue.push(reader, 1.0)
+        assert not queued
+        assert completed == [reader]
+        assert reader.value == "fresh"
+        assert reader.served_by == "forward"
+        assert reader.complete_ns == 1.0
+
+    def test_read_forwards_from_inflight_write(self):
+        queue = make_queue()
+        pending = write(5, payload="fresh")
+        queue.push(pending, 0.0)
+        assert queue.pop_issuable() is pending
+        reader = read(5)
+        _, completed = queue.push(reader, 2.0)
+        assert completed == [reader]
+        assert reader.value == "fresh"
+
+
+class TestReadBeforeWrite:
+    def test_write_blocked_by_inflight_read(self):
+        queue = make_queue()
+        reader = read(5)
+        queue.push(reader, 0.0)
+        assert queue.pop_issuable() is reader
+        writer = write(5)
+        queue.push(writer, 1.0)
+        assert queue.pop_issuable() is None
+        queue.on_complete(reader)
+        assert queue.pop_issuable() is writer
+
+    def test_blocked_write_does_not_block_other_addresses(self):
+        queue = make_queue()
+        reader = read(5)
+        queue.push(reader, 0.0)
+        queue.pop_issuable()
+        queue.push(write(5), 1.0)
+        other = write(6)
+        queue.push(other, 1.0)
+        assert queue.pop_issuable() is other
+
+
+class TestWriteBeforeWrite:
+    def test_queued_write_is_cancelled(self):
+        queue = make_queue()
+        stale = write(5, payload="stale")
+        fresh = write(5, payload="fresh")
+        queue.push(stale, 0.0)
+        queued, completed = queue.push(fresh, 1.0)
+        assert queued
+        assert completed == [stale]
+        assert stale.served_by == "cancelled"
+        assert queue.cancelled_writes == 1
+        assert len(queue) == 1
+
+    def test_read_after_waw_forwards_newest_value(self):
+        queue = make_queue()
+        queue.push(write(5, payload="stale"), 0.0)
+        queue.push(write(5, payload="fresh"), 1.0)
+        reader = read(5)
+        queue.push(reader, 2.0)
+        assert reader.value == "fresh"
+
+    def test_inflight_write_blocks_instead_of_cancelling(self):
+        queue = make_queue()
+        first = write(5, payload="a")
+        queue.push(first, 0.0)
+        assert queue.pop_issuable() is first
+        second = write(5, payload="b")
+        queued, completed = queue.push(second, 1.0)
+        assert queued and completed == []
+        assert queue.pop_issuable() is None  # waits for the in-flight
+        queue.on_complete(first)
+        assert queue.pop_issuable() is second
+
+
+class TestOrderingAndState:
+    def test_fifo_pop_across_addresses(self):
+        queue = make_queue()
+        requests = [read(1), write(2), read(3)]
+        for index, request in enumerate(requests):
+            queue.push(request, float(index))
+        assert queue.pop_issuable() is requests[0]
+        assert queue.pop_issuable() is requests[1]
+        assert queue.pop_issuable() is requests[2]
+
+    def test_not_ready_requests_are_skipped(self):
+        queue = make_queue()
+        waiting = read(1)
+        waiting.ready = False
+        ready = read(2)
+        queue.push(waiting, 0.0)
+        queue.push(ready, 1.0)
+        assert queue.pop_issuable() is ready
+        waiting.ready = True
+        assert queue.pop_issuable() is waiting
+
+    def test_occupancy_tracking(self):
+        queue = make_queue(size=2)
+        queue.push(read(1), 0.0)
+        assert not queue.is_full()
+        queue.push(read(2), 0.0)
+        assert queue.is_full()
+        assert queue.max_occupancy == 2
+        queue.pop_issuable()
+        assert not queue.is_full()
+        assert queue.has_inflight()
+
+    def test_single_inflight_per_address(self):
+        """The invariant that makes scheduling reorder-safe."""
+        queue = make_queue()
+        queue.push(read(7), 0.0)
+        queue.push(read(7), 0.1)  # coalesced
+        first = queue.pop_issuable()
+        queue.push(write(7), 0.2)  # blocked behind the read
+        assert queue.pop_issuable() is None
+        waiters = queue.on_complete(first)
+        assert len(waiters) == 1
+        writer = queue.pop_issuable()
+        assert writer.is_write
+        queue.push(write(7), 0.3)  # blocked behind in-flight write
+        assert queue.pop_issuable() is None

@@ -1,0 +1,72 @@
+"""Statistics helpers and plain-text reporting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import Table, format_series, format_table
+from repro.analysis.stats import geomean, mean, normalize, summarize_latencies
+from repro.errors import ConfigError
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ConfigError):
+            mean([])
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([10.0]) == pytest.approx(10.0)
+        with pytest.raises(ConfigError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ConfigError):
+            geomean([])
+
+    def test_geomean_is_scale_invariant(self):
+        values = [1.5, 2.5, 9.0]
+        scaled = [value * 3 for value in values]
+        assert geomean(scaled) == pytest.approx(3 * geomean(values))
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ConfigError):
+            normalize([1.0], 0.0)
+
+    def test_summarize_latencies(self):
+        summary = summarize_latencies(list(map(float, range(1, 101))))
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["max"] == 100.0
+
+    def test_summarize_empty(self):
+        assert summarize_latencies([])["mean"] == 0.0
+
+
+class TestReport:
+    def test_table_alignment_and_content(self):
+        table = Table("Title", ["a", "bbb"])
+        table.add_row(1, 2.5)
+        table.add_row("xx", 0.000001)
+        text = table.render()
+        assert "Title" in text
+        assert "2.500" in text
+        assert "1.000e-06" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned
+
+    def test_row_width_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ConfigError):
+            table.add_row(1)
+
+    def test_format_table_and_series(self):
+        text = format_table("T", ["x", "y"], [[1, 2.0]])
+        assert "T" in text
+        series = format_series("S", [1, 2], [0.5, 0.25])
+        assert "0.500" in series
+        with pytest.raises(ConfigError):
+            format_series("S", [1], [0.5, 0.25])

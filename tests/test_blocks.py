@@ -1,0 +1,76 @@
+"""Blocks and buckets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, InvariantViolationError
+from repro.oram.blocks import Block, Bucket, DUMMY_ADDR
+
+
+class TestBlock:
+    def test_dummy_detection(self):
+        assert Block.dummy().is_dummy()
+        assert not Block(3, 1, None).is_dummy()
+
+    def test_copy_is_independent(self):
+        block = Block(1, 2, [1, 2])
+        clone = block.copy()
+        clone.leaf = 7
+        assert block.leaf == 2
+        # Payload is shared by reference (copy is shallow by design).
+        assert clone.payload is block.payload
+
+    def test_dummy_addr_constant(self):
+        assert Block.dummy().addr == DUMMY_ADDR
+
+
+class TestBucket:
+    def test_capacity_enforced_on_add(self):
+        bucket = Bucket(2)
+        bucket.add(Block(1, 0))
+        bucket.add(Block(2, 0))
+        with pytest.raises(InvariantViolationError):
+            bucket.add(Block(3, 0))
+
+    def test_capacity_enforced_at_construction(self):
+        with pytest.raises(InvariantViolationError):
+            Bucket(1, [Block(1, 0), Block(2, 0)])
+        with pytest.raises(ConfigError):
+            Bucket(0)
+
+    def test_dummies_are_implicit(self):
+        bucket = Bucket(4)
+        with pytest.raises(InvariantViolationError):
+            bucket.add(Block.dummy())
+
+    def test_find(self):
+        bucket = Bucket(4)
+        bucket.add(Block(5, 1, "x"))
+        assert bucket.find(5).payload == "x"
+        assert bucket.find(6) is None
+
+    def test_take_all_empties(self):
+        bucket = Bucket(4)
+        bucket.add(Block(1, 0))
+        bucket.add(Block(2, 0))
+        taken = bucket.take_all()
+        assert {block.addr for block in taken} == {1, 2}
+        assert len(bucket) == 0
+        assert bucket.free_slots == 4
+
+    def test_iteration_and_len(self):
+        bucket = Bucket(3)
+        bucket.add(Block(1, 0))
+        assert [block.addr for block in bucket] == [1]
+        assert len(bucket) == 1
+        assert not bucket.is_full()
+
+    def test_copy_deep_copies_blocks(self):
+        bucket = Bucket(2, [Block(1, 5)])
+        clone = bucket.copy()
+        clone.blocks[0].leaf = 9
+        assert bucket.blocks[0].leaf == 5
+
+    def test_empty_factory(self):
+        assert len(Bucket.empty(4)) == 0

@@ -1,0 +1,94 @@
+"""MPKI calibration of raw access streams through the cache hierarchy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationResult,
+    calibrate_stream,
+    classify_group,
+    raw_hotspot_stream,
+)
+from repro.errors import ConfigError
+
+
+class TestCalibrateStream:
+    def test_hot_stream_is_mostly_filtered(self):
+        """Strong locality -> the caches absorb it -> low MPKI."""
+        rng = random.Random(1)
+        stream = raw_hotspot_stream(
+            30_000, 200_000, rng, hot_fraction=0.001, hot_weight=0.95
+        )
+        result = calibrate_stream(stream)
+        assert result.l1_miss_rate < 0.3
+        assert result.mpki < 20
+
+    def test_streaming_access_is_all_misses(self):
+        """No reuse -> every access misses the LLC."""
+        stream = ((addr, False) for addr in range(30_000))
+        result = calibrate_stream(stream)
+        # 1 miss per access, ~3 instructions per access -> MPKI ~333.
+        assert result.mpki > 250
+        assert result.llc_misses == pytest.approx(30_000, rel=0.05)
+
+    def test_locality_orders_mpki(self):
+        """More locality must calibrate to lower MPKI — the property
+        the benchmark stand-ins encode."""
+        results = []
+        for hot_weight in (0.5, 0.95):
+            rng = random.Random(2)
+            stream = raw_hotspot_stream(
+                20_000, 100_000, rng, hot_fraction=0.002, hot_weight=hot_weight
+            )
+            results.append(calibrate_stream(stream).mpki)
+        assert results[1] < results[0]
+
+    def test_miss_addresses_collected(self):
+        stream = ((addr, False) for addr in range(1000))
+        result = calibrate_stream(stream)
+        assert result.miss_footprint > 900
+        assert len(result.miss_addresses) == result.llc_misses
+
+    def test_keep_misses_off(self):
+        stream = ((addr, False) for addr in range(1000))
+        result = calibrate_stream(stream, keep_misses=False)
+        assert result.miss_addresses == []
+        assert result.llc_misses > 0
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigError):
+            calibrate_stream(iter([]))
+
+    def test_bad_instruction_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            calibrate_stream([(1, False)], instructions_per_access=0)
+
+
+class TestClassification:
+    def test_boundary(self):
+        assert classify_group(32.0) == "HG"
+        assert classify_group(0.5) == "LG"
+        assert classify_group(4.0) == "HG"
+
+    def test_stand_in_groups_match_calibrated_intent(self):
+        """The HG/LG split of the SPEC stand-ins sits on the same
+        boundary the calibrator uses."""
+        from repro.workloads.spec import SPEC_BENCHMARKS
+
+        for spec in SPEC_BENCHMARKS.values():
+            assert classify_group(spec.mpki) == spec.group
+
+
+class TestRawStream:
+    def test_stream_shape(self):
+        rng = random.Random(3)
+        pairs = list(raw_hotspot_stream(500, 1000, rng))
+        assert len(pairs) == 500
+        assert all(0 <= addr < 1000 for addr, _ in pairs)
+
+    def test_invalid_hot_fraction(self):
+        with pytest.raises(ConfigError):
+            list(raw_hotspot_stream(10, 100, random.Random(1), hot_fraction=0))

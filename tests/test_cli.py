@@ -1,0 +1,47 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_version_and_defaults(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Fork Path" in out
+        assert "L=24" in out
+
+
+class TestFigure:
+    def test_unknown_figure_fails_cleanly(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_accepts_bare_number(self, capsys, monkeypatch):
+        # Patch the figure module's run to keep the test fast.
+        import repro.experiments.fig10 as fig10
+        from repro.experiments.common import FigureResult
+
+        def fake_run(scale):
+            result = FigureResult("Figure 10", "stub", ["x"])
+            result.add(1)
+            return result
+
+        monkeypatch.setattr(fig10, "run", fake_run)
+        assert main(["figure", "10"]) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+
+class TestMix:
+    def test_unknown_mix_fails_cleanly(self, capsys):
+        assert main(["mix", "Mix99"]) == 2
+        assert "unknown mix" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

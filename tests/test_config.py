@@ -1,0 +1,192 @@
+"""Configuration validation and the derived Table 1 quantities."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    DramConfig,
+    DramTimingConfig,
+    OramConfig,
+    ProcessorConfig,
+    RecursionConfig,
+    SchedulerConfig,
+    SystemConfig,
+    levels_for_capacity,
+    table1_oram_config,
+    table1_processor_config,
+)
+from repro.errors import ConfigError
+
+
+class TestLevelsForCapacity:
+    def test_paper_configuration_is_l24(self):
+        # Table 1: 4 GB data ORAM, 64 B blocks, Z = 4, 50% utilisation.
+        assert levels_for_capacity(4 << 30) == 24
+
+    def test_paper_size_sweep(self):
+        # Figure 17(b): 1/4/16/32 GB -> L = 22/24/26/27.
+        assert levels_for_capacity(1 << 30) == 22
+        assert levels_for_capacity(16 << 30) == 26
+        assert levels_for_capacity(32 << 30) == 27
+
+    def test_tiny_capacity(self):
+        assert levels_for_capacity(64) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            levels_for_capacity(0)
+        with pytest.raises(ConfigError):
+            levels_for_capacity(1 << 20, utilization=0.0)
+
+
+class TestOramConfig:
+    def test_derived_quantities(self):
+        config = OramConfig(levels=3, bucket_slots=4, block_bytes=64)
+        assert config.num_leaves == 8
+        assert config.num_buckets == 15
+        assert config.path_length == 4
+        assert config.bucket_bytes == 256
+
+    def test_num_blocks_defaults_to_utilisation_bound(self):
+        config = OramConfig(levels=3, bucket_slots=4, utilization=0.5)
+        assert config.num_blocks == 30
+
+    def test_explicit_num_blocks_checked(self):
+        with pytest.raises(ConfigError):
+            OramConfig(levels=3, bucket_slots=4, utilization=0.5, num_blocks=31)
+
+    def test_for_capacity_builder(self):
+        config = OramConfig.for_capacity(1 << 20)
+        assert config.levels == levels_for_capacity(1 << 20)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"levels": -1},
+            {"levels": 41},
+            {"bucket_slots": 0},
+            {"block_bytes": 0},
+            {"stash_capacity": 0},
+            {"utilization": 1.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            OramConfig(**kwargs)
+
+    def test_table1_defaults(self):
+        config = table1_oram_config()
+        assert config.levels == 24
+        assert config.bucket_slots == 4
+        assert config.block_bytes == 64
+
+
+class TestSchedulerConfig:
+    def test_auto_aging_threshold_scales_with_queue(self):
+        config = SchedulerConfig(label_queue_size=32)
+        assert config.effective_aging_threshold == 16 * 32
+
+    def test_explicit_aging_threshold_respected(self):
+        config = SchedulerConfig(aging_threshold=7)
+        assert config.effective_aging_threshold == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"label_queue_size": 0},
+            {"address_queue_size": 0},
+            {"aging_threshold": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(**kwargs)
+
+
+class TestCacheConfig:
+    def test_policies(self):
+        for policy in ("none", "treetop", "mac"):
+            CacheConfig(policy=policy)
+        with pytest.raises(ConfigError):
+            CacheConfig(policy="plru")
+
+    def test_mac_allocation_values(self):
+        CacheConfig(mac_allocation="full")
+        CacheConfig(mac_allocation="geometric")
+        with pytest.raises(ConfigError):
+            CacheConfig(mac_allocation="harmonic")
+
+    def test_capacity_checked_unless_none(self):
+        CacheConfig(policy="none", capacity_bytes=0)
+        with pytest.raises(ConfigError):
+            CacheConfig(policy="mac", capacity_bytes=0)
+
+
+class TestDramConfig:
+    def test_timing_derivations(self):
+        timing = DramTimingConfig()
+        assert timing.burst_bytes == 64
+        assert timing.burst_time_ns == pytest.approx(5.0)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            DramTimingConfig(t_ck_ns=0)
+        with pytest.raises(ConfigError):
+            DramConfig(channels=0)
+        with pytest.raises(ConfigError):
+            DramConfig(layout="zigzag")
+
+
+class TestProcessorConfig:
+    def test_table1(self):
+        config = table1_processor_config()
+        assert config.num_cores == 4
+        assert config.core_type == "ooo"
+        assert config.l2_bytes == 1 << 20
+
+    def test_inorder_effective_mlp_is_one(self):
+        config = ProcessorConfig(core_type="inorder", mlp=16)
+        assert config.effective_mlp == 1
+
+    def test_ooo_effective_mlp(self):
+        config = ProcessorConfig(core_type="ooo", mlp=16)
+        assert config.effective_mlp == 16
+
+    def test_cycle_ns(self):
+        assert ProcessorConfig(frequency_ghz=2.0).cycle_ns == pytest.approx(0.5)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            ProcessorConfig(num_cores=0)
+        with pytest.raises(ConfigError):
+            ProcessorConfig(core_type="vliw")
+
+
+class TestRecursionConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            RecursionConfig(labels_per_block=1)
+        with pytest.raises(ConfigError):
+            RecursionConfig(onchip_posmap_bytes=0)
+
+
+class TestSystemConfig:
+    def test_replace_is_shallow_variant(self):
+        config = SystemConfig()
+        variant = config.replace(idle_gap_ns=10.0)
+        assert variant.idle_gap_ns == 10.0
+        assert config.idle_gap_ns == 0.0
+        assert variant.oram is config.oram
+
+    def test_defaults_compose(self):
+        config = SystemConfig()
+        assert config.oram.levels == 24
+        assert config.scheduler.label_queue_size == 64
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SystemConfig().seed = 5  # type: ignore[misc]

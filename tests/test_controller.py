@@ -1,0 +1,334 @@
+"""End-to-end controller behaviour: functional correctness under
+reordering, fork-shape invariants, dummy replacement, recursion chains
+and the traditional/fork configuration split."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CacheConfig,
+    RecursionConfig,
+    SchedulerConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.core.controller import ForkPathController
+from repro.errors import ProtocolError
+from repro.workloads.synthetic import hotspot_trace, uniform_trace
+from repro.workloads.trace import TraceSource, make_trace
+
+
+def build(
+    levels: int = 8,
+    queue: int = 8,
+    cache: str = "none",
+    merging: bool = True,
+    scheduling: bool = True,
+    recursion: bool = False,
+    seed: int = 0,
+    **system_kwargs,
+) -> SystemConfig:
+    return SystemConfig(
+        oram=small_test_config(levels),
+        scheduler=SchedulerConfig(
+            label_queue_size=queue,
+            enable_merging=merging,
+            enable_scheduling=scheduling,
+            enable_dummy_replacing=merging,
+        ),
+        cache=CacheConfig(policy=cache, capacity_bytes=8 * 1024, ways=8),
+        recursion=RecursionConfig(
+            enabled=recursion, labels_per_block=8, onchip_posmap_bytes=256
+        ),
+        seed=seed,
+        **system_kwargs,
+    )
+
+
+def run_trace(config: SystemConfig, trace) -> tuple:
+    source = TraceSource(trace)
+    controller = ForkPathController(config, source, rng=random.Random(11))
+    metrics = controller.run()
+    return controller, source, metrics
+
+
+def assert_sequentially_consistent(completed) -> None:
+    """Reads observe the newest prior write in arrival order — what the
+    hazard rules must guarantee despite ORAM-side reordering."""
+    latest: dict[int, object] = {}
+    for request in sorted(completed, key=lambda r: r.arrival_ns):
+        if request.is_write:
+            latest[request.addr] = request.payload
+        else:
+            assert request.value == latest.get(request.addr), (
+                request.addr,
+                request.served_by,
+            )
+
+
+class TestFunctionalCorrectness:
+    def test_every_request_completes_exactly_once(self):
+        trace = uniform_trace(300, 150, 120.0, random.Random(3))
+        _, source, metrics = run_trace(build(), trace)
+        assert len(source.completed) == 300
+        assert metrics.real_completed == 300
+        ids = [request.request_id for request in source.completed]
+        assert len(set(ids)) == 300
+
+    @pytest.mark.parametrize("cache", ["none", "mac", "treetop"])
+    @pytest.mark.parametrize("queue", [1, 8])
+    def test_replay_semantics(self, cache, queue):
+        trace = hotspot_trace(400, 100, 150.0, random.Random(5))
+        _, source, _ = run_trace(build(queue=queue, cache=cache), trace)
+        assert_sequentially_consistent(source.completed)
+
+    def test_replay_semantics_traditional(self):
+        trace = hotspot_trace(300, 100, 150.0, random.Random(6))
+        config = build(queue=1, merging=False, scheduling=False)
+        _, source, _ = run_trace(config, trace)
+        assert_sequentially_consistent(source.completed)
+
+    def test_replay_semantics_with_recursion(self):
+        trace = hotspot_trace(250, 100, 200.0, random.Random(7))
+        _, source, _ = run_trace(build(levels=10, recursion=True), trace)
+        assert_sequentially_consistent(source.completed)
+
+    def test_matches_functional_path_oram_values(self):
+        """Differential test: the timed controller returns exactly the
+        values the functional reference returns for the same sequence."""
+        from repro.oram.path_oram import PathOram
+
+        rng = random.Random(9)
+        events = []
+        t = 0.0
+        for step in range(300):
+            t += 130.0
+            events.append((t, rng.randrange(80), rng.random() < 0.5))
+        trace = make_trace(events)
+        expected: dict[int, object] = {}
+        oracle = PathOram(small_test_config(8), rng=random.Random(1))
+        answers = []
+        for request in trace:
+            if request.is_write:
+                oracle.write(request.addr, request.payload)
+            else:
+                answers.append((request.request_id, oracle.read(request.addr)))
+        _, source, _ = run_trace(build(), trace)
+        got = {r.request_id: r.value for r in source.completed if not r.is_write}
+        for request_id, value in answers:
+            assert got[request_id] == value
+
+
+class TestTimingAndMetrics:
+    def test_clock_advances_monotonically(self):
+        trace = uniform_trace(100, 100, 100.0, random.Random(1))
+        controller, _, metrics = run_trace(build(), trace)
+        last = 0.0
+        for record in metrics.records:
+            assert record.read_start_ns >= last - 1e-9
+            assert record.read_end_ns >= record.read_start_ns
+            assert record.write_end_ns >= record.write_start_ns
+            last = record.write_end_ns
+        assert metrics.end_time_ns >= last
+
+    def test_latency_positive_and_bounded_by_makespan(self):
+        trace = uniform_trace(100, 100, 100.0, random.Random(1))
+        _, source, metrics = run_trace(build(), trace)
+        for request in source.completed:
+            assert request.latency_ns >= 0.0
+            assert request.complete_ns <= metrics.end_time_ns
+
+    def test_traditional_path_length_is_full_path(self):
+        trace = uniform_trace(120, 100, 100.0, random.Random(2))
+        config = build(levels=8, queue=1, merging=False, scheduling=False)
+        _, _, metrics = run_trace(config, trace)
+        assert metrics.avg_path_buckets == pytest.approx(9.0)
+
+    def test_merging_reduces_path_length(self):
+        trace = uniform_trace(300, 500, 80.0, random.Random(2))
+        _, _, fork_metrics = run_trace(build(levels=8, queue=16), trace)
+        assert fork_metrics.avg_path_buckets < 8.0
+
+    def test_dram_accesses_match_metrics(self):
+        trace = uniform_trace(150, 100, 100.0, random.Random(4))
+        controller, _, metrics = run_trace(build(), trace)
+        assert controller.dram.stats.reads == metrics.dram_read_nodes
+        assert controller.dram.stats.writes == metrics.dram_written_nodes
+
+    def test_max_requests_cap(self):
+        trace = uniform_trace(500, 100, 50.0, random.Random(4))
+        source = TraceSource(trace)
+        controller = ForkPathController(build(), source)
+        metrics = controller.run(max_requests=50)
+        assert metrics.real_completed >= 50
+        assert metrics.real_completed < 500
+
+    def test_max_time_cap(self):
+        trace = uniform_trace(500, 100, 50.0, random.Random(4))
+        source = TraceSource(trace)
+        controller = ForkPathController(build(), source)
+        controller.run(max_time_ns=50_000.0)
+        assert controller.clock_ns <= 60_000.0
+
+    def test_idle_gap_inflates_makespan(self):
+        trace = uniform_trace(100, 100, 100.0, random.Random(4))
+        _, _, fast = run_trace(build(), trace)
+        _, _, slow = run_trace(build(idle_gap_ns=200.0), trace)
+        assert slow.end_time_ns > fast.end_time_ns
+
+    def test_nonstop_emits_dummies_when_idle(self):
+        # Sparse arrivals with nonstop protection: dummy accesses fill.
+        trace = uniform_trace(30, 100, 20_000.0, random.Random(4), poisson=False)
+        _, _, metrics = run_trace(build(queue=4), trace)
+        assert metrics.dummy_accesses > 30
+
+    def test_fast_forward_skips_idle_when_nonstop_off(self):
+        trace = uniform_trace(30, 100, 20_000.0, random.Random(4), poisson=False)
+        _, _, metrics = run_trace(build(queue=4, nonstop=False), trace)
+        assert metrics.dummy_accesses < 60
+
+
+class TestForkInvariants:
+    def test_resident_set_is_prefix_of_every_access(self):
+        """The fork handle must always be a prefix of the next path —
+        checked implicitly by ForkState raising on desync; this test
+        just drives enough variety through it."""
+        trace = hotspot_trace(400, 300, 60.0, random.Random(8))
+        controller, source, metrics = run_trace(build(levels=10, queue=32), trace)
+        assert len(source.completed) == 400
+
+    def test_dummy_replacement_happens_under_load(self):
+        rng = random.Random(10)
+        # Bursty arrivals: quiet gaps force dummy scheduling, bursts
+        # arrive mid-refill and take the dummies over.
+        events = []
+        t = 0.0
+        for burst in range(80):
+            t += 5_000.0
+            for i in range(4):
+                events.append((t + i * 100.0, rng.randrange(200), False))
+        _, _, metrics = run_trace(build(levels=10, queue=8), make_trace(events))
+        assert metrics.dummies_replaced > 0
+
+    def test_no_replacement_when_disabled(self):
+        rng = random.Random(10)
+        events = []
+        t = 0.0
+        for burst in range(60):
+            t += 5_000.0
+            for i in range(4):
+                events.append((t + i * 100.0, rng.randrange(200), False))
+        config = build(levels=10, queue=8)
+        config = config.replace(
+            scheduler=SchedulerConfig(
+                label_queue_size=8, enable_dummy_replacing=False
+            )
+        )
+        _, _, metrics = run_trace(config, make_trace(events))
+        assert metrics.dummies_replaced == 0
+
+    def test_stash_never_overflows_across_modes(self):
+        for queue in (1, 8, 32):
+            trace = uniform_trace(400, 400, 60.0, random.Random(12))
+            controller, _, _ = run_trace(build(levels=10, queue=queue), trace)
+            # check_persistent_occupancy raised inside run() if violated.
+            assert controller.stash.max_occupancy <= (
+                controller.config.oram.stash_capacity
+                + controller.config.oram.bucket_slots
+                * (controller.geometry.levels + 1)
+            )
+
+
+class TestRecursionChains:
+    def test_posmap_traffic_multiplies_accesses(self):
+        trace = uniform_trace(150, 100, 150.0, random.Random(3))
+        _, _, flat = run_trace(build(levels=10), trace)
+        trace2 = uniform_trace(150, 100, 150.0, random.Random(3))
+        controller, _, recursive = run_trace(
+            build(levels=10, recursion=True), trace2
+        )
+        assert controller.space is not None
+        assert controller.space.depth >= 1
+        assert recursive.real_accesses > flat.real_accesses
+
+    def test_chain_elements_complete_before_parent(self):
+        trace = uniform_trace(100, 100, 200.0, random.Random(3))
+        _, source, _ = run_trace(build(levels=10, recursion=True), trace)
+        assert len(source.completed) == 100
+
+    def test_shared_posmap_blocks_coalesce(self):
+        """Two simultaneous requests to neighbouring addresses share a
+        PosMap block; the address queue must coalesce, not race."""
+        events = [(10.0 + i, i % 16, False) for i in range(32)]
+        config = build(levels=10, recursion=True)
+        controller, source, _ = run_trace(config, make_trace(events))
+        assert len(source.completed) == 32
+        assert controller.address_queue.coalesced_reads > 0
+
+
+class TestStrictMode:
+    def test_strict_read_of_unwritten_raises(self):
+        trace = make_trace([(10.0, 5, False)])
+        config = build(strict=True)
+        source = TraceSource(trace)
+        controller = ForkPathController(config, source)
+        with pytest.raises(ProtocolError):
+            controller.run()
+
+    def test_strict_allows_written_addresses(self):
+        trace = make_trace([(10.0, 5, True), (20.0, 5, False)])
+        _, source, _ = run_trace(build(strict=True), trace)
+        reads = [r for r in source.completed if not r.is_write]
+        assert reads[0].value is not None
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    queue=st.sampled_from([1, 4, 16]),
+    cache=st.sampled_from(["none", "mac", "treetop"]),
+)
+def test_controller_property_sequential_consistency(seed, queue, cache):
+    """Any trace, any config: per-address sequential consistency."""
+    rng = random.Random(seed)
+    trace = hotspot_trace(120, 60, 150.0, rng)
+    _, source, _ = run_trace(build(levels=8, queue=queue, cache=cache, seed=seed), trace)
+    assert len(source.completed) == 120
+    assert_sequentially_consistent(source.completed)
+
+
+class TestPeriodicIssue:
+    """Static timing protection: accesses start on a fixed grid."""
+
+    def test_access_starts_align_to_period(self):
+        trace = uniform_trace(80, 100, 300.0, random.Random(3))
+        config = build(queue=4, issue_period_ns=2_000.0)
+        _, _, metrics = run_trace(config, trace)
+        for record in metrics.records:
+            assert record.read_start_ns % 2_000.0 == pytest.approx(0.0)
+
+    def test_period_grid_is_workload_independent(self):
+        """Two very different traces produce the same start-time grid
+        prefix — the timing channel carries no data."""
+        dense = uniform_trace(60, 100, 50.0, random.Random(3))
+        sparse = uniform_trace(20, 100, 4_000.0, random.Random(4))
+        starts = []
+        for trace in (dense, sparse):
+            config = build(queue=4, issue_period_ns=2_500.0)
+            _, _, metrics = run_trace(config, trace)
+            starts.append([record.read_start_ns for record in metrics.records])
+        shared = min(len(starts[0]), len(starts[1]))
+        assert starts[0][:shared] == starts[1][:shared]
+
+    def test_period_slows_but_does_not_break(self):
+        trace = uniform_trace(50, 100, 100.0, random.Random(5))
+        _, source, metrics = run_trace(
+            build(queue=4, issue_period_ns=3_000.0), trace
+        )
+        assert len(source.completed) == 50
+        assert metrics.end_time_ns >= 50 * 3_000.0 * 0.5

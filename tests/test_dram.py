@@ -1,0 +1,204 @@
+"""DRAM substrate: layouts, bank/row timing, channels, energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DramConfig, DramTimingConfig
+from repro.dram.energy import EnergyModel, EnergyParams
+from repro.dram.layout import FlatLayout, SubtreeLayout, make_layout
+from repro.dram.model import DramModel
+from repro.errors import ConfigError
+from repro.oram.tree import TreeGeometry
+
+
+BUCKET_BYTES = 256  # Z=4 x 64 B
+
+
+def make_model(levels: int = 10, **dram_kwargs) -> DramModel:
+    config = DramConfig(**dram_kwargs)
+    return DramModel(TreeGeometry(levels), config, BUCKET_BYTES)
+
+
+class TestSubtreeLayout:
+    def setup_method(self):
+        self.tree = TreeGeometry(12)
+        self.layout = SubtreeLayout(self.tree, DramConfig(), BUCKET_BYTES)
+
+    def test_subtree_levels_fit_one_row(self):
+        # 8 KB row / 256 B bucket = 32 buckets -> 5-level subtrees (31).
+        assert self.layout.subtree_levels == 5
+
+    def test_root_subtree_holds_top_levels(self):
+        for leaf_bits in range(4):
+            node = self.tree.path_node_at(0, leaf_bits)
+            subtree, _pos = self.layout.subtree_of(node)
+            assert subtree == 0
+
+    def test_path_touches_few_distinct_rows(self):
+        """The point of the layout: ceil((L+1)/s) rows per path."""
+        rows = {
+            (loc.channel, loc.bank, loc.row)
+            for loc in map(self.layout.locate, self.tree.path_nodes(1234))
+        }
+        assert len(rows) == -(-13 // 5)  # ceil(13 / 5) = 3
+
+    def test_positions_within_subtree_unique(self):
+        seen = {}
+        for node in range(self.tree.num_nodes // 4):
+            subtree, position = self.layout.subtree_of(node)
+            key = (subtree, position)
+            assert key not in seen, f"collision at node {node}"
+            seen[key] = node
+
+    def test_locations_unique(self):
+        seen = set()
+        for node in range(2000):
+            loc = self.layout.locate(node)
+            key = (loc.channel, loc.bank, loc.row, loc.col_byte)
+            assert key not in seen
+            seen.add(key)
+
+    def test_explicit_subtree_levels_validated(self):
+        with pytest.raises(ConfigError):
+            SubtreeLayout(
+                self.tree, DramConfig(subtree_levels=6), BUCKET_BYTES
+            )  # 63 buckets > 32 per row
+
+    def test_bucket_must_fit_row(self):
+        with pytest.raises(ConfigError):
+            SubtreeLayout(self.tree, DramConfig(), 16 * 1024)
+
+
+class TestFlatLayout:
+    def test_heap_order_rows(self):
+        tree = TreeGeometry(10)
+        layout = FlatLayout(tree, DramConfig(), BUCKET_BYTES)
+        assert layout.buckets_per_row == 32
+        first = layout.locate(0)
+        same_row = layout.locate(31)
+        next_row = layout.locate(32)
+        assert (first.channel, first.bank, first.row) == (
+            same_row.channel,
+            same_row.bank,
+            same_row.row,
+        )
+        assert (first.channel, first.row) != (next_row.channel, next_row.row)
+
+    def test_path_scatters_across_rows(self):
+        """The ablation point: heap order gives ~one row per level."""
+        tree = TreeGeometry(12)
+        layout = FlatLayout(tree, DramConfig(), BUCKET_BYTES)
+        rows = {
+            (loc.channel, loc.bank, loc.row)
+            for loc in map(layout.locate, tree.path_nodes(1234))
+        }
+        assert len(rows) >= 8
+
+    def test_factory(self):
+        tree = TreeGeometry(4)
+        assert isinstance(
+            make_layout(tree, DramConfig(layout="subtree"), 256), SubtreeLayout
+        )
+        assert isinstance(
+            make_layout(tree, DramConfig(layout="flat"), 256), FlatLayout
+        )
+
+
+class TestTimingModel:
+    def test_row_hit_faster_than_miss(self):
+        model = make_model()
+        timing = DramTimingConfig()
+        miss = model.idle_latency_ns(row_hit=False)
+        hit = model.idle_latency_ns(row_hit=True)
+        assert miss - hit == pytest.approx(timing.t_rcd_ns)
+
+    def test_first_access_is_row_miss_then_hits(self):
+        model = make_model()
+        # Two buckets in the same subtree row.
+        model.access(0, False, 0.0)
+        assert model.stats.row_misses == 1
+        model.access(1, False, 0.0)
+        assert model.stats.row_hits == 1
+
+    def test_channel_serialisation(self):
+        model = make_model(channels=1)
+        first = model.access(0, False, 0.0)
+        second = model.access(0, False, 0.0)
+        assert second > first
+
+    def test_channels_run_in_parallel(self):
+        tree = TreeGeometry(10)
+        one = DramModel(tree, DramConfig(channels=1), BUCKET_BYTES)
+        two = DramModel(tree, DramConfig(channels=2), BUCKET_BYTES)
+        nodes = tree.path_nodes(777)
+        assert two.access_many(nodes, False, 0.0) < one.access_many(
+            nodes, False, 0.0
+        )
+
+    def test_access_many_returns_last_finish(self):
+        model = make_model()
+        nodes = [0, 1, 2]
+        finish = model.access_many(nodes, False, 5.0)
+        singles = make_model()
+        expected = max(singles.access(node, False, 5.0) for node in nodes)
+        assert finish == pytest.approx(expected)
+
+    def test_stats_track_bytes(self):
+        model = make_model()
+        model.access(0, False, 0.0)
+        model.access(1, True, 0.0)
+        assert model.stats.bytes_read == BUCKET_BYTES
+        assert model.stats.bytes_written == BUCKET_BYTES
+        assert model.stats.reads == 1
+        assert model.stats.writes == 1
+
+    def test_subtree_layout_beats_flat_on_paths(self):
+        tree = TreeGeometry(12)
+        subtree = DramModel(tree, DramConfig(layout="subtree"), BUCKET_BYTES)
+        flat = DramModel(tree, DramConfig(layout="flat"), BUCKET_BYTES)
+        for leaf in (0, 100, 4095, 2048):
+            subtree.access_many(tree.path_nodes(leaf), False, 0.0)
+            flat.access_many(tree.path_nodes(leaf), False, 0.0)
+        assert subtree.stats.row_hit_rate > flat.stats.row_hit_rate
+
+
+class TestEnergy:
+    def test_event_accounting(self):
+        energy = EnergyModel(channels=2)
+        energy.on_activate()
+        energy.on_read(256)
+        energy.on_write(256)
+        energy.on_cache_access()
+        energy.on_controller_op()
+        breakdown = energy.breakdown
+        assert breakdown.dram_activate_nj == pytest.approx(17.5)
+        assert breakdown.dram_read_nj == pytest.approx(25.6)
+        assert breakdown.dram_write_nj == pytest.approx(28.16)
+        assert breakdown.onchip_nj > 0
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.dram_nj + breakdown.onchip_nj
+        )
+
+    def test_background_scales_with_time_and_channels(self):
+        one = EnergyModel(channels=1)
+        two = EnergyModel(channels=2)
+        one.account_background(1000.0)
+        two.account_background(1000.0)
+        assert two.breakdown.dram_background_nj == pytest.approx(
+            2 * one.breakdown.dram_background_nj
+        )
+
+    def test_model_charges_activates_on_row_misses(self):
+        model = make_model()
+        model.access(0, False, 0.0)  # miss
+        model.access(1, False, 0.0)  # hit
+        assert model.energy.breakdown.dram_activate_nj == pytest.approx(17.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            EnergyParams(activate_nj=-1)
+        with pytest.raises(ConfigError):
+            EnergyModel(channels=0)
+        with pytest.raises(ConfigError):
+            EnergyModel().account_background(-1.0)

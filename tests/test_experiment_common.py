@@ -1,0 +1,116 @@
+"""The experiment harness plumbing itself."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import CacheConfig, DramConfig, SchedulerConfig
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    MEDIUM,
+    PAPER,
+    SMALL,
+    FigureResult,
+    Scale,
+    base_config,
+    figure_variants,
+    run_saturating_trace,
+    traditional_config,
+)
+
+
+class TestScales:
+    def test_small_subset_of_mixes(self):
+        assert set(SMALL.mixes) < {f"Mix{i}" for i in range(1, 11)}
+
+    def test_medium_and_paper_cover_all_mixes(self):
+        assert len(MEDIUM.mixes) == 10
+        assert len(PAPER.mixes) == 10
+
+    def test_paper_scale_matches_table1(self):
+        assert PAPER.levels == 24
+        assert PAPER.recursion
+
+    def test_scales_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SMALL.levels = 3  # type: ignore[misc]
+
+
+class TestConfigBuilders:
+    def test_base_config_wires_scale(self):
+        config = base_config(SMALL)
+        assert config.oram.levels == SMALL.levels
+        assert config.oram.stash_capacity == SMALL.stash_capacity
+        assert not config.recursion.enabled
+
+    def test_paper_scale_enables_recursion(self):
+        config = base_config(PAPER)
+        assert config.recursion.enabled
+
+    def test_overrides_pass_through(self):
+        config = base_config(
+            SMALL,
+            scheduler=SchedulerConfig(label_queue_size=5),
+            cache=CacheConfig(policy="treetop", capacity_bytes=1 << 16),
+            dram=DramConfig(channels=4),
+        )
+        assert config.scheduler.label_queue_size == 5
+        assert config.cache.policy == "treetop"
+        assert config.dram.channels == 4
+
+    def test_traditional_config_disables_everything(self):
+        config = traditional_config(SMALL)
+        assert not config.scheduler.enable_merging
+        assert not config.scheduler.enable_scheduling
+        assert config.scheduler.label_queue_size == 1
+
+    def test_figure_variants_configs_are_distinct(self):
+        variants = dict(figure_variants(SMALL))
+        assert variants["Merge+128K MAC"].cache.capacity_bytes == 128 * 1024
+        assert variants["Merge+1M Treetop"].cache.policy == "treetop"
+        assert variants["Merge only"].cache.policy == "none"
+
+
+class TestFigureResult:
+    def test_csv_round_trip(self):
+        result = FigureResult("F", "title", ["name", "value"])
+        result.add("a", 1.5)
+        result.add("b", 2)
+        csv_text = result.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1.5"
+
+    def test_save_writes_txt_and_csv(self, tmp_path):
+        result = FigureResult("F", "title", ["x"])
+        result.add(1)
+        result.save(tmp_path / "out")
+        assert (tmp_path / "out.txt").exists()
+        assert (tmp_path / "out.csv").read_text().startswith("x")
+
+    def test_unknown_series(self):
+        result = FigureResult("F", "t", ["x"])
+        with pytest.raises(ValueError):
+            result.series("y")
+
+
+class TestRunners:
+    def test_saturating_trace_keeps_queue_busy(self):
+        scale = Scale(
+            name="unit",
+            levels=8,
+            instructions_per_core=0,
+            trace_requests=200,
+            mixes=(),
+            footprint_cap=None,
+        )
+        from repro import fork_path_scheduler
+
+        metrics = run_saturating_trace(
+            base_config(scale, scheduler=fork_path_scheduler(8)), scale
+        )
+        assert metrics.real_completed == 200
+        # Saturation: merging gets real overlap to work with.
+        assert metrics.avg_path_buckets < scale.levels + 1

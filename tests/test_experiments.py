@@ -1,0 +1,166 @@
+"""Smoke runs of every figure module at a tiny scale, plus shape
+assertions on the cheap ones.
+
+These tests verify the harness end to end (workload -> system ->
+normalisation -> table); the full-size reproductions live in
+``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import SMALL, Scale, scale_from_env
+from repro.experiments import common
+from repro.experiments import (  # noqa: F401  (imported for smoke)
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+)
+from repro.errors import ConfigError
+
+TINY = Scale(
+    name="tiny",
+    levels=12,
+    instructions_per_core=40_000,
+    trace_requests=400,
+    mixes=("Mix3",),
+    footprint_cap=1_500,
+    stash_capacity=300,
+)
+
+
+class TestScaffolding:
+    def test_scale_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env().name == "small"
+
+    def test_scale_from_env_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert scale_from_env().name == "paper"
+
+    def test_scale_from_env_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ConfigError):
+            scale_from_env()
+
+    def test_figure_result_rejects_bad_rows(self):
+        result = common.FigureResult("F", "t", ["a", "b"])
+        with pytest.raises(ConfigError):
+            result.add(1)
+
+    def test_figure_result_series(self):
+        result = common.FigureResult("F", "t", ["a", "b"])
+        result.add(1, 2)
+        result.add(3, 4)
+        assert result.series("b") == [2, 4]
+
+    def test_variants_cover_paper_legend(self):
+        names = [name for name, _ in common.figure_variants(TINY)]
+        assert names == [
+            "Traditional ORAM",
+            "Merge only",
+            "Merge+128K MAC",
+            "Merge+256K MAC",
+            "Merge+1M MAC",
+            "Merge+1M Treetop",
+        ]
+
+
+class TestFig10:
+    def test_shape(self):
+        result = fig10.run(TINY, queue_sizes=(1, 4, 16))
+        rendered = result.render()
+        assert "Figure 10" in rendered
+        paths = result.series("avg_path_buckets")
+        # Baseline pinned at L+1; merging strictly below; monotone in
+        # queue size.
+        assert paths[0] == pytest.approx(TINY.levels + 1)
+        assert paths[1] < paths[0]
+        assert paths[3] < paths[1]
+        norm_dram = result.series("norm_dram_latency")
+        assert all(ratio < 1.0 for ratio in norm_dram[1:])
+
+
+class TestFig11:
+    def test_ratios_at_least_one(self):
+        result = fig11.run(TINY, queue_sizes=(1, 8))
+        for row in result.rows[:-1]:
+            assert all(ratio >= 0.95 for ratio in row[1:])
+
+
+class TestFig12:
+    def test_fork_beats_traditional_on_hg_mix(self):
+        result = fig12.run(TINY, queue_sizes=(8, 16))
+        row = result.rows[0]
+        assert row[0] == "Mix3"
+        assert min(row[2:]) < 1.0
+
+
+class TestFig13And14And15:
+    def test_fig13_cache_helps(self):
+        result = fig13.run(TINY)
+        geo = result.rows[-1]
+        names = result.columns[1:]
+        values = dict(zip(names, geo[1:]))
+        assert values["Merge+1M MAC"] < values["Merge only"]
+        assert values["Merge only"] < 1.05
+
+    def test_fig14_slowdowns_positive(self):
+        result = fig14.run(TINY)
+        geo = dict(zip(result.columns[1:], result.rows[-1][1:]))
+        assert geo["Traditional ORAM"] > 1.5
+        assert geo["Merge+1M MAC"] < geo["Traditional ORAM"]
+
+    def test_fig15_energy_reduction(self):
+        result = fig15.run(TINY)
+        geo = dict(zip(result.columns[1:], result.rows[-1][1:]))
+        assert geo["Merge+1M MAC"] < 1.0
+
+
+class TestFig16:
+    def test_runs_and_reports_both_core_types(self):
+        result = fig16.run(TINY)
+        assert result.columns == ["config", "inorder", "ooo"]
+        assert len(result.rows) == 4
+
+
+class TestFig17:
+    def test_threads_panel(self):
+        result = fig17.run_threads(TINY, thread_counts=(1, 4))
+        assert [row[0] for row in result.rows] == [1, 4]
+
+    def test_sizes_panel(self):
+        result = fig17.run_sizes(TINY, level_offsets=(0, 2))
+        assert [row[0] for row in result.rows] == [12, 14]
+
+    def test_combined(self):
+        result = fig17.run(
+            dataclasses.replace(TINY, instructions_per_core=20_000)
+        )
+        panels = {row[0] for row in result.rows}
+        assert panels == {"a:threads", "b:levels"}
+
+
+class TestFig18:
+    def test_speedups_positive(self):
+        result = fig18.run(TINY, channels=(1, 2))
+        for row in result.rows:
+            assert row[1] > 0.8
+
+
+class TestFig19:
+    def test_parsec_benchmarks_run(self):
+        result = fig19.run(TINY, benchmarks=("canneal", "swaptions"))
+        assert [row[0] for row in result.rows[:-1]] == ["canneal", "swaptions"]
+        geo = result.rows[-1]
+        assert geo[0] == "geomean"

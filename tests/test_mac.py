@@ -1,0 +1,199 @@
+"""On-chip ORAM data caches: treetop and merging-aware (Section 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, OramConfig
+from repro.core.mac import (
+    MergingAwareCache,
+    NoCache,
+    TreetopCache,
+    expected_overlap_levels,
+    make_cache,
+)
+from repro.errors import ConfigError
+from repro.oram.blocks import Block, Bucket
+from repro.oram.tree import TreeGeometry
+
+
+def bucket_with(*addrs: int, leaf: int = 0, capacity: int = 4) -> Bucket:
+    bucket = Bucket(capacity)
+    for addr in addrs:
+        bucket.add(Block(addr, leaf))
+    return bucket
+
+
+class TestNoCache:
+    def test_covers_nothing(self):
+        cache = NoCache()
+        assert not cache.covers_level(0)
+        assert cache.lookup_bucket(0) is None
+        assert cache.take_block(1) is None
+        assert cache.capacity_buckets() == 0
+        with pytest.raises(ConfigError):
+            cache.insert_bucket(0, Bucket(4))
+
+
+class TestTreetop:
+    def test_cutoff_from_capacity(self):
+        tree = TreeGeometry(10)
+        # 15 buckets -> complete levels 0..3 fit (2^4 - 1 = 15).
+        assert TreetopCache(tree, 15).cutoff_level == 3
+        assert TreetopCache(tree, 14).cutoff_level == 2
+        assert TreetopCache(tree, 1).cutoff_level == 0
+
+    def test_cutoff_clamped_to_tree(self):
+        tree = TreeGeometry(2)
+        assert TreetopCache(tree, 10_000).cutoff_level == 2
+
+    def test_hit_removes_bucket(self):
+        cache = TreetopCache(TreeGeometry(4), 15)
+        cache.insert_bucket(3, bucket_with(9))
+        hit = cache.lookup_bucket(3)
+        assert hit.find(9) is not None
+        assert cache.lookup_bucket(3) is None
+        assert cache.stats.read_hits == 1
+        assert cache.stats.read_misses == 1
+
+    def test_never_evicts(self):
+        cache = TreetopCache(TreeGeometry(4), 15)
+        for node in range(15):
+            assert cache.insert_bucket(node, bucket_with(node + 100)) == []
+        assert cache.stats.evictions == 0
+
+    def test_take_block_by_program_address(self):
+        cache = TreetopCache(TreeGeometry(4), 15)
+        cache.insert_bucket(2, bucket_with(55))
+        block = cache.take_block(55)
+        assert block.addr == 55
+        assert cache.take_block(55) is None
+        # Bucket itself remains cached, minus the block.
+        assert cache.lookup_bucket(2).find(55) is None
+
+    def test_reinsert_replaces(self):
+        cache = TreetopCache(TreeGeometry(4), 15)
+        cache.insert_bucket(2, bucket_with(1))
+        cache.insert_bucket(2, bucket_with(2))
+        assert cache.take_block(1) is None
+        assert cache.take_block(2) is not None
+
+
+class TestMacAllocation:
+    def test_full_allocation_covers_whole_levels(self):
+        tree = TreeGeometry(10)
+        # m1=3; capacity 8+16+4: level 3 and 4 full, 4 frames of 5.
+        cache = MergingAwareCache(tree, 28, first_level=3)
+        assert cache._alloc[3] == 8
+        assert cache._alloc[4] == 16
+        assert cache._alloc[5] == 4
+        assert cache.m1 == 3 and cache.m2 == 5
+        assert cache.covers_level(3) and cache.covers_level(5)
+        assert not cache.covers_level(2) and not cache.covers_level(6)
+
+    def test_geometric_allocation_matches_equation_one(self):
+        tree = TreeGeometry(10)
+        cache = MergingAwareCache(
+            tree, 30, first_level=3, allocation="geometric"
+        )
+        # 2**(r - m1 + 1): 2, 4, 8, 16 for levels 3..6.
+        assert cache._alloc[3] == 2
+        assert cache._alloc[4] == 4
+        assert cache._alloc[5] == 8
+        assert cache._alloc[6] == 16
+
+    def test_fully_resident_level_never_evicts(self):
+        tree = TreeGeometry(6)
+        cache = MergingAwareCache(tree, 8, first_level=3, bucket_ways=2)
+        level3 = [tree.node(3, index) for index in range(8)]
+        for node in level3:
+            assert cache.insert_bucket(node, bucket_with(node + 500)) == []
+        for node in level3:
+            assert cache.lookup_bucket(node) is not None
+
+    def test_partial_level_evicts_lru(self):
+        tree = TreeGeometry(8)
+        cache = MergingAwareCache(
+            tree, 4, first_level=3, bucket_ways=2, allocation="geometric"
+        )
+        # Level 3 gets 2 frames (1 set of 2 ways); level 4 gets 2.
+        a, b, c = (tree.node(3, index) for index in (0, 2, 4))
+        assert cache.set_index(a) == cache.set_index(b) == cache.set_index(c)
+        cache.insert_bucket(a, bucket_with(1))
+        cache.insert_bucket(b, bucket_with(2))
+        evicted = cache.insert_bucket(c, bucket_with(3))
+        assert [node for node, _ in evicted] == [a]  # LRU victim
+        assert cache.stats.evictions == 1
+
+    def test_set_index_rejects_uncovered_level(self):
+        tree = TreeGeometry(8)
+        cache = MergingAwareCache(tree, 16, first_level=3)
+        with pytest.raises(ConfigError):
+            cache.set_index(0)  # root, below m1
+
+    def test_take_block_promotion(self):
+        tree = TreeGeometry(8)
+        cache = MergingAwareCache(tree, 16, first_level=3)
+        node = tree.node(3, 1)
+        cache.insert_bucket(node, bucket_with(77))
+        assert cache.take_block(77).addr == 77
+        assert cache.stats.block_promotions == 1
+
+    def test_m1_clamped_to_tree(self):
+        tree = TreeGeometry(3)
+        cache = MergingAwareCache(tree, 8, first_level=10)
+        assert cache.m1 <= tree.levels
+
+    def test_invalid_parameters(self):
+        tree = TreeGeometry(4)
+        with pytest.raises(ConfigError):
+            MergingAwareCache(tree, 0, first_level=1)
+        with pytest.raises(ConfigError):
+            MergingAwareCache(tree, 4, first_level=1, bucket_ways=0)
+        with pytest.raises(ConfigError):
+            MergingAwareCache(tree, 4, first_level=1, allocation="other")
+
+
+class TestExpectedOverlap:
+    def test_log_scaling(self):
+        assert expected_overlap_levels(1) == 1
+        assert expected_overlap_levels(64) == 7
+        assert expected_overlap_levels(128) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            expected_overlap_levels(0)
+
+
+class TestFactory:
+    def setup_method(self):
+        self.oram = OramConfig(levels=10, bucket_slots=4, block_bytes=64)
+        self.tree = TreeGeometry(10)
+
+    def test_none(self):
+        cache = make_cache(CacheConfig(policy="none"), self.oram, self.tree, 64)
+        assert isinstance(cache, NoCache)
+
+    def test_treetop_capacity_in_buckets(self):
+        config = CacheConfig(policy="treetop", capacity_bytes=15 * 256)
+        cache = make_cache(config, self.oram, self.tree, 64)
+        assert isinstance(cache, TreetopCache)
+        assert cache.capacity_buckets() == 15
+
+    def test_mac_first_level_from_queue_size(self):
+        config = CacheConfig(policy="mac", capacity_bytes=1 << 16)
+        cache = make_cache(config, self.oram, self.tree, 64)
+        assert isinstance(cache, MergingAwareCache)
+        assert cache.m1 == 7
+
+    def test_mac_geometric_mode(self):
+        config = CacheConfig(
+            policy="mac", capacity_bytes=1 << 16, mac_allocation="geometric"
+        )
+        cache = make_cache(config, self.oram, self.tree, 64)
+        assert cache.allocation == "geometric"
+
+    def test_too_small_capacity_rejected(self):
+        config = CacheConfig(policy="mac", capacity_bytes=10)
+        with pytest.raises(ConfigError):
+            make_cache(config, self.oram, self.tree, 64)

@@ -1,0 +1,112 @@
+"""Untrusted memory: lazy buckets and adversary trace recording."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.oram.blocks import Block, Bucket
+from repro.oram.encryption import CounterModeCipher
+from repro.oram.memory import MemoryOp, TraceRecorder, UntrustedMemory
+from repro.oram.tree import TreeGeometry
+
+
+def make_memory(levels: int = 4, z: int = 4, cipher=None) -> UntrustedMemory:
+    return UntrustedMemory(TreeGeometry(levels), z, cipher)
+
+
+class TestLazyStorage:
+    def test_untouched_bucket_reads_all_dummy(self):
+        memory = make_memory()
+        bucket = memory.read_bucket(7)
+        assert len(bucket) == 0
+        assert bucket.capacity == 4
+
+    def test_write_then_read_roundtrip(self):
+        memory = make_memory()
+        bucket = Bucket(4)
+        bucket.add(Block(9, 3, "v"))
+        memory.write_bucket(5, bucket)
+        assert memory.read_bucket(5).find(9).payload == "v"
+
+    def test_materialised_nodes_tracks_writes_only(self):
+        memory = make_memory()
+        memory.read_bucket(1)
+        assert memory.materialised_nodes() == []
+        memory.write_bucket(3, Bucket(4))
+        memory.write_bucket(1, Bucket(4))
+        assert memory.materialised_nodes() == [1, 3]
+        assert 3 in memory
+        assert 2 not in memory
+
+    def test_big_tree_is_cheap(self):
+        """The paper's L=24 tree must not be materialised eagerly."""
+        memory = make_memory(levels=24)
+        memory.write_bucket(123456, Bucket(4))
+        assert memory.materialised_nodes() == [123456]
+
+    def test_node_bounds(self):
+        memory = make_memory(levels=2)
+        with pytest.raises(ConfigError):
+            memory.read_bucket(7)
+        with pytest.raises(ConfigError):
+            memory.write_bucket(-1, Bucket(4))
+
+    def test_bucket_capacity_must_match(self):
+        memory = make_memory(z=4)
+        with pytest.raises(ConfigError):
+            memory.write_bucket(0, Bucket(2))
+
+
+class TestTrace:
+    def test_events_record_op_node_time(self):
+        memory = make_memory()
+        memory.read_bucket(2, time_ns=10.0)
+        memory.write_bucket(2, Bucket(4), time_ns=20.0)
+        assert memory.trace.op_sequence() == [
+            (MemoryOp.READ, 2),
+            (MemoryOp.WRITE, 2),
+        ]
+        assert memory.trace.events[1].time_ns == 20.0
+
+    def test_peek_does_not_record(self):
+        memory = make_memory()
+        memory.peek_bucket(3)
+        assert len(memory.trace) == 0
+
+    def test_counters(self):
+        memory = make_memory()
+        memory.read_bucket(0)
+        memory.read_bucket(1)
+        memory.write_bucket(0, Bucket(4))
+        assert memory.reads == 2
+        assert memory.writes == 1
+
+    def test_shared_recorder(self):
+        recorder = TraceRecorder()
+        memory = UntrustedMemory(TreeGeometry(3), 4, trace=recorder)
+        memory.read_bucket(0)
+        assert recorder.node_sequence() == [0]
+
+    def test_disable_and_clear(self):
+        memory = make_memory()
+        memory.trace.enabled = False
+        memory.read_bucket(0)
+        assert len(memory.trace) == 0
+        memory.trace.enabled = True
+        memory.read_bucket(0)
+        memory.trace.clear()
+        assert len(memory.trace) == 0
+
+
+class TestWithRealCipher:
+    def test_contents_on_the_bus_are_ciphertext(self):
+        cipher = CounterModeCipher(b"k", block_bytes=8)
+        memory = make_memory(cipher=cipher)
+        bucket = Bucket(4)
+        bucket.add(Block(1, 0, b"secret!!"))
+        memory.write_bucket(0, bucket)
+        stored = memory._store[0]
+        assert isinstance(stored, bytes)
+        assert b"secret!!" not in stored
+        assert memory.read_bucket(0).find(1).payload == b"secret!!"

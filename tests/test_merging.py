@@ -1,0 +1,119 @@
+"""Path merging: the fork-state bookkeeping of Section 3.2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merging import ForkState
+from repro.errors import InvariantViolationError
+from repro.oram.tree import TreeGeometry
+
+
+def make_fork(levels: int = 3, enabled: bool = True) -> ForkState:
+    return ForkState(TreeGeometry(levels), enabled=enabled)
+
+
+class TestReadSet:
+    def test_first_access_reads_full_path(self):
+        fork = make_fork()
+        assert fork.read_set(1) == [0, 1, 3, 8]
+
+    def test_resident_prefix_is_skipped(self):
+        """Figure 4(a): after retaining A and B, only C and D load."""
+        fork = make_fork()
+        fork.commit_write(1, retain=2)  # keep levels 0-1 of path-1
+        assert fork.resident == [0, 1]
+        assert fork.read_set(3) == [4, 10]  # path-3 minus shared prefix
+
+    def test_disabled_merging_always_reads_everything(self):
+        fork = make_fork(enabled=False)
+        fork.commit_write(1, retain=2)
+        assert fork.resident == []
+        assert fork.read_set(1) == [0, 1, 3, 8]
+
+    def test_desync_is_detected(self):
+        """A resident set that is not a prefix of the requested path is
+        a scheduler/merge protocol violation, not silent data motion."""
+        fork = make_fork()
+        fork.commit_write(7, retain=3)  # deep into the right subtree
+        with pytest.raises(InvariantViolationError):
+            fork.read_set(0)  # left-most path shares only the root
+
+
+class TestRetainAndWrite:
+    def test_retain_depth_is_divergence(self):
+        fork = make_fork()
+        assert fork.retain_depth(1, 3) == 2
+        assert fork.retain_depth(1, 1) == 4  # identical path
+
+    def test_retain_depth_zero_when_disabled(self):
+        fork = make_fork(enabled=False)
+        assert fork.retain_depth(1, 3) == 0
+
+    def test_write_levels_descend_to_fork_point(self):
+        """Figure 4(b): next is path-7 (shares only the root with
+        path-1), so levels 3, 2, 1 are re-filled, leaf first."""
+        fork = make_fork()
+        retain = fork.retain_depth(1, 7)
+        assert retain == 1
+        assert fork.write_levels(1, retain) == [3, 2, 1]
+
+    def test_write_levels_full_path_when_retain_zero(self):
+        fork = make_fork()
+        assert fork.write_levels(5, 0) == [3, 2, 1, 0]
+
+    def test_commit_zero_retain_clears_residency(self):
+        fork = make_fork()
+        fork.commit_write(1, retain=2)
+        fork.commit_write(1, retain=0)
+        assert fork.resident == []
+
+    def test_reset(self):
+        fork = make_fork()
+        fork.commit_write(1, retain=3)
+        fork.reset()
+        assert fork.resident == []
+
+
+class TestForkShape:
+    def test_consecutive_accesses_form_a_fork(self):
+        """Read set of access i+1 + retained prefix = its full path."""
+        fork = make_fork(levels=4)
+        tree = fork.geometry
+        sequence = [3, 5, 5, 12, 0, 15, 8]
+        previous = None
+        for index, leaf in enumerate(sequence):
+            read = fork.read_set(leaf)
+            assert fork.resident + read == tree.path_nodes(leaf)
+            if previous is not None:
+                shared = tree.shared_nodes(previous, leaf)
+                assert fork.resident == shared[: len(fork.resident)]
+            next_leaf = sequence[index + 1] if index + 1 < len(sequence) else leaf
+            retain = fork.retain_depth(leaf, next_leaf)
+            fork.commit_write(leaf, retain)
+            previous = leaf
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    levels=st.integers(1, 10),
+    leaves=st.lists(st.integers(0, 1023), min_size=2, max_size=40),
+)
+def test_merged_traffic_is_never_more_than_traditional(levels, leaves):
+    """Per access: len(read set) + len(write set) <= 2 * (L + 1), and
+    the union of reads over time covers exactly what writes released."""
+    tree = TreeGeometry(levels)
+    fork = ForkState(tree)
+    leaves = [leaf % tree.num_leaves for leaf in leaves]
+    for index, leaf in enumerate(leaves[:-1]):
+        read = fork.read_set(leaf)
+        retain = fork.retain_depth(leaf, leaves[index + 1])
+        writes = fork.write_levels(leaf, retain)
+        assert len(read) <= tree.levels + 1
+        assert len(writes) <= tree.levels + 1
+        # Every written level is outside the retained prefix.
+        assert all(level >= retain for level in writes)
+        fork.commit_write(leaf, retain)
+        assert len(fork.resident) == retain

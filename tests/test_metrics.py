@@ -1,0 +1,109 @@
+"""Controller metrics: the paper's measurement definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import ControllerMetrics
+from repro.core.requests import AccessRecord, LlcRequest
+
+
+def record(
+    leaf=0, dummy=False, read=5, written=5, dram_read=5, dram_written=5,
+    t0=0.0, t1=100.0, t2=100.0, t3=200.0, replaced=False,
+) -> AccessRecord:
+    return AccessRecord(
+        leaf=leaf,
+        was_dummy=dummy,
+        read_nodes=read,
+        written_nodes=written,
+        dram_read_nodes=dram_read,
+        dram_written_nodes=dram_written,
+        read_start_ns=t0,
+        read_end_ns=t1,
+        write_start_ns=t2,
+        write_end_ns=t3,
+        replaced_dummy=replaced,
+    )
+
+
+class TestAccessRecord:
+    def test_dram_time_spans_both_phases(self):
+        assert record().dram_time_ns == pytest.approx(200.0)
+
+
+class TestControllerMetrics:
+    def test_access_accounting(self):
+        metrics = ControllerMetrics()
+        metrics.on_access(record())
+        metrics.on_access(record(dummy=True, replaced=True))
+        assert metrics.real_accesses == 1
+        assert metrics.dummy_accesses == 1
+        assert metrics.total_accesses == 2
+        assert metrics.dummies_replaced == 1
+        assert metrics.dummy_fraction == pytest.approx(0.5)
+
+    def test_avg_path_buckets_is_per_phase(self):
+        """Traditional ORAM with L+1 buckets per phase must report
+        exactly L+1 — the paper's Figure 10 y-axis."""
+        metrics = ControllerMetrics()
+        metrics.on_access(record(read=25, written=25))
+        metrics.on_access(record(read=25, written=25))
+        assert metrics.avg_path_buckets == pytest.approx(25.0)
+
+    def test_fork_access_counts_both_phases(self):
+        metrics = ControllerMetrics()
+        metrics.on_access(record(read=18, written=20))
+        assert metrics.avg_path_buckets == pytest.approx(19.0)
+
+    def test_latency_tracking(self):
+        metrics = ControllerMetrics()
+        metrics.on_request_complete(100.0, "oram")
+        metrics.on_request_complete(300.0, "stash")
+        assert metrics.real_completed == 2
+        assert metrics.avg_latency_ns == pytest.approx(200.0)
+        assert metrics.served_without_access == {"stash": 1}
+        assert metrics.latency_percentile(0.5) == 100.0
+        assert metrics.latency_percentile(1.0) == 300.0
+
+    def test_normalized_request_count(self):
+        metrics = ControllerMetrics()
+        for _ in range(4):
+            metrics.on_access(record())
+        metrics.on_access(record(dummy=True))
+        for _ in range(4):
+            metrics.on_request_complete(10.0, "oram")
+        assert metrics.normalized_request_count() == pytest.approx(1.25)
+
+    def test_empty_metrics_are_zero(self):
+        metrics = ControllerMetrics()
+        assert metrics.avg_latency_ns == 0.0
+        assert metrics.avg_path_buckets == 0.0
+        assert metrics.dummy_fraction == 0.0
+        assert metrics.normalized_request_count() == 0.0
+        assert metrics.latency_percentile(0.5) == 0.0
+
+    def test_record_cap(self):
+        metrics = ControllerMetrics(max_records=3)
+        for _ in range(5):
+            metrics.on_access(record())
+        assert len(metrics.records) == 3
+        assert metrics.real_accesses == 5  # counters unaffected
+
+    def test_summary_keys(self):
+        metrics = ControllerMetrics()
+        metrics.on_access(record())
+        metrics.on_request_complete(50.0, "oram")
+        summary = metrics.summary()
+        for key in (
+            "real_completed",
+            "avg_latency_ns",
+            "avg_path_buckets",
+            "dummy_fraction",
+        ):
+            assert key in summary
+
+    def test_latency_property_requires_completion(self):
+        request = LlcRequest(addr=1, is_write=False)
+        with pytest.raises(ValueError):
+            _ = request.latency_ns

@@ -1,0 +1,71 @@
+"""Dummy label replacing — the three cases of Figure 5."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replacement import can_replace_dummy, replacement_case
+from repro.oram.tree import TreeGeometry
+
+
+class TestFigureFiveCases:
+    """The figure's setup: L = 3, current = path-0, real = path-3.
+
+    divergence(0, 3) = 2, so the crossing bucket sits at level 1
+    (bucket B in the figure). The refill writes levels 3, 2, 1, ...
+    """
+
+    def setup_method(self):
+        self.tree = TreeGeometry(3)
+        assert self.tree.divergence_level(0, 3) == 2
+
+    def test_case1_refill_done(self):
+        assert not can_replace_dummy(self.tree, 0, 3, 1, refill_done=True)
+        assert replacement_case(self.tree, 0, 3, 1, True) == 1
+
+    def test_case2_crossing_bucket_written(self):
+        # Lowest written level 1 == divergence - 1: the bucket the real
+        # path needs retained is already on the bus.
+        assert not can_replace_dummy(self.tree, 0, 3, 1, refill_done=False)
+        assert replacement_case(self.tree, 0, 3, 1, False) == 2
+
+    def test_case3_writes_still_below_crossing(self):
+        # Only levels 3 and 2 written so far.
+        assert can_replace_dummy(self.tree, 0, 3, 2, refill_done=False)
+        assert replacement_case(self.tree, 0, 3, 2, False) == 3
+
+    def test_case3_before_any_write(self):
+        assert can_replace_dummy(self.tree, 0, 3, 4, refill_done=False)
+
+    def test_identical_path_replaceable_only_before_any_write(self):
+        """divergence(0, 0) = L + 1: the crossing bucket is the leaf
+        itself, so the first written level already commits the fork."""
+        assert can_replace_dummy(self.tree, 0, 0, 4, refill_done=False)
+        assert not can_replace_dummy(self.tree, 0, 0, 3, refill_done=False)
+        assert not can_replace_dummy(self.tree, 0, 0, 4, refill_done=True)
+
+    def test_disjoint_path_blocked_once_level1_written(self):
+        # divergence(0, 7) = 1: crossing at the root (level 0).
+        assert can_replace_dummy(self.tree, 0, 7, 1, refill_done=False)
+        assert not can_replace_dummy(self.tree, 0, 7, 0, refill_done=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    levels=st.integers(1, 12),
+    current=st.integers(0, 4095),
+    real=st.integers(0, 4095),
+    lowest_written=st.integers(0, 13),
+)
+def test_replacement_never_requires_unwriting(levels, current, real, lowest_written):
+    """If replacement is allowed, the new retain depth never overlaps
+    an already-written level — the refill can always continue."""
+    tree = TreeGeometry(levels)
+    current %= tree.num_leaves
+    real %= tree.num_leaves
+    lowest_written = min(lowest_written, levels + 1)
+    if can_replace_dummy(tree, current, real, lowest_written, refill_done=False):
+        retain = tree.divergence_level(current, real)
+        # Written levels are lowest_written..L; retained are 0..retain-1.
+        assert retain <= lowest_written

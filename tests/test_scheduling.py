@@ -1,0 +1,177 @@
+"""The label queue: padding, takeover, overlap scheduling, aging."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.core.requests import LabelEntry, LlcRequest
+from repro.core.scheduling import LabelQueue
+from repro.errors import ProtocolError
+from repro.oram.tree import TreeGeometry
+
+
+def make_queue(
+    size: int = 4, levels: int = 4, **kwargs
+) -> LabelQueue:
+    config = SchedulerConfig(label_queue_size=size, **kwargs)
+    return LabelQueue(TreeGeometry(levels), config, random.Random(7))
+
+
+def real_entry(leaf: int, enqueue_ns: float = 0.0) -> LabelEntry:
+    request = LlcRequest(addr=leaf, is_write=False)
+    return LabelEntry(
+        leaf=leaf, target_addr=leaf, new_leaf=0, request=request,
+        enqueue_ns=enqueue_ns,
+    )
+
+
+class TestPadding:
+    def test_top_up_fills_to_fixed_size(self):
+        queue = make_queue(size=5)
+        queue.top_up(0.0)
+        assert len(queue) == 5
+        assert queue.dummy_count() == 5
+
+    def test_queue_size_is_occupancy_invariant(self):
+        """Security: after any select, the next top-up restores the
+        fixed size regardless of how many reals are pending."""
+        queue = make_queue(size=4)
+        queue.top_up(0.0)
+        queue.insert_real(real_entry(3))
+        for _ in range(10):
+            queue.select_next(2, 0.0)
+            queue.top_up(0.0)
+            assert len(queue) == 4
+
+
+class TestInsertReal:
+    def test_takes_over_first_dummy(self):
+        queue = make_queue(size=3)
+        queue.top_up(0.0)
+        queue.insert_real(real_entry(1))
+        assert queue.real_count() == 1
+        assert queue.dummy_count() == 2
+        assert len(queue) == 3
+        assert queue.dummies_taken_over == 1
+
+    def test_appends_when_not_full(self):
+        queue = make_queue(size=3)
+        queue.insert_real(real_entry(1))
+        assert len(queue) == 1
+
+    def test_saturation_raises(self):
+        queue = make_queue(size=2)
+        queue.insert_real(real_entry(1))
+        queue.insert_real(real_entry(2))
+        assert not queue.has_room_for_real()
+        with pytest.raises(ProtocolError):
+            queue.insert_real(real_entry(3))
+
+    def test_dummy_entry_rejected(self):
+        queue = make_queue()
+        with pytest.raises(ProtocolError):
+            queue.insert_real(LabelEntry(leaf=0))
+
+
+class TestSelection:
+    def test_max_overlap_wins(self):
+        queue = make_queue(size=3, levels=3)
+        # current = path-1; candidates 7 (overlap 1), 0 (overlap 3).
+        queue.insert_real(real_entry(7))
+        queue.insert_real(real_entry(0))
+        queue.top_up(0.0)
+        chosen = queue.select_next(1, 0.0)
+        assert chosen.leaf == 0
+
+    def test_real_beats_dummy_on_tie(self):
+        queue = make_queue(size=2, levels=3)
+        queue.insert_real(real_entry(0))
+        # Force the one dummy to the same leaf -> equal overlap.
+        queue.top_up(0.0)
+        for entry in queue.entries:
+            if entry.is_dummy:
+                entry.leaf = 0
+        chosen = queue.select_next(1, 0.0)
+        assert chosen.is_real
+
+    def test_dummy_with_strictly_higher_overlap_wins(self):
+        """Security requires dummies to compete on equal terms."""
+        queue = make_queue(size=2, levels=3)
+        queue.insert_real(real_entry(7))  # overlap 1 with current 1
+        queue.top_up(0.0)
+        for entry in queue.entries:
+            if entry.is_dummy:
+                entry.leaf = 0  # overlap 3 with current 1
+        chosen = queue.select_next(1, 0.0)
+        assert chosen.is_dummy
+
+    def test_fifo_when_scheduling_disabled(self):
+        queue = make_queue(size=3, enable_scheduling=False)
+        queue.insert_real(real_entry(7, enqueue_ns=1.0))
+        queue.insert_real(real_entry(0, enqueue_ns=2.0))
+        chosen = queue.select_next(1, 0.0)
+        assert chosen.leaf == 7  # arrival order, not overlap
+
+    def test_fifo_prefers_real_over_leading_dummy(self):
+        queue = make_queue(size=3, enable_scheduling=False)
+        queue.top_up(0.0)
+        queue.entries[2] = real_entry(5)
+        chosen = queue.select_next(None, 0.0)
+        assert chosen.is_real
+
+    def test_bootstrap_without_current_leaf(self):
+        queue = make_queue(size=2)
+        queue.insert_real(real_entry(3))
+        chosen = queue.select_next(None, 0.0)
+        assert chosen.is_real
+
+
+class TestAging:
+    def test_aged_entry_is_promoted(self):
+        queue = make_queue(size=3, levels=3, aging_threshold=2)
+        starved = real_entry(7)  # minimal overlap with current 0
+        queue.insert_real(starved)
+        queue.top_up(0.0)
+        # Keep feeding high-overlap dummies; after the threshold the
+        # starved real must win regardless of overlap.
+        winners = []
+        for _ in range(4):
+            for entry in queue.entries:
+                if entry.is_dummy:
+                    entry.leaf = 0
+            winners.append(queue.select_next(0, 0.0))
+            queue.top_up(0.0)
+        assert any(winner is starved for winner in winners[:3])
+
+    def test_age_increments_only_for_passed_over_reals(self):
+        queue = make_queue(size=3, levels=3)
+        entry = real_entry(7)
+        queue.insert_real(entry)
+        queue.top_up(0.0)
+        for target in queue.entries:
+            if target.is_dummy:
+                target.leaf = 0
+        queue.select_next(0, 0.0)
+        assert entry.age == 1
+
+
+class TestDummyRefreshAblation:
+    def test_refresh_redraws_queued_dummy_labels(self):
+        queue = make_queue(size=8, refresh_dummies=True)
+        queue.top_up(0.0)
+        before = [entry.leaf for entry in queue.entries]
+        queue.select_next(0, 0.0)
+        queue.top_up(0.0)
+        after = [entry.leaf for entry in queue.entries]
+        assert before != after  # overwhelmingly likely with 8 labels
+
+    def test_default_keeps_dummy_labels(self):
+        queue = make_queue(size=8)
+        queue.top_up(0.0)
+        survivors = {id(entry): entry.leaf for entry in queue.entries}
+        queue.select_next(0, 0.0)
+        for entry in queue.entries:
+            assert survivors[id(entry)] == entry.leaf

@@ -1,0 +1,127 @@
+"""Stash behaviour, especially the greedy eviction rule."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StashOverflowError
+from repro.oram.blocks import Block
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+
+
+def make_stash(levels: int = 3, capacity: int = 20) -> Stash:
+    return Stash(TreeGeometry(levels), capacity)
+
+
+class TestBasics:
+    def test_add_get_pop(self):
+        stash = make_stash()
+        stash.add(Block(1, 2, "v"))
+        assert 1 in stash
+        assert stash.get(1).payload == "v"
+        assert stash.pop(1).addr == 1
+        assert stash.get(1) is None
+        assert stash.pop(1) is None
+
+    def test_add_replaces_same_address(self):
+        stash = make_stash()
+        stash.add(Block(1, 2, "old"))
+        stash.add(Block(1, 3, "new"))
+        assert len(stash) == 1
+        assert stash.get(1).payload == "new"
+
+    def test_add_all_and_addresses(self):
+        stash = make_stash()
+        stash.add_all([Block(1, 0), Block(2, 0)])
+        assert sorted(stash.addresses()) == [1, 2]
+
+
+class TestEviction:
+    def test_eligibility_follows_divergence(self):
+        """A block is placeable at (leaf, level) iff its own path passes
+        through that bucket."""
+        stash = make_stash(levels=3)
+        # Block mapped to leaf 0; refilling path-2. Paths 0 (000) and
+        # 2 (010) share levels 0-1 and diverge at level 2.
+        stash.add(Block(10, 0))
+        taken = stash.collect_for_node(leaf=2, level=2, capacity=4)
+        assert taken == []
+        taken = stash.collect_for_node(leaf=2, level=1, capacity=4)
+        assert [block.addr for block in taken] == [10]
+        assert 10 not in stash
+
+    def test_capacity_limits_collection(self):
+        stash = make_stash(levels=3)
+        for addr in range(6):
+            stash.add(Block(addr, 5))
+        taken = stash.collect_for_node(leaf=5, level=3, capacity=4)
+        assert len(taken) == 4
+        assert len(stash) == 2
+
+    def test_collected_blocks_leave_the_stash(self):
+        stash = make_stash(levels=3)
+        stash.add(Block(1, 7))
+        stash.collect_for_node(leaf=7, level=3, capacity=4)
+        assert len(stash) == 0
+
+    def test_root_accepts_everything(self):
+        stash = make_stash(levels=3)
+        for addr, leaf in enumerate([0, 3, 5, 7]):
+            stash.add(Block(addr, leaf))
+        taken = stash.collect_for_node(leaf=2, level=0, capacity=8)
+        assert len(taken) == 4
+
+
+class TestAccounting:
+    def test_max_occupancy_tracks_high_water(self):
+        stash = make_stash()
+        for addr in range(5):
+            stash.add(Block(addr, 0))
+        for addr in range(5):
+            stash.pop(addr)
+        assert stash.max_occupancy == 5
+
+    def test_occupancy_samples(self):
+        stash = make_stash()
+        stash.add(Block(1, 0))
+        assert stash.sample_occupancy() == 1
+        assert stash.occupancy_samples == [1]
+
+    def test_overflow_raises_with_details(self):
+        stash = make_stash(capacity=2)
+        for addr in range(3):
+            stash.add(Block(addr, 0))
+        with pytest.raises(StashOverflowError) as excinfo:
+            stash.check_persistent_occupancy()
+        assert excinfo.value.occupancy == 3
+        assert excinfo.value.capacity == 2
+
+    def test_slack_allows_retained_buckets(self):
+        stash = make_stash(capacity=2)
+        for addr in range(3):
+            stash.add(Block(addr, 0))
+        stash.check_persistent_occupancy(slack=1)  # no raise
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    levels=st.integers(1, 8),
+    leaves=st.lists(st.integers(0, 255), min_size=1, max_size=30),
+    refill_leaf=st.integers(0, 255),
+)
+def test_collect_respects_path_membership(levels, leaves, refill_leaf):
+    """Every collected block's path must contain the refilled bucket."""
+    tree = TreeGeometry(levels)
+    stash = Stash(tree, capacity=100)
+    refill_leaf %= tree.num_leaves
+    for addr, leaf in enumerate(leaves):
+        stash.add(Block(addr, leaf % tree.num_leaves))
+    for level in range(levels, -1, -1):
+        node = tree.path_node_at(refill_leaf, level)
+        for block in stash.collect_for_node(refill_leaf, level, 4):
+            assert tree.node_on_path(node, block.leaf)

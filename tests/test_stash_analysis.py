@@ -1,0 +1,36 @@
+"""Unit coverage of the stash-analysis experiment helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments import stash_analysis
+from repro.experiments.common import SMALL
+
+
+class TestOccupancyTail:
+    def test_summary_fields(self):
+        tail = stash_analysis.occupancy_tail([1, 2, 3, 4, 100])
+        assert tail["mean"] == 22.0
+        assert tail["max"] == 100.0
+        assert tail["p99"] == 100.0
+
+
+class TestUtilizationSweep:
+    def test_pressure_grows_with_utilisation(self):
+        result = stash_analysis.run_utilization_sweep(
+            levels=8, utilizations=(0.5, 1.0), accesses=800
+        )
+        by_util = {row[0]: row for row in result.rows}
+        assert by_util[1.0][3] > by_util[0.5][3]  # max occupancy
+        assert by_util[0.5][2] < 20  # p99 negligible at 50%
+
+
+class TestMergingComparison:
+    def test_fork_occupancy_within_envelope(self):
+        scale = dataclasses.replace(SMALL, levels=10, trace_requests=600)
+        result = stash_analysis.run_merging_comparison(scale)
+        rows = {row[0]: row for row in result.rows}
+        fork_max = rows["fork path q=64"][3]
+        allowance = rows["fork path q=64"][4]
+        assert fork_max <= allowance

@@ -1,0 +1,104 @@
+"""Static super blocks (Ren et al.) — the prefetching extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    OramConfig,
+    SchedulerConfig,
+    SystemConfig,
+)
+from repro.core.controller import ForkPathController
+from repro.errors import ConfigError
+from repro.workloads.synthetic import strided_trace, hotspot_trace
+from repro.workloads.trace import TraceSource, make_trace
+
+
+def build(super_log2: int, levels: int = 10) -> SystemConfig:
+    return SystemConfig(
+        oram=OramConfig(
+            levels=levels,
+            block_bytes=16,
+            stash_capacity=400,
+            super_block_log2=super_log2,
+        ),
+        scheduler=SchedulerConfig(label_queue_size=8),
+        cache=CacheConfig(policy="none"),
+    )
+
+
+def run(config: SystemConfig, trace):
+    source = TraceSource(trace)
+    controller = ForkPathController(config, source, rng=random.Random(9))
+    metrics = controller.run()
+    return controller, source, metrics
+
+
+class TestConfig:
+    def test_group_arithmetic(self):
+        config = OramConfig(levels=6, super_block_log2=2)
+        assert config.super_block_size == 4
+        assert config.group_of(7) == 1
+        assert config.group_base(7) == 4
+
+    def test_bounds(self):
+        with pytest.raises(ConfigError):
+            OramConfig(levels=6, super_block_log2=9)
+        with pytest.raises(ConfigError):
+            OramConfig(levels=6, super_block_log2=-1)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("super_log2", [1, 2, 3])
+    def test_replay_semantics(self, super_log2):
+        trace = hotspot_trace(400, 120, 150.0, random.Random(5))
+        _, source, _ = run(build(super_log2), trace)
+        latest: dict[int, object] = {}
+        for request in sorted(source.completed, key=lambda r: r.arrival_ns):
+            if request.is_write:
+                latest[request.addr] = request.payload
+            else:
+                assert request.value == latest.get(request.addr)
+
+    def test_group_siblings_share_a_leaf(self):
+        """The invariant grouping rests on: all live blocks of a group
+        carry the same label."""
+        trace = hotspot_trace(300, 64, 150.0, random.Random(6))
+        controller, _, _ = run(build(2), trace)
+        oram = controller.config.oram
+        labels: dict[int, set] = {}
+        blocks = list(controller.stash.blocks())
+        for node in controller.memory.materialised_nodes():
+            blocks.extend(controller.memory.peek_bucket(node))
+        for block in blocks:
+            labels.setdefault(oram.group_of(block.addr), set()).add(block.leaf)
+        for group, leaves in labels.items():
+            assert len(leaves) == 1, f"group {group} split across {leaves}"
+
+
+class TestPrefetchBenefit:
+    def test_sequential_workload_coalesces_on_group_loads(self):
+        """Streaming accesses inside a group complete off one path load
+        — Ren et al.'s locality win ("one path load may fulfill
+        several requests")."""
+        # Write everything once, then stream reads over it.
+        writes = [(100.0 * (i + 1), i, True) for i in range(256)]
+        base_t = 100.0 * 257
+        reads = [(base_t + 100.0 * i, i, False) for i in range(256)]
+        trace = make_trace(writes + reads)
+        controller, source, grouped = run(build(3), trace)
+        trace2 = make_trace(writes + reads)
+        _, _, plain = run(build(0), trace2)
+        assert controller.address_queue.group_coalesced_reads > 50
+        assert grouped.total_accesses < plain.total_accesses * 0.7
+
+    def test_random_workload_not_hurt(self):
+        trace = hotspot_trace(300, 2000, 150.0, random.Random(2))
+        _, _, plain = run(build(0), trace)
+        trace2 = hotspot_trace(300, 2000, 150.0, random.Random(2))
+        _, _, grouped = run(build(2), trace2)
+        assert grouped.real_completed == plain.real_completed

@@ -1,0 +1,95 @@
+"""Trace persistence round-trips."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.requests import LlcRequest
+from repro.errors import ConfigError
+from repro.workloads.synthetic import hotspot_trace
+from repro.workloads.trace import TraceSource
+from repro.workloads.trace_io import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_generated_trace_round_trips(self, tmp_path):
+        trace = hotspot_trace(200, 100, 50.0, random.Random(3))
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(trace, path) == 200
+        loaded = load_trace(path)
+        assert len(loaded) == 200
+        for original, restored in zip(trace, loaded):
+            assert restored.addr == original.addr
+            assert restored.is_write == original.is_write
+            assert restored.arrival_ns == original.arrival_ns
+            assert restored.payload == original.payload
+
+    def test_loaded_trace_drives_a_controller(self, tmp_path):
+        from repro import (
+            CacheConfig,
+            ForkPathController,
+            SystemConfig,
+            fork_path_scheduler,
+            small_test_config,
+        )
+
+        trace = hotspot_trace(150, 100, 100.0, random.Random(4))
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        config = SystemConfig(
+            oram=small_test_config(8),
+            scheduler=fork_path_scheduler(8),
+            cache=CacheConfig(policy="none"),
+        )
+        controller = ForkPathController(config, TraceSource(load_trace(path)))
+        metrics = controller.run()
+        assert metrics.real_completed == 150
+
+    def test_core_id_preserved(self, tmp_path):
+        trace = [LlcRequest(addr=1, is_write=False, arrival_ns=5.0, core_id=3)]
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path)[0].core_id == 3
+
+    def test_out_of_order_file_is_sorted_on_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t": 20.0, "addr": 1, "w": false}\n'
+            '{"t": 10.0, "addr": 2, "w": true, "payload": 5}\n'
+        )
+        loaded = load_trace(path)
+        assert [request.addr for request in loaded] == [2, 1]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('\n{"t": 1.0, "addr": 1, "w": false}\n\n')
+        assert len(load_trace(path)) == 1
+
+
+class TestErrors:
+    def test_non_scalar_payload_rejected(self, tmp_path):
+        trace = [
+            LlcRequest(addr=1, is_write=True, payload=["list"], arrival_ns=1.0)
+        ]
+        with pytest.raises(ConfigError):
+            save_trace(trace, tmp_path / "bad.jsonl")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"t": 1.0, "addr": 1, "w": false}\nnot json\n')
+        with pytest.raises(ConfigError) as excinfo:
+            load_trace(path)
+        assert ":2:" in str(excinfo.value)
+
+    def test_missing_field_reports_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"t": 1.0, "addr": 1}\n')
+        with pytest.raises(ConfigError) as excinfo:
+            load_trace(path)
+        assert "'w'" in str(excinfo.value)

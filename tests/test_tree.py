@@ -1,0 +1,212 @@
+"""Tree geometry: the arithmetic everything else stands on."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.oram.tree import TreeGeometry, max_overlap_choice
+
+
+class TestBasics:
+    def test_counts(self):
+        tree = TreeGeometry(3)
+        assert tree.num_leaves == 8
+        assert tree.num_nodes == 15
+
+    def test_zero_level_tree(self):
+        tree = TreeGeometry(0)
+        assert tree.num_leaves == 1
+        assert tree.num_nodes == 1
+        assert tree.path_nodes(0) == [0]
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry(-1)
+
+    def test_equality_and_hash(self):
+        assert TreeGeometry(4) == TreeGeometry(4)
+        assert TreeGeometry(4) != TreeGeometry(5)
+        assert hash(TreeGeometry(4)) == hash(TreeGeometry(4))
+
+    def test_repr_mentions_levels(self):
+        assert "7" in repr(TreeGeometry(7))
+
+
+class TestNodes:
+    def setup_method(self):
+        self.tree = TreeGeometry(3)
+
+    def test_node_numbering_is_heap_order(self):
+        assert self.tree.node(0, 0) == 0
+        assert self.tree.node(1, 0) == 1
+        assert self.tree.node(1, 1) == 2
+        assert self.tree.node(3, 7) == 14
+
+    def test_level_of_inverts_node(self):
+        for level in range(4):
+            for index in range(1 << level):
+                node = self.tree.node(level, index)
+                assert self.tree.level_of(node) == level
+                assert self.tree.index_in_level(node) == index
+
+    def test_parent_child_roundtrip(self):
+        for node in range(1, self.tree.num_nodes):
+            parent = self.tree.parent(node)
+            assert node in self.tree.children(parent)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ConfigError):
+            self.tree.parent(0)
+
+    def test_leaf_has_no_children(self):
+        with pytest.raises(ConfigError):
+            self.tree.children(self.tree.leaf_node(0))
+
+    def test_is_leaf(self):
+        assert self.tree.is_leaf(self.tree.leaf_node(5))
+        assert not self.tree.is_leaf(0)
+
+    def test_node_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            self.tree.level_of(15)
+        with pytest.raises(ConfigError):
+            self.tree.node(2, 4)
+        with pytest.raises(ConfigError):
+            self.tree.node(4, 0)
+
+
+class TestPaths:
+    def setup_method(self):
+        self.tree = TreeGeometry(3)
+
+    def test_path_nodes_root_first(self):
+        # Figure 1(a): path-1 in an L=3 tree.
+        assert self.tree.path_nodes(1) == [0, 1, 3, 8]
+
+    def test_path_length_is_levels_plus_one(self):
+        assert len(self.tree.path_nodes(5)) == 4
+
+    def test_path_node_at_matches_path_nodes(self):
+        for leaf in range(8):
+            path = self.tree.path_nodes(leaf)
+            for level in range(4):
+                assert self.tree.path_node_at(leaf, level) == path[level]
+
+    def test_iter_path_orders(self):
+        forward = list(self.tree.iter_path(6))
+        backward = list(self.tree.iter_path(6, leaf_first=True))
+        assert forward == list(reversed(backward))
+        assert forward[0] == 0
+
+    def test_leaf_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            self.tree.path_nodes(8)
+        with pytest.raises(ConfigError):
+            self.tree.path_nodes(-1)
+
+    def test_node_on_path(self):
+        assert self.tree.node_on_path(0, 3)
+        assert self.tree.node_on_path(8, 1)
+        assert not self.tree.node_on_path(8, 3)
+
+    def test_leaves_under(self):
+        assert list(self.tree.leaves_under(0)) == list(range(8))
+        assert list(self.tree.leaves_under(1)) == [0, 1, 2, 3]
+        assert list(self.tree.leaves_under(self.tree.leaf_node(5))) == [5]
+
+
+class TestDivergence:
+    def setup_method(self):
+        self.tree = TreeGeometry(3)
+
+    def test_paper_example_paths_1_and_3(self):
+        # Figure 3: path-1 and path-3 share the root and level-1 node
+        # (buckets A and B) and diverge at level 2.
+        assert self.tree.divergence_level(1, 3) == 2
+        assert self.tree.shared_nodes(1, 3) == [0, 1]
+
+    def test_identical_leaves_fully_overlap(self):
+        assert self.tree.divergence_level(5, 5) == 4
+
+    def test_distinct_leaves_share_at_least_root(self):
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert 1 <= self.tree.divergence_level(a, b) <= 3
+
+    def test_symmetry(self):
+        for a in range(8):
+            for b in range(8):
+                assert self.tree.divergence_level(
+                    a, b
+                ) == self.tree.divergence_level(b, a)
+
+    def test_shared_plus_fork_is_whole_path(self):
+        for a in range(8):
+            for b in range(8):
+                shared = self.tree.shared_nodes(a, b)
+                fork = self.tree.fork_nodes(a, b)
+                assert shared + fork == self.tree.path_nodes(b)
+
+    def test_fork_nodes_empty_for_same_leaf(self):
+        assert self.tree.fork_nodes(4, 4) == []
+
+    def test_overlap_degree_alias(self):
+        assert self.tree.overlap_degree(1, 3) == self.tree.divergence_level(1, 3)
+
+
+class TestRandomLeaf:
+    def test_uses_rng_and_stays_in_range(self):
+        tree = TreeGeometry(5)
+        rng = random.Random(7)
+        draws = {tree.random_leaf(rng) for _ in range(500)}
+        assert all(0 <= leaf < 32 for leaf in draws)
+        assert len(draws) > 20  # covers most leaves
+
+
+class TestMaxOverlapChoice:
+    def test_picks_highest_overlap(self):
+        tree = TreeGeometry(3)
+        # current = 1; candidates: 7 (overlap 1), 0 (overlap 3), 3 (2).
+        assert max_overlap_choice(tree, 1, [7, 0, 3]) == 1
+
+    def test_tie_breaks_toward_earliest(self):
+        tree = TreeGeometry(3)
+        assert max_overlap_choice(tree, 1, [3, 2]) == 0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigError):
+            max_overlap_choice(TreeGeometry(3), 1, [])
+
+
+@settings(max_examples=200, deadline=None)
+@given(levels=st.integers(1, 16), data=st.data())
+def test_divergence_matches_prefix_definition(levels, data):
+    """divergence == number of levels whose path nodes agree."""
+    tree = TreeGeometry(levels)
+    a = data.draw(st.integers(0, tree.num_leaves - 1))
+    b = data.draw(st.integers(0, tree.num_leaves - 1))
+    path_a = tree.path_nodes(a)
+    path_b = tree.path_nodes(b)
+    agree = 0
+    while agree <= levels and path_a[agree] == path_b[agree]:
+        agree += 1
+        if agree > levels:
+            break
+    assert tree.divergence_level(a, b) == agree
+
+
+@settings(max_examples=200, deadline=None)
+@given(levels=st.integers(1, 20), data=st.data())
+def test_path_node_levels_consistent(levels, data):
+    tree = TreeGeometry(levels)
+    leaf = data.draw(st.integers(0, tree.num_leaves - 1))
+    for level, node in enumerate(tree.path_nodes(leaf)):
+        assert tree.level_of(node) == level
+        assert tree.node_on_path(node, leaf)
+        assert leaf in tree.leaves_under(node)

@@ -1,0 +1,168 @@
+"""Workload generators, SPEC/PARSEC stand-ins, the Table 2 mixes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.mixes import TABLE2_MIXES, mix_benchmarks, mix_names
+from repro.workloads.parsec import PARSEC_BENCHMARKS, parsec_benchmark
+from repro.workloads.spec import (
+    SPEC_BENCHMARKS,
+    benchmark_trace,
+    spec_benchmark,
+)
+from repro.workloads.synthetic import (
+    hotspot_trace,
+    interleave_traces,
+    pointer_chase_trace,
+    poisson_arrivals,
+    strided_trace,
+    uniform_trace,
+)
+from repro.workloads.trace import TraceSource, make_trace
+
+
+class TestTrace:
+    def test_make_trace_payloads_distinguish_writes(self):
+        trace = make_trace([(1.0, 5, True), (2.0, 5, True), (3.0, 5, False)])
+        assert trace[0].payload != trace[1].payload
+        assert trace[2].payload is None
+
+    def test_source_orders_and_pops_by_time(self):
+        trace = make_trace([(30.0, 1, False), (10.0, 2, False), (20.0, 3, False)])
+        source = TraceSource(trace)
+        assert source.next_arrival_ns() == 10.0
+        ready = source.pop_arrivals(20.0)
+        assert [request.addr for request in ready] == [2, 3]
+        assert source.remaining() == 1
+        assert not source.exhausted()
+        source.pop_arrivals(100.0)
+        assert source.exhausted()
+        assert source.next_arrival_ns() == float("inf")
+
+
+class TestSyntheticGenerators:
+    def setup_method(self):
+        self.rng = random.Random(5)
+
+    def test_poisson_arrivals_monotone_with_mean(self):
+        times = poisson_arrivals(2000, 100.0, self.rng)
+        assert times == sorted(times)
+        mean_gap = times[-1] / len(times)
+        assert 85.0 < mean_gap < 115.0
+
+    def test_uniform_trace_shape(self):
+        trace = uniform_trace(500, 64, 100.0, self.rng, write_fraction=0.4)
+        assert len(trace) == 500
+        assert all(0 <= request.addr < 64 for request in trace)
+        writes = sum(request.is_write for request in trace)
+        assert 120 < writes < 280
+
+    def test_hotspot_trace_concentrates(self):
+        trace = hotspot_trace(
+            2000, 1000, 50.0, self.rng, hot_fraction=0.1, hot_weight=0.8
+        )
+        hot = sum(request.addr < 100 for request in trace)
+        assert hot > 1400
+
+    def test_hotspot_addr_base_offset(self):
+        trace = hotspot_trace(100, 50, 10.0, self.rng, addr_base=1000)
+        assert all(1000 <= request.addr < 1050 for request in trace)
+
+    def test_strided_trace_wraps(self):
+        trace = strided_trace(10, 4, 10.0, self.rng, stride=1)
+        assert [request.addr for request in trace] == [0, 1, 2, 3] * 2 + [0, 1]
+
+    def test_pointer_chase_is_a_permutation_cycle(self):
+        trace = pointer_chase_trace(8, 8, 10.0, self.rng)
+        assert sorted(request.addr for request in trace) == list(range(8))
+
+    def test_interleave_sorts_by_time(self):
+        a = uniform_trace(20, 16, 100.0, self.rng)
+        b = uniform_trace(20, 16, 100.0, self.rng)
+        merged = interleave_traces([a, b])
+        times = [request.arrival_ns for request in merged]
+        assert times == sorted(times)
+        assert len(merged) == 40
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda rng: uniform_trace(-1, 10, 10.0, rng),
+            lambda rng: uniform_trace(10, 0, 10.0, rng),
+            lambda rng: uniform_trace(10, 10, 10.0, rng, write_fraction=2.0),
+            lambda rng: hotspot_trace(10, 10, 10.0, rng, hot_fraction=0.0),
+            lambda rng: strided_trace(10, 10, 10.0, rng, stride=0),
+            lambda rng: poisson_arrivals(10, 0.0, rng),
+        ],
+    )
+    def test_invalid_parameters(self, call):
+        with pytest.raises(ConfigError):
+            call(self.rng)
+
+
+class TestSpecStandIns:
+    def test_table2_membership_resolves(self):
+        for mix, names in TABLE2_MIXES.items():
+            assert len(names) == 4
+            for name in names:
+                assert spec_benchmark(name).name == name
+
+    def test_group_split_matches_paper(self):
+        # Mix1/Mix2 members are LG; Mix3/Mix4 members are HG (except
+        # the paper's own LG picks inside Mix3/Mix4 rosters).
+        for name in TABLE2_MIXES["Mix1"] + TABLE2_MIXES["Mix2"]:
+            assert spec_benchmark(name).group == "LG"
+        assert spec_benchmark("429.mcf").group == "HG"
+        assert spec_benchmark("470.lbm").group == "HG"
+
+    def test_hg_more_intense_than_lg(self):
+        hg = [spec.mpki for spec in SPEC_BENCHMARKS.values() if spec.group == "HG"]
+        lg = [spec.mpki for spec in SPEC_BENCHMARKS.values() if spec.group == "LG"]
+        assert min(hg) > max(lg)
+
+    def test_mean_gap_math(self):
+        mcf = spec_benchmark("429.mcf")
+        assert mcf.mean_gap_instructions() == pytest.approx(1000 / 32)
+        # gap_ns = (instr / ipc) cycles / 2 GHz.
+        assert mcf.mean_gap_ns(2.0) == pytest.approx((1000 / 32 / 0.3) / 2.0)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigError):
+            spec_benchmark("999.nope")
+
+    def test_benchmark_trace_respects_cap_and_intensity(self):
+        spec = spec_benchmark("429.mcf")
+        trace = benchmark_trace(spec, 300, random.Random(1), footprint_cap=256)
+        assert all(request.addr < 256 for request in trace)
+        duration = trace[-1].arrival_ns
+        observed_gap = duration / len(trace)
+        assert observed_gap < 4 * spec.mean_gap_ns()
+
+
+class TestMixes:
+    def test_ten_mixes(self):
+        assert mix_names() == [f"Mix{i}" for i in range(1, 11)]
+
+    def test_mix7_is_four_bwaves(self):
+        assert [spec.name for spec in mix_benchmarks("Mix7")] == [
+            "410.bwaves"
+        ] * 4
+
+    def test_unknown_mix(self):
+        with pytest.raises(ConfigError):
+            mix_benchmarks("Mix11")
+
+
+class TestParsec:
+    def test_known_benchmarks(self):
+        assert parsec_benchmark("canneal").group == "HG"
+        assert parsec_benchmark("swaptions").group == "LG"
+        assert len(PARSEC_BENCHMARKS) == 11
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            parsec_benchmark("nginx")
