@@ -1,0 +1,146 @@
+"""Simulator-core throughput benchmark (accesses per second).
+
+Runs the Figure 10 small-scale configuration — an open-loop saturating
+trace through the fork-path controller with a 64-entry label queue —
+and reports wall time and ORAM accesses per second, writing the numbers
+to ``BENCH_perf.json`` at the repository root.
+
+Methodology
+-----------
+* The adversary trace recorder is disabled and the garbage collector is
+  paused during the timed section: both only add noise proportional to
+  run length and change nothing the simulator models.
+* Each repeat runs a 500-request warmup first (memoised path/locate
+  caches, dict growth) and times the remaining steady-state requests.
+* The median over ``--repeats`` independent runs is reported; each run
+  rebuilds the controller from the same seeds, so the simulated
+  behaviour is identical across repeats and across code versions.
+
+Usage::
+
+    python benchmarks/bench_perf.py            # full run, writes JSON
+    python benchmarks/bench_perf.py --smoke    # quick CI sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import gc
+import json
+import pathlib
+import random
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import fork_path_scheduler  # noqa: E402
+from repro.core.controller import ForkPathController  # noqa: E402
+from repro.experiments.common import SMALL, base_config  # noqa: E402
+from repro.workloads.synthetic import uniform_trace  # noqa: E402
+from repro.workloads.trace import TraceSource  # noqa: E402
+
+WARMUP_REQUESTS = 500
+
+
+def one_run(requests: int, queue_size: int) -> dict:
+    """One timed simulation; returns rate and checksum-style counters."""
+    scale = dataclasses.replace(SMALL, trace_requests=requests)
+    config = base_config(scale, scheduler=fork_path_scheduler(queue_size))
+    rng = random.Random(scale.seed)
+    footprint = min(config.oram.num_blocks, 1 << 20)
+    trace = uniform_trace(
+        scale.trace_requests, footprint, 50.0, rng, write_fraction=0.3
+    )
+    controller = ForkPathController(
+        config, TraceSource(trace), rng=random.Random(scale.seed + 1)
+    )
+    controller.memory.trace.enabled = False
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        controller.run(max_requests=min(WARMUP_REQUESTS, requests // 2))
+        warm_accesses = controller.metrics.total_accesses
+        start = time.perf_counter()
+        metrics = controller.run()
+        wall_s = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    timed_accesses = metrics.total_accesses - warm_accesses
+    summary = metrics.summary()
+    return {
+        "wall_s": wall_s,
+        "timed_accesses": timed_accesses,
+        "accesses_per_s": timed_accesses / wall_s,
+        # Behavioural fingerprint: must not move when only speed changes.
+        "avg_latency_ns": summary["avg_latency_ns"],
+        "avg_path_buckets": summary["avg_path_buckets"],
+        "total_accesses": metrics.total_accesses,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick sanity run (fewer requests/repeats, no JSON output)",
+    )
+    parser.add_argument("--requests", type=int, default=5500)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--queue", type=int, default=64)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests = 1200
+        args.repeats = 1
+
+    runs = [one_run(args.requests, args.queue) for _ in range(args.repeats)]
+    rates = [run["accesses_per_s"] for run in runs]
+    walls = [run["wall_s"] for run in runs]
+    fingerprints = {
+        (run["avg_latency_ns"], run["avg_path_buckets"]) for run in runs
+    }
+    if len(fingerprints) != 1:
+        print("ERROR: repeats disagree on simulated behaviour", file=sys.stderr)
+        return 1
+
+    report = {
+        "benchmark": "fig10-small saturating trace, fork-path queue=%d"
+        % args.queue,
+        "requests": args.requests,
+        "warmup_requests": min(WARMUP_REQUESTS, args.requests // 2),
+        "repeats": args.repeats,
+        "median_accesses_per_s": statistics.median(rates),
+        "best_accesses_per_s": max(rates),
+        "median_wall_s": statistics.median(walls),
+        "per_run_accesses_per_s": rates,
+        "per_run_wall_s": walls,
+        "avg_latency_ns": runs[0]["avg_latency_ns"],
+        "avg_path_buckets": runs[0]["avg_path_buckets"],
+        "python": sys.version.split()[0],
+    }
+    print(
+        f"{report['benchmark']}: "
+        f"median {report['median_accesses_per_s']:.1f} acc/s, "
+        f"median wall {report['median_wall_s']:.3f}s "
+        f"({args.repeats} repeats of {args.requests} requests)"
+    )
+    if not args.smoke:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

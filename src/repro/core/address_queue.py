@@ -148,23 +148,27 @@ class AddressQueue:
         A write already issued to the label queue cannot be recalled —
         its label is public — so it instead blocks the newcomer in
         :meth:`pop_issuable` until it completes.
+
+        At most one write per address is ever live (each push cancels
+        its queued predecessor), so the only possible queued write to
+        ``addr`` is ``_pending_writes[addr]`` — no queue scan needed.
         """
-        for queued in self._queue:
-            if queued.is_write and queued.addr == addr:
-                self._queue.remove(queued)
-                queued.served_by = "cancelled"
-                queued.complete_ns = now_ns
-                self.cancelled_writes += 1
-                if self._pending_writes.get(addr) is queued:
-                    del self._pending_writes[addr]
-                # Group waiters riding on the cancelled write re-attach
-                # to whichever same-group access remains (the caller is
-                # about to queue the superseding write).
-                self._orphaned_group_waiters = self._group_coalesced.pop(
-                    queued.request_id, []
-                )
-                return [queued]
-        return []
+        queued = self._pending_writes.get(addr)
+        key = self.hazard_key(addr) if self._grouping else addr
+        if queued is None or self._inflight.get(key) is queued:
+            return []
+        self._queue.remove(queued)
+        queued.served_by = "cancelled"
+        queued.complete_ns = now_ns
+        self.cancelled_writes += 1
+        del self._pending_writes[addr]
+        # Group waiters riding on the cancelled write re-attach to
+        # whichever same-group access remains (the caller is about to
+        # queue the superseding write).
+        self._orphaned_group_waiters = self._group_coalesced.pop(
+            queued.request_id, []
+        )
+        return [queued]
 
     def _note_occupancy(self) -> None:
         if len(self._queue) > self.max_occupancy:
@@ -182,12 +186,15 @@ class AddressQueue:
         access to their address). Requests still waiting on a PosMap
         chain (``ready == False``) are skipped.
         """
+        grouping = self._grouping
+        inflight = self._inflight
         for index, request in enumerate(self._queue):
             if not request.ready:
                 continue
-            if self.hazard_key(request.addr) not in self._inflight:
+            key = self.hazard_key(request.addr) if grouping else request.addr
+            if key not in inflight:
                 del self._queue[index]
-                self._inflight[self.hazard_key(request.addr)] = request
+                inflight[key] = request
                 return request
         return None
 
@@ -199,7 +206,7 @@ class AddressQueue:
         Returns the coalesced reads the caller must now complete with
         the primary's value.
         """
-        key = self.hazard_key(request.addr)
+        key = self.hazard_key(request.addr) if self._grouping else request.addr
         if self._inflight.get(key) is request:
             del self._inflight[key]
         waiters = self._group_coalesced.pop(request.request_id, [])

@@ -32,12 +32,11 @@ from __future__ import annotations
 
 import math
 import random
-from collections import deque
-from typing import Deque, List, Optional
+from typing import List, Optional
 
 from repro.config import SystemConfig
 from repro.core.address_queue import AddressQueue
-from repro.core.mac import make_cache
+from repro.core.mac import NoCache, make_cache
 from repro.core.merging import ForkState
 from repro.core.metrics import ControllerMetrics
 from repro.core.replacement import can_replace_dummy
@@ -137,6 +136,9 @@ class ForkPathController:
         self.cache = make_cache(
             config.cache, oram, self.geometry, config.scheduler.label_queue_size
         )
+        #: With no ORAM data cache the per-level coverage probes can be
+        #: skipped wholesale — the common timing-experiment configuration.
+        self._no_cache = isinstance(self.cache, NoCache)
         self.energy = EnergyModel(channels=config.dram.channels)
         self.dram = DramModel(
             self.geometry, config.dram, oram.bucket_bytes, self.energy
@@ -146,12 +148,22 @@ class ForkPathController:
         if config.recursion.enabled and config.recursion.plb_entries > 0:
             self.plb = PosMapLookasideBuffer(config.recursion.plb_entries)
 
+        # Per-access config scalars, resolved once — the config is not
+        # mutated after construction.
+        self._issue_period_ns = config.issue_period_ns
+        self._idle_gap_ns = config.idle_gap_ns
+        self._bucket_slots = oram.bucket_slots
+        self._allow_takeover = config.scheduler.enable_dummy_replacing
+
         self.clock_ns = 0.0
         self.current_leaf: Optional[int] = None
         #: Entry already selected as the next access (scheduled during
         #: the previous access's write phase).
         self._next_entry: Optional[LabelEntry] = None
         self._written_addrs: set[int] = set()
+        #: Scratch buffer for the read phase's DRAM node list, reused
+        #: across accesses to avoid per-access allocation.
+        self._dram_nodes_scratch: List[int] = []
 
     # ------------------------------------------------------------- run loop
 
@@ -188,7 +200,10 @@ class ForkPathController:
         return (
             not self.address_queue.is_empty()
             or self.address_queue.has_inflight()
-            or (self._next_entry is not None and self._next_entry.is_real)
+            or (
+                self._next_entry is not None
+                and self._next_entry.target_addr is not None
+            )
         )
 
     # ------------------------------------------------------------ admission
@@ -352,7 +367,7 @@ class ForkPathController:
     # ----------------------------------------------------------- the access
 
     def _process_one_access(self) -> None:
-        period = self.config.issue_period_ns
+        period = self._issue_period_ns
         if period > 0.0:
             # Static timing protection: access start times sit on a
             # fixed grid, independent of the data (Figure 1c).
@@ -366,39 +381,50 @@ class ForkPathController:
         if entry is None:  # bootstrap: nothing was pre-scheduled
             entry = self.label_queue.select_next(self.current_leaf, self.clock_ns)
         leaf = entry.leaf
-        record = AccessRecord(leaf=leaf, was_dummy=entry.is_dummy)
+        record = AccessRecord(leaf=leaf, was_dummy=entry.target_addr is None)
 
         # ---- read phase: fetch the non-resident part of the path.
         record.read_start_ns = self.clock_ns
         read_nodes = self.fork.read_set(leaf)
-        dram_nodes: List[int] = []
-        for node_id in read_nodes:
-            level = self.geometry.level_of(node_id)
-            fetched = None
-            if self.cache.covers_level(level):
-                self.energy.on_cache_access()
-                fetched = self.cache.lookup_bucket(node_id)
-            if fetched is not None:
-                self.stash.add_all(fetched.take_all())
-                record.cache_read_hits += 1
-            else:
-                dram_nodes.append(node_id)
+        no_cache = self._no_cache
+        if no_cache:
+            # Without an ORAM data cache every read-set node goes to
+            # DRAM — skip the per-node coverage probes entirely.
+            dram_nodes = read_nodes
+        else:
+            dram_nodes = self._dram_nodes_scratch
+            dram_nodes.clear()
+            covers_level = self.cache.covers_level
+            for node_id in read_nodes:
+                level = (node_id + 1).bit_length() - 1
+                fetched = None
+                if covers_level(level):
+                    self.energy.on_cache_access()
+                    fetched = self.cache.lookup_bucket(node_id)
+                if fetched is not None:
+                    self.stash.add_all(fetched.take_all())
+                    record.cache_read_hits += 1
+                else:
+                    dram_nodes.append(node_id)
         read_end = self.clock_ns
         if dram_nodes:
             read_end = self.dram.access_many(dram_nodes, False, self.clock_ns)
+            # Memory-side (adversary-visible) timestamps carry the DRAM
+            # completion time of the burst, matching the timing model.
+            read_blocks = self.memory.read_blocks
+            add_all = self.stash.add_all
             for node_id in dram_nodes:
-                bucket = self.memory.read_bucket(node_id, self.clock_ns)
-                self.stash.add_all(bucket.take_all())
+                add_all(read_blocks(node_id, read_end))
         record.read_nodes = len(read_nodes)
         record.dram_read_nodes = len(dram_nodes)
         record.read_end_ns = read_end
         self.clock_ns = read_end
 
         # ---- serve the request this access was for.
-        if entry.is_real:
+        if entry.target_addr is not None:  # real
             self._serve_entry(entry)
 
-        self.clock_ns += self.config.idle_gap_ns
+        self.clock_ns += self._idle_gap_ns
         self._admit(self.clock_ns)
 
         # ---- schedule the next access (defines the fork point).
@@ -406,42 +432,58 @@ class ForkPathController:
         scheduled_at = self.clock_ns
 
         # ---- write phase: refill leaf -> fork point, with takeover.
+        # The refill walks ``level`` from the leaf down-counting toward
+        # the fork point — an integer countdown, no per-access deque.
         retain = self.fork.retain_depth(leaf, next_entry.leaf)
-        pending: Deque[int] = deque(self.fork.write_levels(leaf, retain))
         record.write_start_ns = self.clock_ns
         finish = self.clock_ns
-        lowest_written = self.geometry.levels + 1
-        z = self.config.oram.bucket_slots
-        while pending:
-            level = pending.popleft()
-            node_id = self.geometry.path_node_at(leaf, level)
-            bucket = Bucket(z)
-            for block in self.stash.collect_for_node(leaf, level, z):
-                bucket.add(block)
-            record.written_nodes += 1
-            if self.cache.covers_level(level):
+        geometry = self.geometry
+        lowest_written = geometry.levels + 1
+        z = self._bucket_slots
+        allow_takeover = self._allow_takeover
+        path = geometry.path_tuple(leaf)
+        stash = self.stash
+        # Bypass the indexed/scan dispatch layer — rebound every access
+        # so differential tests may still toggle ``stash.indexed``.
+        collect_for_node = (
+            stash._collect_indexed if stash.indexed else stash._collect_scan
+        )
+        write_blocks = self.memory.write_blocks
+        dram_access = self.dram.access
+        covers_level = self.cache.covers_level
+        written_nodes = 0
+        dram_written_nodes = 0
+        level = geometry.levels
+        while level >= retain:
+            node_id = path[level]
+            # collect_for_node honours the z cap, so the list can back
+            # the written bucket directly — no per-block validation.
+            blocks = collect_for_node(leaf, level, z)
+            written_nodes += 1
+            if no_cache:
+                write_blocks(node_id, blocks, finish)
+                finish = dram_access(node_id, True, finish)
+                dram_written_nodes += 1
+            elif covers_level(level):
                 self.energy.on_cache_access()
                 for victim_node, victim_bucket in self.cache.insert_bucket(
-                    node_id, bucket
+                    node_id, Bucket.of(z, blocks)
                 ):
                     # Capacity-eviction write-backs drain through a
                     # write buffer: they occupy channel bandwidth (the
                     # DRAM model serialises them per channel) but do
                     # not extend this refill's critical path.
                     self.memory.write_bucket(victim_node, victim_bucket, finish)
-                    self.dram.access(victim_node, True, finish)
-                    record.dram_written_nodes += 1
+                    dram_access(victim_node, True, finish)
+                    dram_written_nodes += 1
             else:
-                self.memory.write_bucket(node_id, bucket, finish)
-                finish = self.dram.access(node_id, True, finish)
-                record.dram_written_nodes += 1
+                write_blocks(node_id, blocks, finish)
+                finish = dram_access(node_id, True, finish)
+                dram_written_nodes += 1
             lowest_written = level
+            level -= 1
 
-            if (
-                pending
-                and next_entry.is_dummy
-                and self.config.scheduler.enable_dummy_replacing
-            ):
+            if level >= retain and allow_takeover and next_entry.target_addr is None:
                 self._admit(finish)
                 replacement = self._find_replacement(
                     leaf, lowest_written, record.write_start_ns
@@ -450,15 +492,18 @@ class ForkPathController:
                     next_entry = replacement
                     record.replaced_dummy = True
                     retain = self.fork.retain_depth(leaf, replacement.leaf)
-                    pending = deque(range(lowest_written - 1, retain - 1, -1))
+                    level = lowest_written - 1
 
         self.clock_ns = max(self.clock_ns, finish)
+        record.written_nodes = written_nodes
+        record.dram_written_nodes = dram_written_nodes
         record.write_end_ns = self.clock_ns
+        record.retained_depth = retain
         self.fork.commit_write(leaf, retain)
         self.stash.sample_occupancy()
         self.stash.check_persistent_occupancy(slack=z * retain)
         self.metrics.on_access(record)
-        self.clock_ns += self.config.idle_gap_ns
+        self.clock_ns += self._idle_gap_ns
         self.current_leaf = leaf
         self._next_entry = next_entry
 
@@ -472,7 +517,7 @@ class ForkPathController:
             # First-ever touch of this address: materialise the block.
             block = Block(addr, entry.leaf, None)
             self.stash.add(block)
-        block.leaf = entry.new_leaf
+        self.stash.relabel(addr, entry.new_leaf)
         # Static super blocks: every group sibling rides the same leaf;
         # siblings just loaded into the stash adopt the new label too
         # (they must stay co-located for the shared PosMap entry).
@@ -480,9 +525,7 @@ class ForkPathController:
         if oram.super_block_log2 > 0 and addr < oram.num_blocks:
             base = oram.group_base(addr)
             for sibling in range(base, base + oram.super_block_size):
-                sibling_block = self.stash.get(sibling)
-                if sibling_block is not None:
-                    sibling_block.leaf = entry.new_leaf
+                self.stash.relabel(sibling, entry.new_leaf)
         request = entry.request
         if request is None:
             raise ProtocolError("real label entry without a request")

@@ -37,6 +37,9 @@ class ForkState:
         #: Node ids currently held on chip; always a path prefix,
         #: root first. Their blocks live in the stash.
         self.resident: List[int] = []
+        #: Tuple mirror of ``resident`` for prefix comparison against
+        #: the memoized path tuples without per-access list building.
+        self._resident_tuple: tuple = ()
 
     @property
     def resident_depth(self) -> int:
@@ -48,16 +51,16 @@ class ForkState:
         With merging on, the resident prefix is skipped; its blocks are
         already in the stash. Root-first order.
         """
-        path = self.geometry.path_nodes(leaf)
+        path = self.geometry.path_tuple(leaf)
         if not self.enabled or not self.resident:
-            return path
+            return list(path)
         depth = len(self.resident)
-        if path[:depth] != self.resident:
+        if path[:depth] != self._resident_tuple:
             raise InvariantViolationError(
                 f"resident nodes {self.resident} are not a prefix of "
-                f"path-{leaf} {path[:depth]} — scheduler/merge desync"
+                f"path-{leaf} {list(path[:depth])} — scheduler/merge desync"
             )
-        return path[depth:]
+        return list(path[depth:])
 
     def retain_depth(self, current_leaf: int, next_leaf: int) -> int:
         """Levels ``0 .. depth-1`` of the current path to keep on chip.
@@ -84,8 +87,12 @@ class ForkState:
         """Record the post-access resident set: the retained prefix."""
         if not self.enabled or retain <= 0:
             self.resident = []
+            self._resident_tuple = ()
         else:
-            self.resident = self.geometry.path_nodes(current_leaf)[:retain]
+            prefix = self.geometry.path_tuple(current_leaf)[:retain]
+            self.resident = list(prefix)
+            self._resident_tuple = prefix
 
     def reset(self) -> None:
         self.resident = []
+        self._resident_tuple = ()

@@ -133,5 +133,10 @@ class ControllerMetrics:
             "avg_dram_time_per_access_ns": self.avg_dram_time_per_access_ns,
             "dummy_fraction": self.dummy_fraction,
             "cache_read_hits": float(self.cache_read_hits),
+            "read_nodes": float(self.read_nodes),
+            "written_nodes": float(self.written_nodes),
+            "dram_read_nodes": float(self.dram_read_nodes),
+            "dram_written_nodes": float(self.dram_written_nodes),
+            "normalized_request_count": self.normalized_request_count(),
             "end_time_ns": self.end_time_ns,
         }

@@ -18,7 +18,7 @@ from typing import List, Optional
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class LlcRequest:
     """One memory request from the LLC: ``(addr, op, data)`` plus timing.
 
@@ -68,7 +68,7 @@ class LlcRequest:
         return self.complete_ns is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class LabelEntry:
     """One pending ORAM request in the label queue.
 
@@ -98,7 +98,7 @@ class LabelEntry:
         return self.target_addr is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessRecord:
     """Measurement record of one completed tree-path access."""
 

@@ -43,7 +43,17 @@ class LabelQueue:
         self.geometry = geometry
         self.config = config
         self.rng = rng
+        #: Queue size cached off the config — hit once per top-up slot.
+        self._size = config.label_queue_size
         self.entries: List[LabelEntry] = []
+        #: Count of real entries in ``entries`` — every mutation path
+        #: (insert_real, select_next) maintains it so admission checks
+        #: are O(1) instead of scanning the queue.
+        self._real_count = 0
+        #: Upper bound on the oldest real entry's age, maintained so
+        #: the starvation scan only runs when it could possibly fire
+        #: (ages grow by at most 1 per selection round).
+        self._age_bound = 0
         self.dummies_created = 0
         self.reals_inserted = 0
         self.dummies_taken_over = 0
@@ -67,8 +77,9 @@ class LabelQueue:
 
     def top_up(self, now_ns: float) -> None:
         """Pad the queue to its fixed size with fresh dummy labels."""
-        while len(self.entries) < self.size:
-            self.entries.append(self._fresh_dummy(now_ns))
+        entries = self.entries
+        while len(entries) < self._size:
+            entries.append(self._fresh_dummy(now_ns))
 
     def _fresh_dummy(self, now_ns: float) -> LabelEntry:
         self.dummies_created += 1
@@ -79,9 +90,10 @@ class LabelQueue:
     def has_room_for_real(self) -> bool:
         """Whether a real entry can enter (a dummy to take over, or a
         genuinely free slot before top-up)."""
-        if len(self.entries) < self.size:
-            return True
-        return any(entry.is_dummy for entry in self.entries)
+        return (
+            len(self.entries) < self._size
+            or self._real_count < len(self.entries)
+        )
 
     def insert_real(self, entry: LabelEntry) -> None:
         """Admit a real entry, taking over the first queued dummy.
@@ -95,12 +107,14 @@ class LabelQueue:
             raise ProtocolError("insert_real() requires a real entry")
         self.reals_inserted += 1
         for index, existing in enumerate(self.entries):
-            if existing.is_dummy:
+            if existing.target_addr is None:  # dummy
                 self.entries[index] = entry
+                self._real_count += 1
                 self.dummies_taken_over += 1
                 return
-        if len(self.entries) < self.size:
+        if len(self.entries) < self._size:
             self.entries.append(entry)
+            self._real_count += 1
             return
         raise ProtocolError("label queue saturated with real requests")
 
@@ -114,49 +128,87 @@ class LabelQueue:
         topped up first so the choice is always among ``size``
         candidates.
         """
-        self.top_up(now_ns)
-        if self.config.refresh_dummies and self.config.enable_scheduling:
+        if len(self.entries) < self._size:
+            self.top_up(now_ns)
+        config = self.config
+        if (
+            config.refresh_dummies
+            and config.enable_scheduling
+            and self._real_count < len(self.entries)
+        ):
+            random_leaf = self.geometry.random_leaf
+            rng = self.rng
             for entry in self.entries:
-                if entry.is_dummy:
-                    entry.leaf = self.geometry.random_leaf(self.rng)
-        if not self.config.enable_scheduling or current_leaf is None:
+                if entry.target_addr is None:  # dummy
+                    entry.leaf = random_leaf(rng)
+        if not config.enable_scheduling or current_leaf is None:
             index = self._fifo_choice()
         else:
-            index = self._aged_choice()
+            index = None
+            if self._age_bound >= config.effective_aging_threshold:
+                index = self._aged_choice()
             if index is None:
                 index = self._overlap_choice(current_leaf)
         chosen = self.entries.pop(index)
-        for entry in self.entries:
-            if entry.is_real:
-                entry.age += 1
+        if chosen.target_addr is not None:
+            self._real_count -= 1
+        if self._real_count:
+            for entry in self.entries:
+                if entry.target_addr is not None:  # real
+                    entry.age += 1
+            self._age_bound += 1
         return chosen
 
     def _fifo_choice(self) -> int:
-        """Oldest real first; a dummy only when no real is queued."""
+        """Oldest real first; a dummy only when no real is queued.
+
+        "Oldest" means earliest ``enqueue_ns``, not list position:
+        :meth:`insert_real` takes over dummies at arbitrary slots, so
+        list order does not track arrival order.
+        """
+        best: Optional[int] = None
+        best_arrival = 0.0
         for index, entry in enumerate(self.entries):
-            if entry.is_real:
-                return index
-        return 0
+            if entry.target_addr is not None and (
+                best is None or entry.enqueue_ns < best_arrival
+            ):
+                best = index
+                best_arrival = entry.enqueue_ns
+        return best if best is not None else 0
 
     def _aged_choice(self) -> Optional[int]:
         """Starvation guard: a real entry past the aging threshold wins,
         oldest age first."""
         best: Optional[int] = None
-        best_age = self.config.effective_aging_threshold - 1
+        max_age = -1
         for index, entry in enumerate(self.entries):
-            if entry.is_real and entry.age > best_age:
-                best_age = entry.age
+            if entry.target_addr is not None and entry.age > max_age:
+                max_age = entry.age
                 best = index
-        return best
+        if max_age >= self.config.effective_aging_threshold:
+            return best
+        # No entry is past the threshold: remember the true maximum so
+        # the next scans are skipped until it could matter again.
+        self._age_bound = max_age if max_age > 0 else 0
+        return None
 
     def _overlap_choice(self, current_leaf: int) -> int:
         """Highest overlap degree; real beats dummy on ties; then FIFO."""
-        divergence = self.geometry.divergence_level
+        levels = self.geometry.levels
         best_index = 0
-        best_key = (-1, False)
+        best_overlap = -1
+        best_real = True
         for index, entry in enumerate(self.entries):
-            key = (divergence(current_leaf, entry.leaf), entry.is_real)
-            if key > best_key:
-                best_key = key
+            # Inlined TreeGeometry.divergence_level — all queue leaves
+            # were minted by random_leaf, so no bounds check needed.
+            x = current_leaf ^ entry.leaf
+            overlap = levels + 1 if x == 0 else levels - x.bit_length() + 1
+            if overlap > best_overlap or (
+                overlap == best_overlap
+                and not best_real
+                and entry.target_addr is not None
+            ):
+                best_overlap = overlap
+                best_real = entry.target_addr is not None
                 best_index = index
         return best_index

@@ -81,8 +81,12 @@ class SubtreeLayout:
 
     def subtree_of(self, node_id: int) -> tuple[int, int]:
         """(subtree id, position within subtree) of a bucket."""
-        level = self.geometry.level_of(node_id)
-        index = self.geometry.index_in_level(node_id)
+        if not 0 <= node_id < self.geometry.num_nodes:
+            raise ConfigError(
+                f"node {node_id} out of range [0, {self.geometry.num_nodes})"
+            )
+        level = (node_id + 1).bit_length() - 1
+        index = node_id - ((1 << level) - 1)
         s = self.subtree_levels
         group = level // s
         local_level = level - group * s

@@ -81,6 +81,22 @@ class DramModel:
         timing = config.timing
         bursts = -(-bucket_bytes // timing.burst_bytes)
         self._transfer_ns = bursts * timing.burst_time_ns
+        # Per-access latency constants (timing never changes after
+        # construction): row hit, row miss on a closed bank, row miss
+        # needing a precharge first.
+        self._t_hit_ns = timing.t_cas_ns + self._transfer_ns
+        self._t_miss_ns = timing.t_rcd_ns + timing.t_cas_ns + self._transfer_ns
+        self._t_miss_rp_ns = self._t_miss_ns + timing.t_rp_ns
+        # A bucket's physical placement never changes, so locate() is
+        # memoised per node id (bounded — an access stream touching more
+        # distinct buckets than this simply re-resolves).
+        self._locate_cache: dict = {}
+        self._locate_cache_max = 1 << 20
+        # Bound energy hooks — one attribute load instead of three on
+        # every bucket transfer.
+        self._energy_on_activate = self.energy.on_activate
+        self._energy_on_read = self.energy.on_read
+        self._energy_on_write = self.energy.on_write
 
     # -------------------------------------------------------------- access
 
@@ -90,33 +106,42 @@ class DramModel:
         ``now_ns`` is the earliest the command can issue; the actual
         start also waits for the target channel's bus.
         """
-        location = self.layout.locate(node_id)
-        bank = self._banks[location.channel][location.bank]
-        timing = self.config.timing
+        loc = self._locate_cache.get(node_id)
+        if loc is None:
+            location = self.layout.locate(node_id)
+            if len(self._locate_cache) >= self._locate_cache_max:
+                self._locate_cache.clear()
+            loc = (location.channel, location.bank, location.row)
+            self._locate_cache[node_id] = loc
+        channel, bank_index, row = loc
+        bank = self._banks[channel][bank_index]
+        stats = self.stats
 
-        start = max(now_ns, self._channel_free_ns[location.channel])
-        if bank.open_row == location.row:
-            self.stats.row_hits += 1
-            access_ns = timing.t_cas_ns
+        free = self._channel_free_ns[channel]
+        start = now_ns if now_ns > free else free
+        if bank.open_row == row:
+            stats.row_hits += 1
+            finish = start + self._t_hit_ns
         else:
-            self.stats.row_misses += 1
-            self.energy.on_activate()
-            access_ns = timing.t_rcd_ns + timing.t_cas_ns
-            if bank.open_row is not None:
-                access_ns += timing.t_rp_ns
-            bank.open_row = location.row
-        finish = start + access_ns + self._transfer_ns
-        self._channel_free_ns[location.channel] = finish
-        self.stats.busy_ns += finish - start
+            stats.row_misses += 1
+            self._energy_on_activate()
+            if bank.open_row is None:
+                finish = start + self._t_miss_ns
+            else:
+                finish = start + self._t_miss_rp_ns
+            bank.open_row = row
+        self._channel_free_ns[channel] = finish
+        stats.busy_ns += finish - start
 
+        bucket_bytes = self.bucket_bytes
         if is_write:
-            self.stats.writes += 1
-            self.stats.bytes_written += self.bucket_bytes
-            self.energy.on_write(self.bucket_bytes)
+            stats.writes += 1
+            stats.bytes_written += bucket_bytes
+            self._energy_on_write(bucket_bytes)
         else:
-            self.stats.reads += 1
-            self.stats.bytes_read += self.bucket_bytes
-            self.energy.on_read(self.bucket_bytes)
+            stats.reads += 1
+            stats.bytes_read += bucket_bytes
+            self._energy_on_read(bucket_bytes)
         return finish
 
     def access_many(
@@ -125,8 +150,11 @@ class DramModel:
         """Transfer several buckets issued together at ``now_ns``;
         channels overlap, returns the last completion time."""
         finish = now_ns
+        access = self.access
         for node_id in node_ids:
-            finish = max(finish, self.access(node_id, is_write, now_ns))
+            done = access(node_id, is_write, now_ns)
+            if done > finish:
+                finish = done
         return finish
 
     # ------------------------------------------------------------- queries

@@ -19,7 +19,7 @@ from repro.errors import ConfigError, InvariantViolationError
 DUMMY_ADDR = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class Block:
     """One data block: ``(addr, leaf, payload)``.
 
@@ -44,7 +44,7 @@ class Block:
         return Block(DUMMY_ADDR, 0, None)
 
 
-@dataclass
+@dataclass(slots=True)
 class Bucket:
     """A bucket of ``Z`` slots; missing entries are dummy blocks."""
 
@@ -95,8 +95,26 @@ class Bucket:
         return taken
 
     def copy(self) -> "Bucket":
-        return Bucket(self.capacity, [block.copy() for block in self.blocks])
+        # Hot path (every seal/open): the source is already a valid
+        # bucket, so skip __init__/__post_init__ re-validation.
+        clone = Bucket.__new__(Bucket)
+        clone.capacity = self.capacity
+        clone.blocks = [Block(b.addr, b.leaf, b.payload) for b in self.blocks]
+        return clone
 
     @staticmethod
     def empty(capacity: int) -> "Bucket":
-        return Bucket(capacity)
+        bucket = Bucket.__new__(Bucket)
+        bucket.capacity = capacity
+        bucket.blocks = []
+        return bucket
+
+    @staticmethod
+    def of(capacity: int, blocks: List[Block]) -> "Bucket":
+        """Wrap ``blocks`` without re-validation — for hot paths whose
+        caller already guarantees ``len(blocks) <= capacity`` and no
+        dummies (e.g. stash eviction, which honours the ``z`` cap)."""
+        bucket = Bucket.__new__(Bucket)
+        bucket.capacity = capacity
+        bucket.blocks = blocks
+        return bucket

@@ -41,13 +41,26 @@ class BucketCipher:
     def open(self, sealed: object, capacity: int) -> Bucket:
         raise NotImplementedError
 
+    def open_blocks(self, sealed: object, capacity: int) -> List[Block]:
+        """Decrypt straight to the real blocks, skipping the bucket
+        wrapper — the controller hot path, where the bucket would be
+        emptied into the stash immediately anyway."""
+        return self.open(sealed, capacity).blocks
+
+    def seal_blocks(self, blocks: List[Block], capacity: int) -> object:
+        """Seal a bucket given as its real-block list (``len <= Z``
+        guaranteed by the caller) — mirror of :meth:`open_blocks`."""
+        return self.seal(Bucket.of(capacity, blocks), capacity)
+
 
 class NullCipher(BucketCipher):
     """Identity cipher with a write counter, for fast simulations.
 
-    The returned "ciphertext" is a ``(counter, bucket_copy)`` tuple so
-    that adversary-trace tests can still verify every write-back is
-    fresh (no two sealed values compare equal).
+    The returned "ciphertext" is a ``(counter, slots)`` tuple — the
+    slots captured as immutable ``(addr, leaf, payload)`` triples so
+    later mutation of the sealed bucket cannot reach the store — and
+    the counter keeps every write-back fresh (no two sealed values
+    compare equal), which the adversary-trace tests rely on.
     """
 
     def __init__(self) -> None:
@@ -55,11 +68,26 @@ class NullCipher(BucketCipher):
 
     def seal(self, bucket: Bucket, capacity: int) -> object:
         self._counter += 1
-        return (self._counter, bucket.copy())
+        return (
+            self._counter,
+            tuple([(b.addr, b.leaf, b.payload) for b in bucket.blocks]),
+        )
 
     def open(self, sealed: object, capacity: int) -> Bucket:
-        _counter, bucket = sealed
-        return bucket.copy()
+        bucket = Bucket.__new__(Bucket)
+        bucket.capacity = capacity
+        bucket.blocks = [Block(a, l, p) for a, l, p in sealed[1]]
+        return bucket
+
+    def open_blocks(self, sealed: object, capacity: int) -> List[Block]:
+        return [Block(a, l, p) for a, l, p in sealed[1]]
+
+    def seal_blocks(self, blocks: List[Block], capacity: int) -> object:
+        self._counter += 1
+        return (
+            self._counter,
+            tuple([(b.addr, b.leaf, b.payload) for b in blocks]),
+        )
 
 
 class CounterModeCipher(BucketCipher):

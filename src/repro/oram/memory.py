@@ -15,11 +15,10 @@ timestamps — via :class:`TraceRecorder`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 from repro.errors import ConfigError
-from repro.oram.blocks import Bucket
+from repro.oram.blocks import Block, Bucket
 from repro.oram.encryption import BucketCipher, NullCipher
 from repro.oram.tree import TreeGeometry
 
@@ -31,9 +30,12 @@ class MemoryOp(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One adversary-visible bus event: a whole-bucket read or write."""
+class TraceEvent(NamedTuple):
+    """One adversary-visible bus event: a whole-bucket read or write.
+
+    A ``NamedTuple`` rather than a dataclass: one event is appended per
+    bucket transfer, so construction cost is on the simulator hot path.
+    """
 
     op: MemoryOp
     node_id: int
@@ -94,6 +96,7 @@ class UntrustedMemory:
             raise ConfigError(f"bucket_slots must be >= 1, got {bucket_slots}")
         self.geometry = geometry
         self.bucket_slots = bucket_slots
+        self._num_nodes = geometry.num_nodes
         self.cipher = cipher if cipher is not None else NullCipher()
         self.trace = trace if trace is not None else TraceRecorder()
         self._store: Dict[int, object] = {}
@@ -104,24 +107,65 @@ class UntrustedMemory:
 
     def read_bucket(self, node_id: int, time_ns: float = 0.0) -> Bucket:
         """Fetch and decrypt the bucket at ``node_id``."""
-        self._check_node(node_id)
+        if not 0 <= node_id < self._num_nodes:
+            self._check_node(node_id)
         self.reads += 1
-        self.trace.record(MemoryOp.READ, node_id, time_ns)
+        trace = self.trace
+        if trace.enabled:
+            trace.events.append(TraceEvent(MemoryOp.READ, node_id, time_ns))
         sealed = self._store.get(node_id)
         if sealed is None:
             return Bucket.empty(self.bucket_slots)
         return self.cipher.open(sealed, self.bucket_slots)
 
+    def read_blocks(self, node_id: int, time_ns: float = 0.0) -> List[Block]:
+        """:meth:`read_bucket` minus the bucket wrapper.
+
+        Same bus event, counters and decryption — returns the real
+        blocks directly for callers that would immediately drain the
+        bucket into the stash (the controller's read phase).
+        """
+        if not 0 <= node_id < self._num_nodes:
+            self._check_node(node_id)
+        self.reads += 1
+        trace = self.trace
+        if trace.enabled:
+            trace.events.append(TraceEvent(MemoryOp.READ, node_id, time_ns))
+        sealed = self._store.get(node_id)
+        if sealed is None:
+            return []
+        return self.cipher.open_blocks(sealed, self.bucket_slots)
+
     def write_bucket(self, node_id: int, bucket: Bucket, time_ns: float = 0.0) -> None:
         """Re-encrypt and store a bucket at ``node_id``."""
-        self._check_node(node_id)
+        if not 0 <= node_id < self._num_nodes:
+            self._check_node(node_id)
         if bucket.capacity != self.bucket_slots:
             raise ConfigError(
                 f"bucket capacity {bucket.capacity} != memory Z {self.bucket_slots}"
             )
         self.writes += 1
-        self.trace.record(MemoryOp.WRITE, node_id, time_ns)
+        trace = self.trace
+        if trace.enabled:
+            trace.events.append(TraceEvent(MemoryOp.WRITE, node_id, time_ns))
         self._store[node_id] = self.cipher.seal(bucket, self.bucket_slots)
+
+    def write_blocks(
+        self, node_id: int, blocks: List[Block], time_ns: float = 0.0
+    ) -> None:
+        """:meth:`write_bucket` minus the bucket wrapper.
+
+        Same bus event, counters and encryption. The caller guarantees
+        ``len(blocks) <= Z`` and no dummies (the stash eviction caps the
+        list) — the controller's write phase.
+        """
+        if not 0 <= node_id < self._num_nodes:
+            self._check_node(node_id)
+        self.writes += 1
+        trace = self.trace
+        if trace.enabled:
+            trace.events.append(TraceEvent(MemoryOp.WRITE, node_id, time_ns))
+        self._store[node_id] = self.cipher.seal_blocks(blocks, self.bucket_slots)
 
     # ------------------------------------------------------------ inspection
 

@@ -156,7 +156,7 @@ class PathOram:
                 raise ProtocolError(f"read of never-written address {addr}")
             block = Block(addr, new_leaf, None)
             self.stash.add(block)
-        block.leaf = new_leaf
+        self.stash.relabel(addr, new_leaf)
         if is_write:
             block.payload = payload
             self._written_addrs.add(addr)

@@ -132,7 +132,7 @@ class RecursiveOram:
                     block = Block(block_addr, access_leaf, None)
                     self.stash.add(block)
 
-            block.leaf = new_leaf
+            self.stash.relabel(block_addr, new_leaf)
             if is_last:
                 if is_write:
                     block.payload = payload

@@ -12,11 +12,23 @@ Eviction implements the standard Path ORAM greedy rule: when re-filling
 the bucket at ``level`` on path-``leaf``, any stash block whose own path
 shares that bucket is eligible; filling from the leaf upward places each
 block as deep as possible.
+
+Two implementations of that rule coexist:
+
+* the **indexed** fast path (default) — a leaf-keyed secondary index
+  lets each refill compute every block's divergence level against the
+  target path once, bin blocks by divergence, and then serve each
+  level's request from the (precomputed) union of eligible bins. One
+  refill costs ``O(n + L log L)`` instead of the naive ``O(n · L)``.
+* the **scan** reference path (``indexed=False``) — the original
+  re-scan-everything rule, kept as the behavioural oracle; equivalence
+  tests assert both paths pick identical blocks in identical order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import StashOverflowError
 from repro.oram.blocks import Block
@@ -36,12 +48,29 @@ class Stash:
         write-back), mirroring how the hardware sizes the stash; the
         check tolerates ``slack`` extra blocks for retained fork-path
         buckets when the controller asks for it.
+    indexed:
+        Use the indexed eviction fast path (default). ``False`` selects
+        the reference linear scan — same results, for differential
+        testing and perf comparison.
     """
 
-    def __init__(self, geometry: TreeGeometry, capacity: int) -> None:
+    def __init__(
+        self, geometry: TreeGeometry, capacity: int, indexed: bool = True
+    ) -> None:
         self.geometry = geometry
         self.capacity = capacity
+        self.indexed = indexed
         self._blocks: Dict[int, Block] = {}
+        #: Leaf-keyed secondary index: leaf label -> {addr: block}.
+        #: Kept in sync by add/pop/relabel and by eviction itself.
+        self._by_leaf: Dict[int, Dict[int, Block]] = {}
+        #: Bumped on any membership or label change; invalidates the
+        #: per-access eviction snapshot.
+        self._epoch = 0
+        self._snap_leaf: Optional[int] = None
+        self._snap_epoch = -1
+        self._snap_bins: List[List[Tuple[int, int]]] = []
+        self._snap_pos: List[int] = []
         self.max_occupancy = 0
         self.occupancy_samples: List[int] = []
 
@@ -64,16 +93,85 @@ class Stash:
 
     def add(self, block: Block) -> None:
         """Insert or replace the block for ``block.addr``."""
-        self._blocks[block.addr] = block
+        addr = block.addr
+        previous = self._blocks.get(addr)
+        if previous is not None:
+            old_group = self._by_leaf.get(previous.leaf)
+            if old_group is not None:
+                old_group.pop(addr, None)
+                if not old_group:
+                    del self._by_leaf[previous.leaf]
+        self._blocks[addr] = block
+        group = self._by_leaf.get(block.leaf)
+        if group is None:
+            group = self._by_leaf[block.leaf] = {}
+        group[addr] = block
+        self._epoch += 1
         if len(self._blocks) > self.max_occupancy:
             self.max_occupancy = len(self._blocks)
 
     def add_all(self, blocks: Iterable[Block]) -> None:
+        """Batch insert: one epoch bump and occupancy check for the
+        whole path's worth of blocks (the read-phase hot path)."""
+        _blocks = self._blocks
+        by_leaf = self._by_leaf
         for block in blocks:
-            self.add(block)
+            addr = block.addr
+            previous = _blocks.get(addr)
+            if previous is not None:
+                old_group = by_leaf.get(previous.leaf)
+                if old_group is not None:
+                    old_group.pop(addr, None)
+                    if not old_group:
+                        del by_leaf[previous.leaf]
+            _blocks[addr] = block
+            group = by_leaf.get(block.leaf)
+            if group is None:
+                group = by_leaf[block.leaf] = {}
+            group[addr] = block
+        self._epoch += 1
+        if len(_blocks) > self.max_occupancy:
+            self.max_occupancy = len(_blocks)
 
     def pop(self, addr: int) -> Optional[Block]:
-        return self._blocks.pop(addr, None)
+        block = self._blocks.pop(addr, None)
+        if block is not None:
+            self._unindex(block)
+            self._epoch += 1
+        return block
+
+    def relabel(self, addr: int, new_leaf: int) -> Optional[Block]:
+        """Assign a new leaf label to a resident block.
+
+        Stash-resident blocks must be relabelled through this method
+        (not by mutating ``block.leaf`` directly) so the leaf index and
+        the eviction snapshot stay coherent. Returns the block, or
+        ``None`` if ``addr`` is not resident.
+        """
+        block = self._blocks.get(addr)
+        if block is None:
+            return None
+        if block.leaf != new_leaf:
+            self._unindex(block)
+            block.leaf = new_leaf
+            group = self._by_leaf.get(new_leaf)
+            if group is None:
+                group = self._by_leaf[new_leaf] = {}
+            group[addr] = block
+            self._epoch += 1
+        return block
+
+    def blocks_with_leaf(self, leaf: int) -> List[Block]:
+        """Resident blocks currently labelled ``leaf`` (index lookup)."""
+        group = self._by_leaf.get(leaf)
+        return list(group.values()) if group else []
+
+    def _unindex(self, block: Block) -> None:
+        group = self._by_leaf.get(block.leaf)
+        if group is not None:
+            group.pop(block.addr, None)
+            if not group:
+                del self._by_leaf[block.leaf]
 
     # ------------------------------------------------------------- eviction
 
@@ -84,8 +182,16 @@ class Stash:
         A block is eligible iff its own path shares that bucket, i.e.
         its leaf label and ``leaf`` diverge strictly below ``level``.
         Called leaf-level first by the controller, this realises the
-        greedy "as deep as possible" refill of Path ORAM.
+        greedy "as deep as possible" refill of Path ORAM. Candidates are
+        taken in stash insertion order, identically in both the indexed
+        and the scan implementation.
         """
+        if self.indexed:
+            return self._collect_indexed(leaf, level, capacity)
+        return self._collect_scan(leaf, level, capacity)
+
+    def _collect_scan(self, leaf: int, level: int, capacity: int) -> List[Block]:
+        """Reference implementation: rescan every resident block."""
         chosen: List[Block] = []
         divergence = self.geometry.divergence_level
         for addr, block in self._blocks.items():
@@ -95,7 +201,88 @@ class Stash:
                     break
         for block in chosen:
             del self._blocks[block.addr]
+            self._unindex(block)
+        if chosen:
+            # Invalidate any indexed snapshot (the two paths may be
+            # toggled between calls by differential tests).
+            self._epoch += 1
         return chosen
+
+    def _collect_indexed(self, leaf: int, level: int, capacity: int) -> List[Block]:
+        """Indexed implementation: serve from divergence-binned candidates."""
+        if self._snap_leaf != leaf or self._snap_epoch != self._epoch:
+            self._build_snapshot(leaf)
+        bins = self._snap_bins
+        positions = self._snap_pos
+        blocks = self._blocks
+        # Eligibility at ``level`` is divergence > level, so the
+        # candidate pool is the union of bins level+1 .. L+1; a merge by
+        # insertion order reproduces the scan path's selection exactly.
+        live = []
+        for d in range(level + 1, len(bins)):
+            if positions[d] < len(bins[d]):
+                live.append(d)
+        chosen: List[Block] = []
+        if len(live) == 1:
+            # Common case (e.g. the leaf level): a single eligible bin —
+            # take in bin order, no merge needed.
+            d = live[0]
+            bin_d = bins[d]
+            pos = positions[d]
+            end = min(pos + capacity, len(bin_d))
+            while pos < end:
+                chosen.append(blocks[bin_d[pos][1]])
+                pos += 1
+            positions[d] = pos
+        elif live:
+            heads = [(bins[d][positions[d]][0], d) for d in live]
+            heapq.heapify(heads)
+            while heads and len(chosen) < capacity:
+                _order, d = heapq.heappop(heads)
+                bin_d = bins[d]
+                pos = positions[d]
+                chosen.append(blocks[bin_d[pos][1]])
+                pos += 1
+                positions[d] = pos
+                if pos < len(bin_d):
+                    heapq.heappush(heads, (bin_d[pos][0], d))
+        by_leaf = self._by_leaf
+        for block in chosen:
+            addr = block.addr
+            del blocks[addr]
+            group = by_leaf.get(block.leaf)
+            if group is not None:
+                group.pop(addr, None)
+                if not group:
+                    del by_leaf[block.leaf]
+            # Removal is already reflected in the bin positions, so the
+            # snapshot stays valid — no epoch bump.
+        return chosen
+
+    def _build_snapshot(self, leaf: int) -> None:
+        """Bin every resident block by divergence level against
+        path-``leaf``; computed once per (path, stash-state) pair.
+
+        Bin entries are ``(order, addr)`` where ``order`` is the block's
+        position in ``_blocks`` — dict order is stable while the
+        snapshot is valid (any add/pop/relabel bumps the epoch), so it
+        doubles as the scan path's selection order.
+        """
+        levels = self.geometry.levels
+        bins: List[List[Tuple[int, int]]] = [[] for _ in range(levels + 2)]
+        # Divergence is a function of the leaf label alone — resolve each
+        # distinct label to its bin's bound append once, via the index.
+        append_of: Dict[int, object] = {}
+        for block_leaf in self._by_leaf:
+            x = block_leaf ^ leaf
+            d = levels + 1 if x == 0 else levels - x.bit_length() + 1
+            append_of[block_leaf] = bins[d].append
+        for order, (addr, block) in enumerate(self._blocks.items()):
+            append_of[block.leaf]((order, addr))
+        self._snap_bins = bins
+        self._snap_pos = [0] * (levels + 2)
+        self._snap_leaf = leaf
+        self._snap_epoch = self._epoch
 
     # ----------------------------------------------------------- accounting
 

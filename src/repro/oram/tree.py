@@ -24,10 +24,15 @@ from typing import Iterator, List, Sequence
 from repro.errors import ConfigError
 
 
+#: Per-geometry bound on memoised paths; covers any realistic working
+#: set of hot leaves while keeping the cache a few MB at paper scale.
+_PATH_CACHE_MAX = 8192
+
+
 class TreeGeometry:
     """Immutable geometry of a Path ORAM tree with ``levels + 1`` levels."""
 
-    __slots__ = ("levels", "num_leaves", "num_nodes")
+    __slots__ = ("levels", "num_leaves", "num_nodes", "_path_cache")
 
     def __init__(self, levels: int) -> None:
         if levels < 0:
@@ -35,6 +40,8 @@ class TreeGeometry:
         self.levels = levels
         self.num_leaves = 1 << levels
         self.num_nodes = (1 << (levels + 1)) - 1
+        #: leaf -> tuple of path node ids, bounded (cleared when full).
+        self._path_cache: dict = {}
 
     def __repr__(self) -> str:
         return f"TreeGeometry(levels={self.levels})"
@@ -98,19 +105,38 @@ class TreeGeometry:
         The in-level index of that node is the top ``level`` bits of the
         leaf label, i.e. ``leaf >> (L - level)``.
         """
+        if 0 <= level <= self.levels:
+            cached = self._path_cache.get(leaf)
+            if cached is not None:
+                return cached[level]
+            if 0 <= leaf < self.num_leaves:
+                return (1 << level) - 1 + (leaf >> (self.levels - level))
         self._check_leaf(leaf)
         self._check_level(level)
-        return (1 << level) - 1 + (leaf >> (self.levels - level))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def path_nodes(self, leaf: int) -> List[int]:
         """Node ids of path-``leaf``, root first (``L + 1`` entries)."""
-        self._check_leaf(leaf)
-        levels = self.levels
-        base = leaf
-        return [
-            (1 << level) - 1 + (base >> (levels - level))
-            for level in range(levels + 1)
-        ]
+        return list(self.path_tuple(leaf))
+
+    def path_tuple(self, leaf: int) -> tuple:
+        """Node ids of path-``leaf`` as a shared, memoised tuple.
+
+        Same contents as :meth:`path_nodes` without the defensive list
+        copy — for hot paths that only index or iterate.
+        """
+        cached = self._path_cache.get(leaf)
+        if cached is None:
+            self._check_leaf(leaf)
+            levels = self.levels
+            cached = tuple(
+                (1 << level) - 1 + (leaf >> (levels - level))
+                for level in range(levels + 1)
+            )
+            if len(self._path_cache) >= _PATH_CACHE_MAX:
+                self._path_cache.clear()
+            self._path_cache[leaf] = cached
+        return cached
 
     def iter_path(self, leaf: int, *, leaf_first: bool = False) -> Iterator[int]:
         """Iterate a path's node ids root-first (or leaf-first)."""
@@ -125,11 +151,15 @@ class TreeGeometry:
         at least the root, so the result is ``>= 1``; identical leaves
         return ``levels + 1`` (full overlap).
         """
-        self._check_leaf(leaf_a)
-        self._check_leaf(leaf_b)
-        if leaf_a == leaf_b:
+        # Both labels are valid iff their OR is (non-negative and) below
+        # num_leaves — one branch instead of two checked calls.
+        if not 0 <= (leaf_a | leaf_b) < self.num_leaves:
+            self._check_leaf(leaf_a)
+            self._check_leaf(leaf_b)
+        x = leaf_a ^ leaf_b
+        if x == 0:
             return self.levels + 1
-        return self.levels - (leaf_a ^ leaf_b).bit_length() + 1
+        return self.levels - x.bit_length() + 1
 
     def overlap_degree(self, leaf_a: int, leaf_b: int) -> int:
         """Buckets shared by two paths — the paper's scheduling metric."""

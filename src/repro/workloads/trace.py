@@ -45,6 +45,11 @@ def make_trace(
     return trace
 
 
+#: Shared empty result for the (dominant) no-arrivals case — callers
+#: only iterate the return value, so one immutable instance is safe.
+_NO_ARRIVALS: List[LlcRequest] = []
+
+
 class TraceSource(ArrivalSource):
     """Open-loop arrival source over a pre-built request list."""
 
@@ -62,9 +67,12 @@ class TraceSource(ArrivalSource):
         return self._pending[0].arrival_ns
 
     def pop_arrivals(self, now_ns: float) -> List[LlcRequest]:
+        pending = self._pending
+        if not pending or pending[0].arrival_ns > now_ns:
+            return _NO_ARRIVALS
         ready: List[LlcRequest] = []
-        while self._pending and self._pending[0].arrival_ns <= now_ns:
-            ready.append(self._pending.popleft())
+        while pending and pending[0].arrival_ns <= now_ns:
+            ready.append(pending.popleft())
         return ready
 
     def on_complete(self, request: LlcRequest, now_ns: float) -> None:
