@@ -20,6 +20,14 @@ Usage::
 
     python benchmarks/bench_perf.py            # full run, writes JSON
     python benchmarks/bench_perf.py --smoke    # quick CI sanity run
+    python benchmarks/bench_perf.py --smoke --trace run.jsonl
+                                               # + JSONL event trace
+
+``--trace`` attaches the observability layer (events written as JSONL,
+validatable with ``python -m repro.obs.schema``). Tracing changes
+nothing the simulator models — the behavioural fingerprint must stay
+identical — but it does cost wall time, so traced rates are not
+comparable with the untraced baseline in ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -38,16 +46,15 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import fork_path_scheduler  # noqa: E402
-from repro.core.controller import ForkPathController  # noqa: E402
+from repro import Simulation, fork_path_scheduler  # noqa: E402
 from repro.experiments.common import SMALL, base_config  # noqa: E402
+from repro.obs import tracer_for_jsonl  # noqa: E402
 from repro.workloads.synthetic import uniform_trace  # noqa: E402
-from repro.workloads.trace import TraceSource  # noqa: E402
 
 WARMUP_REQUESTS = 500
 
 
-def one_run(requests: int, queue_size: int) -> dict:
+def one_run(requests: int, queue_size: int, trace_path=None) -> dict:
     """One timed simulation; returns rate and checksum-style counters."""
     scale = dataclasses.replace(SMALL, trace_requests=requests)
     config = base_config(scale, scheduler=fork_path_scheduler(queue_size))
@@ -56,8 +63,11 @@ def one_run(requests: int, queue_size: int) -> dict:
     trace = uniform_trace(
         scale.trace_requests, footprint, 50.0, rng, write_fraction=0.3
     )
-    controller = ForkPathController(
-        config, TraceSource(trace), rng=random.Random(scale.seed + 1)
+    tracer = tracer_for_jsonl(trace_path) if trace_path else None
+    # Simulation.controller rather than Simulation.run: the warmup /
+    # timed split needs two run() calls on the same controller.
+    controller = Simulation(config).controller(
+        trace, tracer=tracer, rng=random.Random(scale.seed + 1)
     )
     controller.memory.trace.enabled = False
     gc_was_enabled = gc.isenabled()
@@ -71,6 +81,8 @@ def one_run(requests: int, queue_size: int) -> dict:
     finally:
         if gc_was_enabled:
             gc.enable()
+        if tracer is not None:
+            tracer.close()
     timed_accesses = metrics.total_accesses - warm_accesses
     summary = metrics.summary()
     return {
@@ -100,12 +112,23 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_perf.json",
         help="where to write the JSON report (default: repo root)",
     )
+    parser.add_argument(
+        "--trace",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL event trace (first repeat only; disables the "
+        "untraced-throughput comparison)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.requests = 1200
         args.repeats = 1
 
-    runs = [one_run(args.requests, args.queue) for _ in range(args.repeats)]
+    runs = [
+        one_run(args.requests, args.queue, args.trace if i == 0 else None)
+        for i in range(args.repeats)
+    ]
     rates = [run["accesses_per_s"] for run in runs]
     walls = [run["wall_s"] for run in runs]
     fingerprints = {

@@ -16,10 +16,9 @@ import random
 
 from repro import (
     CacheConfig,
-    ForkPathController,
     PathOram,
+    Simulation,
     SystemConfig,
-    TraceSource,
     fork_path_scheduler,
     small_test_config,
     traditional_scheduler,
@@ -68,10 +67,7 @@ def demo_fork_path_vs_traditional() -> None:
         trace = hotspot_trace(
             3000, 4000, mean_gap_ns=120.0, rng=random.Random(1)
         )
-        controller = ForkPathController(
-            config, TraceSource(trace), rng=random.Random(2)
-        )
-        metrics = controller.run()
+        metrics = Simulation(config).run(trace, rng=random.Random(2)).metrics
         results[name] = metrics
         print(
             f"{name:22s}: avg path {metrics.avg_path_buckets:5.2f} buckets/phase, "

@@ -8,16 +8,25 @@ over a dummy-padded label queue, and merging-aware caching.
 
 Public API tour
 ---------------
+* :class:`repro.Simulation` — the front door: configure once, then
+  :meth:`~repro.Simulation.run` a trace (open loop) or
+  :meth:`~repro.Simulation.run_system` benchmarks against an insecure
+  baseline (closed loop); both return a :class:`repro.RunResult`.
+* :mod:`repro.obs` — structured observability: pass
+  ``tracer=repro.obs.Tracer(...)`` to any run for typed events,
+  counters, latency histograms and timeline samples.
+* :class:`repro.SystemConfig` and friends — all tunables, defaulting to
+  the paper's Table 1; :meth:`~repro.SystemConfig.from_overrides`
+  applies dotted-key overrides (``{"scheduler.label_queue_size": 128}``).
 * :class:`repro.PathOram` — the functional baseline protocol.
 * :class:`repro.ForkPathController` — the timed Fork Path controller
   (set ``SchedulerConfig(enable_merging=False, enable_scheduling=False,
   label_queue_size=1)`` for traditional Path ORAM on the same stack).
-* :class:`repro.SystemConfig` and friends — all tunables, defaulting to
-  the paper's Table 1.
-* :func:`repro.simulate_system` — closed-loop full-system runs
-  (slowdown and energy versus an insecure processor).
 * :mod:`repro.workloads` — SPEC/PARSEC stand-ins and the Table 2 mixes.
 * :mod:`repro.experiments` — one module per paper figure (10-19).
+
+Deprecated: :func:`repro.simulate_system` (use
+``Simulation(config).run_system(...)``).
 """
 
 from repro.config import (
@@ -44,9 +53,18 @@ from repro.errors import (
     StashOverflowError,
 )
 from repro.memsys.system import FullSystemResult, simulate_system
+from repro.obs import (
+    JsonlSink,
+    NullTracer,
+    RingBufferSink,
+    TerminalSummarySink,
+    Tracer,
+    tracer_for_jsonl,
+)
 from repro.oram.path_oram import PathOram
 from repro.oram.recursion import RecursiveOram
 from repro.oram.tree import TreeGeometry
+from repro.simulation import RunResult, Simulation
 from repro.workloads.trace import TraceSource, make_trace
 
 __version__ = "1.0.0"
@@ -74,6 +92,14 @@ __all__ = [
     "StashOverflowError",
     "FullSystemResult",
     "simulate_system",
+    "Simulation",
+    "RunResult",
+    "Tracer",
+    "NullTracer",
+    "JsonlSink",
+    "RingBufferSink",
+    "TerminalSummarySink",
+    "tracer_for_jsonl",
     "PathOram",
     "RecursiveOram",
     "TreeGeometry",

@@ -11,6 +11,16 @@ Commands
 ``mix MIXNAME``
     Full-system comparison on one Table 2 mix (see
     ``examples/mix_simulation.py`` for the long-form version).
+
+``demo`` and ``mix`` accept two extra flags:
+
+``--set key=value`` (repeatable)
+    Dotted-path config overrides applied via
+    :meth:`repro.SystemConfig.from_overrides`, e.g.
+    ``--set scheduler.label_queue_size=128 --set nonstop=false``.
+``--trace PATH``
+    Write a structured JSONL event trace of the run (validate it with
+    ``python -m repro.obs.schema PATH``).
 """
 
 from __future__ import annotations
@@ -21,6 +31,40 @@ import random
 import sys
 
 from repro import __version__
+
+
+def _parse_overrides(pairs: list[str] | None) -> dict[str, object]:
+    """Turn repeated ``--set key=value`` flags into an override map."""
+    overrides: dict[str, object] = {}
+    for pair in pairs or []:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        overrides[key.strip()] = value.strip()
+    return overrides
+
+
+def _make_tracer(path: str | None, label: str = ""):
+    """A JSONL tracer for ``--trace PATH``, or None when untraced.
+
+    Commands that run several configurations pass a ``label`` so each
+    gets its own file: ``{}`` in the path is replaced by the label,
+    otherwise the label is inserted before the extension.
+    """
+    if path is None:
+        return None
+    from repro.obs import tracer_for_jsonl
+
+    target = path
+    if label:
+        if "{}" in path:
+            target = path.replace("{}", label)
+        else:
+            import pathlib
+
+            p = pathlib.Path(path)
+            target = str(p.with_name(f"{p.stem}.{label}{p.suffix}"))
+    return tracer_for_jsonl(target)
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -55,29 +99,33 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(_args: argparse.Namespace) -> int:
+def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import (
         CacheConfig,
-        ForkPathController,
+        Simulation,
         SystemConfig,
-        TraceSource,
         fork_path_scheduler,
         small_test_config,
         traditional_scheduler,
     )
     from repro.workloads.synthetic import hotspot_trace
 
-    for name, scheduler in [
-        ("traditional", traditional_scheduler()),
-        ("fork path", fork_path_scheduler(64)),
+    overrides = _parse_overrides(args.set)
+    for name, slug, scheduler in [
+        ("traditional", "traditional", traditional_scheduler()),
+        ("fork path", "forkpath", fork_path_scheduler(64)),
     ]:
-        config = SystemConfig(
-            oram=small_test_config(14, block_bytes=64),
-            scheduler=scheduler,
-            cache=CacheConfig(policy="none"),
+        config = SystemConfig.from_overrides(
+            overrides,
+            base=SystemConfig(
+                oram=small_test_config(14, block_bytes=64),
+                scheduler=scheduler,
+                cache=CacheConfig(policy="none"),
+            ),
         )
         trace = hotspot_trace(2000, 4000, 120.0, random.Random(1))
-        metrics = ForkPathController(config, TraceSource(trace)).run()
+        tracer = _make_tracer(args.trace, slug)
+        metrics = Simulation(config).run(trace, tracer=tracer).metrics
         print(
             f"{name:12s}: path {metrics.avg_path_buckets:5.2f} buckets/phase, "
             f"latency {metrics.avg_latency_ns:9.0f} ns"
@@ -89,37 +137,40 @@ def _cmd_mix(args: argparse.Namespace) -> int:
     from repro import (
         CacheConfig,
         OramConfig,
+        Simulation,
         SystemConfig,
         fork_path_scheduler,
         traditional_scheduler,
     )
-    from repro.memsys.system import simulate_system
     from repro.workloads.mixes import mix_benchmarks, mix_names
 
     if args.mix not in mix_names():
         print(f"unknown mix {args.mix!r}; choose from {mix_names()}",
               file=sys.stderr)
         return 2
+    overrides = _parse_overrides(args.set)
     base = SystemConfig(
         oram=OramConfig(levels=14, stash_capacity=300),
         cache=CacheConfig(policy="mac", capacity_bytes=1 << 20),
         scheduler=fork_path_scheduler(64),
     )
-    for name, config in [
-        ("traditional", base.replace(
+    for name, slug, config in [
+        ("traditional", "traditional", base.replace(
             scheduler=traditional_scheduler(), cache=CacheConfig(policy="none")
         )),
-        ("fork+1M MAC", base),
+        ("fork+1M MAC", "forkpath", base),
     ]:
-        result = simulate_system(
-            config,
+        result = Simulation(
+            SystemConfig.from_overrides(overrides, base=config)
+        ).run_system(
             mix_benchmarks(args.mix),
+            tracer=_make_tracer(args.trace, slug),
             instructions_per_core=150_000,
             footprint_cap=8_000,
         )
         print(
             f"{name:12s}: slowdown {result.slowdown:6.2f}x, "
-            f"ORAM latency {result.avg_oram_latency_ns:8.0f} ns, "
+            f"ORAM latency {result.metrics.avg_latency_ns:8.0f} ns, "
             f"energy {result.energy.total_mj:6.2f} mJ"
         )
     return 0
@@ -137,10 +188,27 @@ def main(argv: list[str] | None = None) -> int:
     figure.add_argument("figure", help="fig10 .. fig19")
     figure.add_argument("--scale", choices=["small", "medium", "paper"])
 
-    subparsers.add_parser("demo", help="30-second traditional-vs-fork demo")
+    demo = subparsers.add_parser(
+        "demo", help="30-second traditional-vs-fork demo"
+    )
 
     mix = subparsers.add_parser("mix", help="full-system run of a Table 2 mix")
     mix.add_argument("mix", help="Mix1 .. Mix10")
+
+    for command in (demo, mix):
+        command.add_argument(
+            "--set",
+            action="append",
+            metavar="KEY=VALUE",
+            help="dotted config override, e.g. scheduler.label_queue_size=128 "
+            "(repeatable)",
+        )
+        command.add_argument(
+            "--trace",
+            metavar="PATH",
+            help="write a JSONL event trace ({} in PATH expands to the "
+            "configuration name)",
+        )
 
     args = parser.parse_args(argv)
     handlers = {

@@ -439,6 +439,72 @@ class RecursionConfig:
             raise ConfigError("plb_entries must be >= 0")
 
 
+def _coerce_override(path: str, value: object, current: object) -> object:
+    """Convert a string override to the type of the current value.
+
+    Non-string values pass through untouched (callers supplying real
+    Python values know what they want); strings — the CLI ``--set``
+    case — are parsed against the existing attribute's type.
+    """
+    if not isinstance(value, str):
+        return value
+    if isinstance(current, bool):
+        lowered = value.strip().lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ConfigError(f"{path}: cannot parse {value!r} as a bool")
+    try:
+        if isinstance(current, int):
+            return int(value, 0)
+        if isinstance(current, float):
+            return float(value)
+    except ValueError:
+        raise ConfigError(
+            f"{path}: cannot parse {value!r} as "
+            f"{type(current).__name__}"
+        ) from None
+    return value
+
+
+def _apply_override_tree(obj: object, tree: dict, path: str) -> object:
+    """Rebuild a (possibly nested) frozen config with overrides applied."""
+    names = {f.name for f in dataclasses.fields(obj)}  # type: ignore[arg-type]
+    updates: dict = {}
+    for key, value in tree.items():
+        full = f"{path}.{key}" if path else key
+        if key not in names:
+            raise ConfigError(
+                f"unknown config key {full!r}; valid keys here: "
+                f"{', '.join(sorted(names))}"
+            )
+        current = getattr(obj, key)
+        if isinstance(value, dict):
+            if not dataclasses.is_dataclass(current):
+                raise ConfigError(
+                    f"{full} is a plain value, not a config section"
+                )
+            updates[key] = _apply_override_tree(current, value, full)
+        elif dataclasses.is_dataclass(current):
+            raise ConfigError(
+                f"{full} is a config section; set one of its fields "
+                f"(e.g. {full}.{sorted(f.name for f in dataclasses.fields(current))[0]})"
+            )
+        else:
+            updates[key] = _coerce_override(full, value, current)
+    # Changing a capacity-determining ORAM field invalidates a derived
+    # num_blocks; re-derive it unless the caller pinned it explicitly.
+    if (
+        isinstance(obj, OramConfig)
+        and "num_blocks" not in updates
+        and updates.keys() & {"levels", "bucket_slots", "utilization"}
+        and obj.num_blocks == obj.max_data_blocks()
+    ):
+        updates["num_blocks"] = 0
+    return dataclasses.replace(obj, **updates)  # type: ignore[arg-type]
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Everything needed to instantiate a full secure-processor system."""
@@ -468,6 +534,57 @@ class SystemConfig:
     def replace(self, **kwargs: object) -> "SystemConfig":
         """Convenience wrapper around :func:`dataclasses.replace`."""
         return dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_overrides(
+        cls,
+        overrides: "dict[str, object] | None" = None,
+        *,
+        base: "SystemConfig | None" = None,
+        **kwargs: object,
+    ) -> "SystemConfig":
+        """Build a config from dotted-key overrides on top of ``base``.
+
+        ``overrides`` maps dotted paths to values::
+
+            SystemConfig.from_overrides({
+                "scheduler.label_queue_size": 128,
+                "dram.timing.t_cas_ns": 12.5,
+                "nonstop": False,
+            })
+
+        Keyword arguments use ``__`` for the dots
+        (``scheduler__label_queue_size=128``). String values — the CLI
+        ``--set key=value`` form — are coerced to the target field's
+        type. Unknown keys raise :class:`ConfigError` immediately,
+        listing the valid keys at that level; section validation runs
+        eagerly via each dataclass's ``__post_init__``.
+
+        Overriding ``oram.levels`` / ``oram.bucket_slots`` /
+        ``oram.utilization`` re-derives ``oram.num_blocks`` unless the
+        base pinned it below the maximum (or the override sets it).
+        """
+        config = base if base is not None else cls()
+        flat: "dict[str, object]" = {}
+        if overrides:
+            flat.update(overrides)
+        for key, value in kwargs.items():
+            flat[key.replace("__", ".")] = value
+        tree: dict = {}
+        for dotted, value in flat.items():
+            parts = dotted.split(".")
+            node = tree
+            for part in parts[:-1]:
+                child = node.setdefault(part, {})
+                if not isinstance(child, dict):
+                    raise ConfigError(
+                        f"conflicting overrides under {dotted!r}"
+                    )
+                node = child
+            if isinstance(node.get(parts[-1]), dict):
+                raise ConfigError(f"conflicting overrides under {dotted!r}")
+            node[parts[-1]] = value
+        return _apply_override_tree(config, tree, "")  # type: ignore[return-value]
 
 
 def table1_processor_config() -> ProcessorConfig:

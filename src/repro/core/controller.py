@@ -46,6 +46,20 @@ from repro.extensions.plb import PosMapLookasideBuffer
 from repro.dram.energy import EnergyModel
 from repro.dram.model import DramModel
 from repro.errors import ProtocolError
+from repro.obs.events import (
+    DummyTakeover,
+    ForkPointChosen,
+    MacHit,
+    MacMiss,
+    PathRead,
+    PathWriteback,
+    RequestAdmitted,
+    RequestCompleted,
+    RequestIssued,
+    RequestScheduled,
+    StashHighWater,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.blocks import Block, Bucket
 from repro.oram.encryption import BucketCipher
 from repro.oram.memory import UntrustedMemory
@@ -94,10 +108,16 @@ class ForkPathController:
         source: ArrivalSource,
         rng: Optional[random.Random] = None,
         cipher: Optional[BucketCipher] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config
         self.source = source
         self.rng = rng if rng is not None else random.Random(config.seed)
+        #: Observability hooks. The shared disabled tracer is the
+        #: default; every hook site is guarded by ``self._trace`` so an
+        #: untraced run pays one boolean check per site and nothing else.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
 
         oram = config.oram
         if config.recursion.enabled:
@@ -118,7 +138,9 @@ class ForkPathController:
         self.posmap = PositionMap(self.geometry, self.rng)
         self.stash = Stash(self.geometry, oram.stash_capacity)
         self.fork = ForkState(self.geometry, enabled=config.scheduler.enable_merging)
-        self.label_queue = LabelQueue(self.geometry, config.scheduler, self.rng)
+        self.label_queue = LabelQueue(
+            self.geometry, config.scheduler, self.rng, tracer=self.tracer
+        )
         # Static super blocks: all blocks of a group share a leaf, so
         # in-flight exclusivity must hold per group (data addresses
         # only; internal PosMap addresses stay ungrouped).
@@ -141,7 +163,11 @@ class ForkPathController:
         self._no_cache = isinstance(self.cache, NoCache)
         self.energy = EnergyModel(channels=config.dram.channels)
         self.dram = DramModel(
-            self.geometry, config.dram, oram.bucket_bytes, self.energy
+            self.geometry,
+            config.dram,
+            oram.bucket_bytes,
+            self.energy,
+            tracer=self.tracer,
         )
         self.metrics = ControllerMetrics()
         self.plb: Optional[PosMapLookasideBuffer] = None
@@ -164,6 +190,8 @@ class ForkPathController:
         #: Scratch buffer for the read phase's DRAM node list, reused
         #: across accesses to avoid per-access allocation.
         self._dram_nodes_scratch: List[int] = []
+        #: Persistent stash occupancy high-water mark (tracing only).
+        self._stash_high_water = 0
 
     # ------------------------------------------------------------- run loop
 
@@ -226,11 +254,26 @@ class ForkPathController:
 
     def _submit(self, request: LlcRequest, now_ns: float) -> None:
         """One request arrives at the controller boundary."""
+        if self._trace and request.kind == "data":
+            self.tracer.counters.inc("requests.admitted")
+            self.tracer.emit(
+                RequestAdmitted(
+                    ts_ns=now_ns,
+                    request_id=request.request_id,
+                    addr=request.addr,
+                    is_write=request.is_write,
+                    core_id=request.core_id,
+                )
+            )
         queued, completed_now = self.address_queue.push(request, now_ns)
         for done in completed_now:
             self._propagate_completion(done, now_ns)
         if not queued:
             return
+        if request.ready and request.ready_ns is None:
+            # Requests with no PosMap chain are posmap-ready on arrival
+            # (chained requests get theirs in _advance_chain).
+            request.ready_ns = now_ns
         if (
             self.space is not None
             and self.space.depth > 0
@@ -248,6 +291,7 @@ class ForkPathController:
                 return  # whole PosMap chain short-circuited by the PLB
             # The data request waits while its PosMap chain runs.
             request.ready = False
+            request.ready_ns = None
             first = LlcRequest(
                 addr=posmap_part[0],
                 is_write=False,
@@ -263,6 +307,7 @@ class ForkPathController:
         """Address queue → position map → label queue (or an on-chip
         hit that completes the request outright)."""
         addr = request.addr
+        request.issue_ns = now_ns
         block = self.stash.get(addr)
         if block is not None:
             self._finish_with_block(request, block, now_ns, "stash")
@@ -283,6 +328,16 @@ class ForkPathController:
             enqueue_ns=now_ns,
         )
         self.label_queue.insert_real(entry)
+        if self._trace:
+            self.tracer.counters.inc("requests.issued")
+            self.tracer.emit(
+                RequestIssued(
+                    ts_ns=now_ns,
+                    request_id=request.request_id,
+                    addr=addr,
+                    leaf=old_leaf,
+                )
+            )
 
     def _posmap_key(self, addr: int) -> int:
         """Position-map index: the super-block id for grouped data
@@ -320,6 +375,8 @@ class ForkPathController:
                 now_ns - request.arrival_ns, request.served_by
             )
             self.source.on_complete(request, now_ns)
+            if self._trace:
+                self._emit_completion(request, now_ns)
         for waiter in self.address_queue.on_complete(request):
             if waiter.served_by == "group":
                 # Super-block sibling: the primary's path load brought
@@ -342,6 +399,41 @@ class ForkPathController:
             waiter.complete_ns = now_ns
             self._propagate_completion(waiter, now_ns)
 
+    def _emit_completion(self, request: LlcRequest, now_ns: float) -> None:
+        """Emit the completion event with its per-phase breakdown.
+
+        The phases are deltas of the monotone timestamp chain
+        ``arrival <= ready <= issue <= schedule <= complete``; stages a
+        request skipped (e.g. a coalesced read is never issued) collapse
+        to the completion time, so the components always partition the
+        end-to-end latency.
+        """
+        t0 = request.arrival_ns
+        t1 = request.ready_ns if request.ready_ns is not None else t0
+        t2 = request.issue_ns if request.issue_ns is not None else now_ns
+        t3 = request.schedule_ns if request.schedule_ns is not None else now_ns
+        phases = {
+            "posmap_ns": t1 - t0,
+            "queue_wait_ns": t2 - t1,
+            "sched_wait_ns": t3 - t2,
+            "service_ns": now_ns - t3,
+        }
+        tracer = self.tracer
+        tracer.counters.inc("requests.completed")
+        via = request.served_by or "unknown"
+        tracer.counters.inc(f"requests.served.{via}")
+        tracer.observe_phases(now_ns - t0, phases)
+        tracer.emit(
+            RequestCompleted(
+                ts_ns=now_ns,
+                request_id=request.request_id,
+                addr=request.addr,
+                served_by=via,
+                latency_ns=now_ns - t0,
+                phases=phases,
+            )
+        )
+
     def _advance_chain(self, posmap_request: LlcRequest, now_ns: float) -> None:
         if self.plb is not None:
             self.plb.insert(posmap_request.addr)
@@ -363,6 +455,7 @@ class ForkPathController:
             self._submit(follow, now_ns)
         else:
             parent.ready = True
+            parent.ready_ns = now_ns
 
     # ----------------------------------------------------------- the access
 
@@ -382,6 +475,22 @@ class ForkPathController:
             entry = self.label_queue.select_next(self.current_leaf, self.clock_ns)
         leaf = entry.leaf
         record = AccessRecord(leaf=leaf, was_dummy=entry.target_addr is None)
+        trace = self._trace
+        if trace:
+            self.tracer.counters.inc(
+                "accesses.dummy" if entry.target_addr is None else "accesses.real"
+            )
+            if entry.request is not None:
+                entry.request.schedule_ns = self.clock_ns
+                self.tracer.emit(
+                    RequestScheduled(
+                        ts_ns=self.clock_ns,
+                        request_id=entry.request.request_id,
+                        addr=entry.request.addr,
+                        leaf=leaf,
+                        queue_wait_ns=self.clock_ns - entry.enqueue_ns,
+                    )
+                )
 
         # ---- read phase: fetch the non-resident part of the path.
         record.read_start_ns = self.clock_ns
@@ -401,6 +510,25 @@ class ForkPathController:
                 if covers_level(level):
                     self.energy.on_cache_access()
                     fetched = self.cache.lookup_bucket(node_id)
+                    if trace:
+                        if fetched is not None:
+                            self.tracer.counters.inc("cache.read_hits")
+                            self.tracer.emit(
+                                MacHit(
+                                    ts_ns=self.clock_ns,
+                                    node_id=node_id,
+                                    level=level,
+                                )
+                            )
+                        else:
+                            self.tracer.counters.inc("cache.read_misses")
+                            self.tracer.emit(
+                                MacMiss(
+                                    ts_ns=self.clock_ns,
+                                    node_id=node_id,
+                                    level=level,
+                                )
+                            )
                 if fetched is not None:
                     self.stash.add_all(fetched.take_all())
                     record.cache_read_hits += 1
@@ -419,6 +547,18 @@ class ForkPathController:
         record.dram_read_nodes = len(dram_nodes)
         record.read_end_ns = read_end
         self.clock_ns = read_end
+        if trace:
+            self.tracer.emit(
+                PathRead(
+                    ts_ns=read_end,
+                    leaf=leaf,
+                    nodes=len(read_nodes),
+                    dram_nodes=len(dram_nodes),
+                    cache_hits=record.cache_read_hits,
+                    start_ns=record.read_start_ns,
+                    end_ns=read_end,
+                )
+            )
 
         # ---- serve the request this access was for.
         if entry.target_addr is not None:  # real
@@ -435,6 +575,16 @@ class ForkPathController:
         # The refill walks ``level`` from the leaf down-counting toward
         # the fork point — an integer countdown, no per-access deque.
         retain = self.fork.retain_depth(leaf, next_entry.leaf)
+        if trace:
+            self.tracer.emit(
+                ForkPointChosen(
+                    ts_ns=scheduled_at,
+                    leaf=leaf,
+                    next_leaf=next_entry.leaf,
+                    retain_depth=retain,
+                    next_is_real=next_entry.target_addr is not None,
+                )
+            )
         record.write_start_ns = self.clock_ns
         finish = self.clock_ns
         geometry = self.geometry
@@ -489,9 +639,31 @@ class ForkPathController:
                     leaf, lowest_written, record.write_start_ns
                 )
                 if replacement is not None:
+                    if trace:
+                        self.tracer.counters.inc("scheduler.dummy_takeovers")
+                        self.tracer.emit(
+                            DummyTakeover(
+                                ts_ns=finish,
+                                dummy_leaf=next_entry.leaf,
+                                real_leaf=replacement.leaf,
+                                at_level=lowest_written,
+                            )
+                        )
                     next_entry = replacement
                     record.replaced_dummy = True
                     retain = self.fork.retain_depth(leaf, replacement.leaf)
+                    if trace:
+                        # The fork point moved: re-announce it so the
+                        # trace reflects the path actually retained.
+                        self.tracer.emit(
+                            ForkPointChosen(
+                                ts_ns=finish,
+                                leaf=leaf,
+                                next_leaf=replacement.leaf,
+                                retain_depth=retain,
+                                next_is_real=True,
+                            )
+                        )
                     level = lowest_written - 1
 
         self.clock_ns = max(self.clock_ns, finish)
@@ -500,9 +672,36 @@ class ForkPathController:
         record.write_end_ns = self.clock_ns
         record.retained_depth = retain
         self.fork.commit_write(leaf, retain)
-        self.stash.sample_occupancy()
+        occupancy = self.stash.sample_occupancy()
         self.stash.check_persistent_occupancy(slack=z * retain)
         self.metrics.on_access(record)
+        if trace:
+            tracer = self.tracer
+            tracer.emit(
+                PathWriteback(
+                    ts_ns=record.write_end_ns,
+                    leaf=leaf,
+                    written_nodes=written_nodes,
+                    dram_nodes=dram_written_nodes,
+                    retained_depth=retain,
+                    start_ns=record.write_start_ns,
+                    end_ns=record.write_end_ns,
+                )
+            )
+            if occupancy > self._stash_high_water:
+                self._stash_high_water = occupancy
+                tracer.emit(
+                    StashHighWater(
+                        ts_ns=record.write_end_ns, occupancy=occupancy
+                    )
+                )
+            tracer.timeline_probe(
+                self.clock_ns,
+                stash_blocks=occupancy,
+                queue_real=self.label_queue.pending_real,
+                queue_fill=len(self.label_queue),
+                overlap_depth=retain,
+            )
         self.clock_ns += self._idle_gap_ns
         self.current_leaf = leaf
         self._next_entry = next_entry

@@ -44,6 +44,9 @@ class ControllerMetrics:
     records: List[AccessRecord] = field(default_factory=list)
     #: cap on per-access records retained (latency samples always kept).
     max_records: int = 200_000
+    #: accesses whose records were discarded once the cap was reached —
+    #: nonzero means ``records`` is a truncated prefix of the run.
+    records_dropped: int = 0
 
     # ------------------------------------------------------------ recording
 
@@ -62,6 +65,8 @@ class ControllerMetrics:
         self.dram_time_ns += record.dram_time_ns
         if len(self.records) < self.max_records:
             self.records.append(record)
+        else:
+            self.records_dropped += 1
 
     def on_request_complete(self, latency_ns: float, served_by: str) -> None:
         self.real_completed += 1
@@ -138,5 +143,6 @@ class ControllerMetrics:
             "dram_read_nodes": float(self.dram_read_nodes),
             "dram_written_nodes": float(self.dram_written_nodes),
             "normalized_request_count": self.normalized_request_count(),
+            "records_dropped": float(self.records_dropped),
             "end_time_ns": self.end_time_ns,
         }

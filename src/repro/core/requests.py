@@ -49,6 +49,13 @@ class LlcRequest:
     #: False while a data request waits for its PosMap chain; the
     #: address queue will not issue it to the position map until then.
     ready: bool = True
+    #: Phase timestamps for the observability layer, forming a monotone
+    #: chain arrival <= ready <= issue <= schedule <= complete whose
+    #: deltas partition the end-to-end latency exactly (None where a
+    #: stage was skipped — e.g. a coalesced request is never issued).
+    ready_ns: Optional[float] = None
+    issue_ns: Optional[float] = None
+    schedule_ns: Optional[float] = None
     #: Set when the request finishes (data returned / write retired).
     complete_ns: Optional[float] = None
     #: Value returned to the LLC (for reads).

@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.config import SchedulerConfig
 from repro.core.requests import LabelEntry
 from repro.errors import ProtocolError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.tree import TreeGeometry
 
 
@@ -39,10 +40,13 @@ class LabelQueue:
         geometry: TreeGeometry,
         config: SchedulerConfig,
         rng: random.Random,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.geometry = geometry
         self.config = config
         self.rng = rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
         #: Queue size cached off the config — hit once per top-up slot.
         self._size = config.label_queue_size
         self.entries: List[LabelEntry] = []
@@ -66,6 +70,12 @@ class LabelQueue:
 
     def real_count(self) -> int:
         return sum(1 for entry in self.entries if entry.is_real)
+
+    @property
+    def pending_real(self) -> int:
+        """Real entries currently queued — O(1), maintained by every
+        mutation path (the observability layer samples this)."""
+        return self._real_count
 
     def dummy_count(self) -> int:
         return sum(1 for entry in self.entries if entry.is_dummy)
@@ -147,9 +157,15 @@ class LabelQueue:
             index = None
             if self._age_bound >= config.effective_aging_threshold:
                 index = self._aged_choice()
+                if index is not None and self._trace:
+                    self.tracer.counters.inc("scheduler.aged_promotions")
             if index is None:
                 index = self._overlap_choice(current_leaf)
         chosen = self.entries.pop(index)
+        if self._trace:
+            self.tracer.counters.inc("scheduler.rounds")
+            if chosen.target_addr is None:
+                self.tracer.counters.inc("scheduler.dummies_selected")
         if chosen.target_addr is not None:
             self._real_count -= 1
         if self._real_count:

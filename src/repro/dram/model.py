@@ -27,6 +27,8 @@ from repro.config import DramConfig
 from repro.dram.energy import EnergyModel
 from repro.dram.layout import make_layout
 from repro.errors import ConfigError
+from repro.obs.events import DramBankBusy
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.tree import TreeGeometry
 
 
@@ -62,6 +64,7 @@ class DramModel:
         config: DramConfig,
         bucket_bytes: int,
         energy: Optional[EnergyModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if bucket_bytes < 1:
             raise ConfigError("bucket_bytes must be >= 1")
@@ -72,6 +75,8 @@ class DramModel:
         self.energy = energy if energy is not None else EnergyModel(
             channels=config.channels
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
         self.stats = DramStats()
         self._channel_free_ns: List[float] = [0.0] * config.channels
         self._banks: List[List[_Bank]] = [
@@ -119,6 +124,17 @@ class DramModel:
 
         free = self._channel_free_ns[channel]
         start = now_ns if now_ns > free else free
+        if self._trace and start > now_ns:
+            self.tracer.counters.inc("dram.bank_busy_waits")
+            self.tracer.counters.inc("dram.bank_busy_wait_ns", start - now_ns)
+            self.tracer.emit(
+                DramBankBusy(
+                    ts_ns=now_ns,
+                    channel=channel,
+                    bank=bank_index,
+                    wait_ns=start - now_ns,
+                )
+            )
         if bank.open_row == row:
             stats.row_hits += 1
             finish = start + self._t_hit_ns

@@ -30,13 +30,13 @@ from repro.config import (
     SchedulerConfig,
     SystemConfig,
 )
-from repro.core.controller import ForkPathController
 from repro.core.metrics import ControllerMetrics
 from repro.errors import ConfigError
-from repro.memsys.system import FullSystemResult, simulate_system
+from repro.memsys.system import FullSystemResult
+from repro.obs.tracer import Tracer
+from repro.simulation import Simulation
 from repro.workloads.mixes import TABLE2_MIXES, mix_benchmarks
 from repro.workloads.synthetic import uniform_trace
-from repro.workloads.trace import TraceSource
 
 
 @dataclass(frozen=True)
@@ -176,17 +176,23 @@ def figure_variants(scale: Scale) -> List[tuple[str, SystemConfig]]:
 
 
 def run_mix(
-    config: SystemConfig, mix: str, scale: Scale, shared_footprint: bool = False
+    config: SystemConfig,
+    mix: str,
+    scale: Scale,
+    shared_footprint: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> FullSystemResult:
     """One closed-loop full-system run of a Table 2 mix."""
-    return simulate_system(
-        config,
+    result = Simulation(config).run_system(
         mix_benchmarks(mix),
+        tracer=tracer,
         instructions_per_core=scale.instructions_per_core,
         seed=scale.seed,
         footprint_cap=scale.footprint_cap,
         shared_footprint=shared_footprint,
     )
+    assert result.full_system is not None
+    return result.full_system
 
 
 def run_saturating_trace(
@@ -194,6 +200,7 @@ def run_saturating_trace(
     scale: Scale,
     mean_gap_ns: float = 50.0,
     footprint: int = 0,
+    tracer: Optional[Tracer] = None,
 ) -> ControllerMetrics:
     """Open-loop run at saturating intensity (for Figure 10).
 
@@ -206,10 +213,9 @@ def run_saturating_trace(
     trace = uniform_trace(
         scale.trace_requests, footprint, mean_gap_ns, rng, write_fraction=0.3
     )
-    controller = ForkPathController(
-        config, TraceSource(trace), rng=random.Random(scale.seed + 1)
-    )
-    return controller.run()
+    return Simulation(config).run(
+        trace, tracer=tracer, rng=random.Random(scale.seed + 1)
+    ).metrics
 
 
 @dataclass

@@ -26,8 +26,8 @@ from repro.experiments.common import (
     run_mix,
     traditional_config,
 )
+from repro.simulation import Simulation
 from repro.workloads.mixes import mix_benchmarks
-from repro.memsys.system import simulate_system
 
 THREAD_COUNTS = (1, 2, 4, 8)
 
@@ -71,16 +71,18 @@ def run_threads(scale: Scale = SMALL, thread_counts=THREAD_COUNTS) -> FigureResu
         ratios = []
         for mix in scale.mixes:
             benchmarks = (mix_benchmarks(mix) * 2)[:threads]
-            base = simulate_system(
-                _with_cores(traditional_config(scale), threads),
+            base = Simulation(
+                _with_cores(traditional_config(scale), threads)
+            ).run_system(
                 benchmarks,
                 instructions_per_core=capped.instructions_per_core,
                 seed=capped.seed,
                 footprint_cap=capped.footprint_cap,
                 run_insecure=False,
             ).metrics.avg_latency_ns
-            fork = simulate_system(
-                _with_cores(_fork_config(scale), threads),
+            fork = Simulation(
+                _with_cores(_fork_config(scale), threads)
+            ).run_system(
                 benchmarks,
                 instructions_per_core=capped.instructions_per_core,
                 seed=capped.seed,

@@ -19,7 +19,7 @@ from repro.experiments.common import (
     base_config,
     traditional_config,
 )
-from repro.memsys.system import simulate_system
+from repro.simulation import Simulation
 from repro.workloads.parsec import PARSEC_BENCHMARKS, parsec_benchmark
 
 DEFAULT_BENCHMARKS = (
@@ -47,8 +47,7 @@ def run(
     for name in benchmarks:
         spec = parsec_benchmark(name)
         per_thread = [spec] * threads
-        base = simulate_system(
-            traditional_config(scale),
+        base = Simulation(traditional_config(scale)).run_system(
             per_thread,
             instructions_per_core=scale.instructions_per_core,
             seed=scale.seed,
@@ -61,8 +60,7 @@ def run(
             scheduler=fork_path_scheduler(64),
             cache=CacheConfig(policy="mac", capacity_bytes=1 << 20),
         )
-        fork = simulate_system(
-            fork_config,
+        fork = Simulation(fork_config).run_system(
             per_thread,
             instructions_per_core=scale.instructions_per_core,
             seed=scale.seed,

@@ -1,26 +1,28 @@
-"""Full-system simulation: cores + ORAM controller versus insecure DRAM.
+"""Full-system pieces: the insecure DRAM baseline and result types.
 
-:func:`simulate_system` runs a closed-loop core cluster against a
-configured (Fork Path or traditional) ORAM controller and, with the
-same benchmark parameters, against a plain DRAM memory system with no
-ORAM. The ratio of makespans is the paper's Figure 14 slowdown; the
-controller's energy model supplies Figure 15.
+A closed-loop core cluster runs against a configured (Fork Path or
+traditional) ORAM controller and, with the same benchmark parameters,
+against a plain DRAM memory system with no ORAM. The ratio of
+makespans is the paper's Figure 14 slowdown; the controller's energy
+model supplies Figure 15.
+
+The front door for these runs is :meth:`repro.Simulation.run_system`;
+:func:`simulate_system` here is a deprecated wrapper around it.
 """
 
 from __future__ import annotations
 
 import heapq
-import random
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import SystemConfig
-from repro.core.controller import ArrivalSource, ForkPathController
+from repro.core.controller import ArrivalSource
 from repro.core.metrics import ControllerMetrics
 from repro.core.requests import LlcRequest
 from repro.dram.energy import EnergyBreakdown
 from repro.errors import ConfigError
-from repro.memsys.processor import CoreCluster, build_cluster
 from repro.workloads.spec import BenchmarkSpec
 
 
@@ -116,60 +118,32 @@ def simulate_system(
     run_insecure: bool = True,
     instructions_per_core: int = 0,
 ) -> FullSystemResult:
-    """Run one full-system configuration end to end.
+    """Deprecated wrapper around :meth:`repro.Simulation.run_system`.
 
-    Give each core either a fixed miss count (``requests_per_core``) or
-    an instruction budget (``instructions_per_core``, the paper's
-    slowdown methodology — misses derive from each benchmark's MPKI).
-    ``footprint_cap`` (blocks per core) lets small-tree experiments run
-    the big-footprint benchmarks; per-core regions are laid out
-    back-to-back unless ``shared_footprint`` (multi-threaded runs).
+    Kept for backward compatibility; it cannot attach a tracer and will
+    be removed in a future release. Use::
+
+        Simulation(config).run_system(benchmarks, ...).full_system
     """
-    total_footprint = _required_blocks(benchmarks, footprint_cap, shared_footprint)
-    if total_footprint > config.oram.num_blocks:
-        raise ConfigError(
-            f"workload footprint {total_footprint} blocks exceeds ORAM "
-            f"capacity {config.oram.num_blocks}; raise levels or cap the "
-            f"footprint"
-        )
-
-    def new_cluster(cluster_seed: int) -> CoreCluster:
-        return build_cluster(
-            benchmarks,
-            config.processor,
-            random.Random(cluster_seed),
-            requests_per_core=requests_per_core,
-            footprint_cap=footprint_cap,
-            shared_footprint=shared_footprint,
-            instructions_per_core=instructions_per_core,
-        )
-
-    cluster = new_cluster(seed)
-    controller = ForkPathController(config, cluster, rng=random.Random(seed + 1))
-    metrics = controller.run()
-    if not cluster.done():
-        raise ConfigError(
-            f"ORAM run ended with {cluster.total_issued() - cluster.total_completed()} "
-            f"requests unserved"
-        )
-    finish = cluster.makespan_ns()
-
-    insecure_finish = 0.0
-    if run_insecure:
-        insecure_cluster = new_cluster(seed)
-        memory = InsecureMemorySystem(channels=config.dram.channels)
-        memory.run(insecure_cluster)
-        if not insecure_cluster.done():
-            raise ConfigError("insecure run ended with unserved requests")
-        insecure_finish = insecure_cluster.makespan_ns()
-
-    return FullSystemResult(
-        config=config,
-        metrics=metrics,
-        energy=controller.energy.breakdown,
-        finish_ns=finish,
-        insecure_finish_ns=insecure_finish,
+    warnings.warn(
+        "simulate_system() is deprecated; use "
+        "repro.Simulation(config).run_system(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.simulation import Simulation
+
+    result = Simulation(config).run_system(
+        benchmarks,
+        requests_per_core=requests_per_core,
+        seed=seed,
+        footprint_cap=footprint_cap,
+        shared_footprint=shared_footprint,
+        run_insecure=run_insecure,
+        instructions_per_core=instructions_per_core,
+    )
+    assert result.full_system is not None
+    return result.full_system
 
 
 def _required_blocks(

@@ -1,0 +1,81 @@
+"""Structured observability for the Fork Path simulator (``repro.obs``).
+
+The simulator's headline numbers (``ControllerMetrics.summary()``)
+answer *what happened*; this package answers *where the nanoseconds
+went*. It provides:
+
+* **typed events** (:mod:`repro.obs.events`) — request lifecycle,
+  path read/write-back, fork-point choice, dummy takeover, stash
+  high-water, MAC hit/miss, DRAM bank-busy stalls;
+* a :class:`~repro.obs.tracer.Tracer` that fans events out to sinks,
+  accumulates hierarchical counters and per-phase latency histograms,
+  and periodically samples a timeline (stash occupancy, label-queue
+  fill, overlap depth);
+* **sinks** (:mod:`repro.obs.sinks`) — JSON-lines trace files, an
+  in-memory ring buffer, and a terminal run summary;
+* a small stdlib **schema validator** (:mod:`repro.obs.schema`) for
+  JSONL traces, runnable as ``python -m repro.obs.schema trace.jsonl``.
+
+Tracing is strictly opt-in: every instrumented subsystem holds the
+shared :data:`~repro.obs.tracer.NULL_TRACER` by default and guards each
+hook behind one boolean attribute check, so the disabled path stays
+within noise of the uninstrumented simulator (pinned by
+``benchmarks/bench_perf.py`` against ``BENCH_perf.json``).
+"""
+
+from repro.obs.events import (
+    DramBankBusy,
+    DummyTakeover,
+    Event,
+    ForkPointChosen,
+    MacHit,
+    MacMiss,
+    PathRead,
+    PathWriteback,
+    RequestAdmitted,
+    RequestCompleted,
+    RequestIssued,
+    RequestScheduled,
+    RunFinished,
+    RunStarted,
+    StashHighWater,
+    TimelineSample,
+)
+from repro.obs.sinks import JsonlSink, RingBufferSink, Sink, TerminalSummarySink
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Counters,
+    LatencyHistogram,
+    NullTracer,
+    Tracer,
+    tracer_for_jsonl,
+)
+
+__all__ = [
+    "Event",
+    "RunStarted",
+    "RunFinished",
+    "RequestAdmitted",
+    "RequestIssued",
+    "RequestScheduled",
+    "RequestCompleted",
+    "PathRead",
+    "PathWriteback",
+    "ForkPointChosen",
+    "DummyTakeover",
+    "StashHighWater",
+    "MacHit",
+    "MacMiss",
+    "DramBankBusy",
+    "TimelineSample",
+    "Sink",
+    "JsonlSink",
+    "RingBufferSink",
+    "TerminalSummarySink",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counters",
+    "LatencyHistogram",
+    "tracer_for_jsonl",
+]

@@ -1,0 +1,217 @@
+"""Typed trace events emitted by the instrumented simulator.
+
+Every event is a slotted dataclass with a class-level ``kind`` tag and
+a ``ts_ns`` timestamp (simulated time). :meth:`Event.to_dict` renders
+the JSON-serialisable form that sinks write; the authoritative field
+schema per kind lives in :mod:`repro.obs.schema`, which the CI trace
+validation runs against.
+
+Event inventory (one lifecycle, paper Figure 9 left to right):
+
+================== ====================================================
+``request_admitted``   LLC request entered the controller boundary
+``request_issued``     passed the position map into the label queue
+``request_scheduled``  its label entry won a scheduling round
+``request_completed``  data returned / write retired (with per-phase
+                       latency breakdown that sums to end-to-end)
+``path_read``          read phase of one tree access
+``path_writeback``     write (refill) phase of one tree access
+``fork_point_chosen``  next path scheduled; retained prefix depth
+``dummy_takeover``     scheduled dummy replaced mid-refill (Figure 5)
+``stash_high_water``   new persistent stash occupancy maximum
+``mac_hit``/``mac_miss``  merging-aware-cache probe during a read phase
+``dram_bank_busy``     a bucket transfer waited for its channel bus
+``timeline_sample``    periodic sampler output (stash / queue / overlap)
+``run_started``/``run_finished``  one simulation run bracket
+================== ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Dict
+
+
+@dataclass(slots=True)
+class Event:
+    """Base event: a tagged, timestamped record."""
+
+    ts_ns: float
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            data[field.name] = getattr(self, field.name)
+        return data
+
+
+@dataclass(slots=True)
+class RunStarted(Event):
+    """One simulation run begins (config digest for self-description)."""
+
+    levels: int = 0
+    label_queue_size: int = 0
+    cache_policy: str = ""
+    channels: int = 0
+    seed: int = 0
+    kind: ClassVar[str] = "run_started"
+
+
+@dataclass(slots=True)
+class RunFinished(Event):
+    """One simulation run ended (headline totals)."""
+
+    requests: int = 0
+    accesses: int = 0
+    end_time_ns: float = 0.0
+    kind: ClassVar[str] = "run_finished"
+
+
+@dataclass(slots=True)
+class RequestAdmitted(Event):
+    """An LLC request crossed the controller boundary."""
+
+    request_id: int = 0
+    addr: int = 0
+    is_write: bool = False
+    core_id: int = 0
+    kind: ClassVar[str] = "request_admitted"
+
+
+@dataclass(slots=True)
+class RequestIssued(Event):
+    """Request passed the position map and entered the label queue."""
+
+    request_id: int = 0
+    addr: int = 0
+    leaf: int = 0
+    kind: ClassVar[str] = "request_issued"
+
+
+@dataclass(slots=True)
+class RequestScheduled(Event):
+    """The request's label entry was selected for the starting access."""
+
+    request_id: int = 0
+    addr: int = 0
+    leaf: int = 0
+    queue_wait_ns: float = 0.0
+    kind: ClassVar[str] = "request_scheduled"
+
+
+@dataclass(slots=True)
+class RequestCompleted(Event):
+    """Request finished; ``phases`` values sum to ``latency_ns``.
+
+    The phases are deltas of one monotone per-request timestamp chain
+    (arrival <= posmap-ready <= issue <= schedule <= complete), so they
+    partition the end-to-end ORAM latency exactly:
+
+    * ``posmap_ns`` — recursive position-map chain (0 without recursion)
+    * ``queue_wait_ns`` — address-queue residency until issue
+    * ``sched_wait_ns`` — label-queue wait until a scheduling win
+    * ``service_ns`` — tree traversal + DRAM service of the access
+    """
+
+    request_id: int = 0
+    addr: int = 0
+    served_by: str = ""
+    latency_ns: float = 0.0
+    phases: Dict[str, float] = dataclasses.field(default_factory=dict)
+    kind: ClassVar[str] = "request_completed"
+
+
+@dataclass(slots=True)
+class PathRead(Event):
+    """Read phase of one tree access (``ts_ns`` = phase end)."""
+
+    leaf: int = 0
+    nodes: int = 0
+    dram_nodes: int = 0
+    cache_hits: int = 0
+    start_ns: float = 0.0
+    end_ns: float = 0.0
+    kind: ClassVar[str] = "path_read"
+
+
+@dataclass(slots=True)
+class PathWriteback(Event):
+    """Write (refill) phase of one tree access (``ts_ns`` = phase end)."""
+
+    leaf: int = 0
+    written_nodes: int = 0
+    dram_nodes: int = 0
+    retained_depth: int = 0
+    start_ns: float = 0.0
+    end_ns: float = 0.0
+    kind: ClassVar[str] = "path_writeback"
+
+
+@dataclass(slots=True)
+class ForkPointChosen(Event):
+    """The next path was scheduled against the in-flight one."""
+
+    leaf: int = 0
+    next_leaf: int = 0
+    retain_depth: int = 0
+    next_is_real: bool = False
+    kind: ClassVar[str] = "fork_point_chosen"
+
+
+@dataclass(slots=True)
+class DummyTakeover(Event):
+    """A scheduled dummy was taken over by a late real request."""
+
+    dummy_leaf: int = 0
+    real_leaf: int = 0
+    at_level: int = 0
+    kind: ClassVar[str] = "dummy_takeover"
+
+
+@dataclass(slots=True)
+class StashHighWater(Event):
+    """New persistent (between-access) stash occupancy maximum."""
+
+    occupancy: int = 0
+    kind: ClassVar[str] = "stash_high_water"
+
+
+@dataclass(slots=True)
+class MacHit(Event):
+    """Merging-aware-cache read probe hit — DRAM read skipped."""
+
+    node_id: int = 0
+    level: int = 0
+    kind: ClassVar[str] = "mac_hit"
+
+
+@dataclass(slots=True)
+class MacMiss(Event):
+    """Merging-aware-cache read probe miss — bucket goes to DRAM."""
+
+    node_id: int = 0
+    level: int = 0
+    kind: ClassVar[str] = "mac_miss"
+
+
+@dataclass(slots=True)
+class DramBankBusy(Event):
+    """A bucket transfer stalled waiting for its channel's data bus."""
+
+    channel: int = 0
+    bank: int = 0
+    wait_ns: float = 0.0
+    kind: ClassVar[str] = "dram_bank_busy"
+
+
+@dataclass(slots=True)
+class TimelineSample(Event):
+    """Periodic sampler output at the end of one tree access."""
+
+    stash_blocks: int = 0
+    queue_real: int = 0
+    queue_fill: int = 0
+    overlap_depth: int = 0
+    kind: ClassVar[str] = "timeline_sample"

@@ -1,0 +1,230 @@
+"""JSONL trace schema: the contract for every event kind, stdlib-only.
+
+The schema mirrors :mod:`repro.obs.events` field for field. CI runs the
+benchmark smoke trace through :func:`validate_file` (via ``python -m
+repro.obs.schema trace.jsonl``) so any drift between the emitters and
+this contract fails the build.
+
+Beyond field presence/types, ``request_completed`` events get a
+semantic check: the per-phase latency components must sum to the
+recorded end-to-end latency (the acceptance invariant of the
+observability layer — phases are deltas of one monotone timestamp
+chain, so only float rounding noise is tolerated).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: Field-type tags. ``number`` accepts int or float (JSON does not
+#: distinguish); ``int`` rejects bools and floats with fractions.
+_NUMBER = "number"
+_INT = "int"
+_BOOL = "bool"
+_STR = "str"
+_DICT = "dict"
+
+#: kind -> {field: type tag}. ``kind`` and ``ts_ns`` are implicit.
+EVENT_FIELDS: Dict[str, Dict[str, str]] = {
+    "run_started": {
+        "levels": _INT,
+        "label_queue_size": _INT,
+        "cache_policy": _STR,
+        "channels": _INT,
+        "seed": _INT,
+    },
+    "run_finished": {
+        "requests": _INT,
+        "accesses": _INT,
+        "end_time_ns": _NUMBER,
+    },
+    "request_admitted": {
+        "request_id": _INT,
+        "addr": _INT,
+        "is_write": _BOOL,
+        "core_id": _INT,
+    },
+    "request_issued": {"request_id": _INT, "addr": _INT, "leaf": _INT},
+    "request_scheduled": {
+        "request_id": _INT,
+        "addr": _INT,
+        "leaf": _INT,
+        "queue_wait_ns": _NUMBER,
+    },
+    "request_completed": {
+        "request_id": _INT,
+        "addr": _INT,
+        "served_by": _STR,
+        "latency_ns": _NUMBER,
+        "phases": _DICT,
+    },
+    "path_read": {
+        "leaf": _INT,
+        "nodes": _INT,
+        "dram_nodes": _INT,
+        "cache_hits": _INT,
+        "start_ns": _NUMBER,
+        "end_ns": _NUMBER,
+    },
+    "path_writeback": {
+        "leaf": _INT,
+        "written_nodes": _INT,
+        "dram_nodes": _INT,
+        "retained_depth": _INT,
+        "start_ns": _NUMBER,
+        "end_ns": _NUMBER,
+    },
+    "fork_point_chosen": {
+        "leaf": _INT,
+        "next_leaf": _INT,
+        "retain_depth": _INT,
+        "next_is_real": _BOOL,
+    },
+    "dummy_takeover": {
+        "dummy_leaf": _INT,
+        "real_leaf": _INT,
+        "at_level": _INT,
+    },
+    "stash_high_water": {"occupancy": _INT},
+    "mac_hit": {"node_id": _INT, "level": _INT},
+    "mac_miss": {"node_id": _INT, "level": _INT},
+    "dram_bank_busy": {"channel": _INT, "bank": _INT, "wait_ns": _NUMBER},
+    "timeline_sample": {
+        "stash_blocks": _INT,
+        "queue_real": _INT,
+        "queue_fill": _INT,
+        "overlap_depth": _INT,
+    },
+}
+
+#: The phase keys a ``request_completed`` breakdown must consist of.
+PHASE_KEYS = ("posmap_ns", "queue_wait_ns", "sched_wait_ns", "service_ns")
+
+
+def _type_ok(value: object, tag: str) -> bool:
+    if tag == _BOOL:
+        return isinstance(value, bool)
+    if tag == _INT:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if tag == _NUMBER:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if tag == _STR:
+        return isinstance(value, str)
+    if tag == _DICT:
+        return isinstance(value, dict)
+    raise ValueError(f"unknown type tag {tag!r}")
+
+
+def phase_sum_tolerance(latency_ns: float) -> float:
+    """Float-rounding allowance for the phase-sum invariant."""
+    return 1e-6 + 1e-9 * abs(latency_ns)
+
+
+def validate_event(event: object, where: str = "") -> List[str]:
+    """Validate one decoded event object; returns error strings."""
+    prefix = f"{where}: " if where else ""
+    if not isinstance(event, dict):
+        return [f"{prefix}event is not a JSON object"]
+    errors: List[str] = []
+    kind = event.get("kind")
+    if kind not in EVENT_FIELDS:
+        return [f"{prefix}unknown event kind {kind!r}"]
+    fields = EVENT_FIELDS[kind]
+    if not _type_ok(event.get("ts_ns"), _NUMBER):
+        errors.append(f"{prefix}{kind}: ts_ns missing or non-numeric")
+    for name, tag in fields.items():
+        if name not in event:
+            errors.append(f"{prefix}{kind}: missing field {name!r}")
+        elif not _type_ok(event[name], tag):
+            errors.append(
+                f"{prefix}{kind}: field {name!r} should be {tag}, "
+                f"got {type(event[name]).__name__}"
+            )
+    extras = set(event) - set(fields) - {"kind", "ts_ns"}
+    if extras:
+        errors.append(f"{prefix}{kind}: unexpected fields {sorted(extras)}")
+    if kind == "request_completed" and not errors:
+        errors.extend(_check_phases(event, prefix))
+    return errors
+
+
+def _check_phases(event: Dict[str, object], prefix: str) -> List[str]:
+    """Phase components must be non-negative and sum to the latency."""
+    errors: List[str] = []
+    phases = event["phases"]
+    assert isinstance(phases, dict)
+    latency = float(event["latency_ns"])  # type: ignore[arg-type]
+    if set(phases) != set(PHASE_KEYS):
+        errors.append(
+            f"{prefix}request_completed: phases keys {sorted(phases)} != "
+            f"{sorted(PHASE_KEYS)}"
+        )
+        return errors
+    total = 0.0
+    for key in PHASE_KEYS:
+        value = phases[key]
+        if not _type_ok(value, _NUMBER):
+            errors.append(
+                f"{prefix}request_completed: phase {key!r} is not numeric"
+            )
+            return errors
+        if value < -phase_sum_tolerance(latency):
+            errors.append(
+                f"{prefix}request_completed: phase {key!r} negative ({value})"
+            )
+        total += float(value)  # type: ignore[arg-type]
+    if abs(total - latency) > phase_sum_tolerance(latency):
+        errors.append(
+            f"{prefix}request_completed (request "
+            f"{event.get('request_id')}): phases sum to {total} but "
+            f"latency_ns is {latency}"
+        )
+    return errors
+
+
+def validate_lines(lines: "List[str] | Tuple[str, ...]", source: str = "trace") -> List[str]:
+    errors: List[str] = []
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{source}:{line_no}"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: invalid JSON ({exc})")
+            continue
+        errors.extend(validate_event(event, where))
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Validate one JSONL trace file; returns error strings (empty = ok)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_lines(handle.readlines(), source=path)
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    if not args or any(arg in ("-h", "--help") for arg in args):
+        print("usage: python -m repro.obs.schema TRACE.jsonl [...]")
+        return 0 if args else 2
+    status = 0
+    for path in args:
+        errors = validate_file(path)
+        if errors:
+            status = 1
+            for error in errors[:50]:
+                print(error, file=sys.stderr)
+            if len(errors) > 50:
+                print(f"... and {len(errors) - 50} more", file=sys.stderr)
+            print(f"{path}: INVALID ({len(errors)} errors)", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

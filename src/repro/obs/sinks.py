@@ -1,0 +1,110 @@
+"""Event sinks: where a :class:`~repro.obs.tracer.Tracer` sends events.
+
+Three built-ins cover the common workflows:
+
+* :class:`JsonlSink` — one JSON object per line, the interchange format
+  validated by :mod:`repro.obs.schema` (and by CI on the benchmark
+  smoke trace);
+* :class:`RingBufferSink` — keeps the last ``capacity`` events in
+  memory for programmatic inspection (tests, notebooks);
+* :class:`TerminalSummarySink` — tallies events by kind and prints a
+  compact table when the tracer is closed.
+
+A sink receives the *typed* event object; :class:`JsonlSink` serialises
+via :meth:`~repro.obs.events.Event.to_dict`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from collections import Counter, deque
+from typing import Deque, List, Optional, TextIO, Union
+
+from repro.obs.events import Event
+
+
+class Sink:
+    """Interface: receive events, flush state on close."""
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further :meth:`handle` calls are invalid."""
+
+
+class JsonlSink(Sink):
+    """Write each event as one JSON line to a path or text stream."""
+
+    def __init__(self, target: Union[str, "io.TextIOBase", TextIO]) -> None:
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            self._file: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target  # type: ignore[assignment]
+            self._owns_file = False
+        self.events_written = 0
+
+    def handle(self, event: Event) -> None:
+        self._file.write(json.dumps(event.to_dict()) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self._buffer: Deque[Event] = deque(maxlen=capacity)
+        self.events_seen = 0
+
+    def handle(self, event: Event) -> None:
+        self._buffer.append(event)
+        self.events_seen += 1
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._buffer)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [event for event in self._buffer if event.kind == kind]
+
+    def close(self) -> None:
+        pass
+
+
+class TerminalSummarySink(Sink):
+    """Tally events by kind; print a table on close."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream
+        self.kinds: Counter = Counter()
+        self.first_ts_ns: Optional[float] = None
+        self.last_ts_ns: float = 0.0
+
+    def handle(self, event: Event) -> None:
+        self.kinds[event.kind] += 1
+        if self.first_ts_ns is None:
+            self.first_ts_ns = event.ts_ns
+        self.last_ts_ns = event.ts_ns
+
+    def render(self) -> str:
+        lines = ["trace summary (events by kind):"]
+        for kind, count in sorted(self.kinds.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {kind:20s} {count:10d}")
+        span = self.last_ts_ns - (self.first_ts_ns or 0.0)
+        lines.append(
+            f"  total {sum(self.kinds.values())} events over "
+            f"{span:.0f} ns of simulated time"
+        )
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if self.kinds:
+            print(self.render(), file=self._stream or sys.stdout)
