@@ -1,0 +1,171 @@
+"""Oblivious KV service benchmark: request throughput and latency.
+
+Starts an in-process :class:`repro.serve.OramService` on an ephemeral
+port and drives it with the verifying load generator (``N`` concurrent
+TCP clients, sequential request/response per client), once over the
+plain in-memory backend and once over a fault-injecting backend, and
+reports req/s plus p50/p99 client-observed latency for both. Numbers go
+to ``BENCH_serve.json`` at the repository root.
+
+Methodology
+-----------
+* The loadgen verifies every response against a per-client model, so a
+  benchmark run is also a correctness run: any lost, failed or
+  incoherent response fails the benchmark (exit 1).
+* The faulty pass injects transient errors at the storage server
+  (``--error-rate``, default 3%), exercising the retry path under load;
+  its throughput is expected to trail the memory pass.
+* The median over ``--repeats`` runs is reported per backend; each run
+  uses a fresh service and tree, so runs are independent.
+
+Usage::
+
+    python benchmarks/bench_serve.py            # full run, writes JSON
+    python benchmarks/bench_serve.py --smoke    # quick CI sanity run
+    python benchmarks/bench_serve.py --smoke --trace serve-trace.jsonl
+
+``--trace`` attaches the observability layer to the first memory-backend
+run (events written as JSONL, validatable with
+``python -m repro.obs.schema``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import statistics
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import (  # noqa: E402
+    CacheConfig,
+    SchedulerConfig,
+    ServiceConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.obs import tracer_for_jsonl  # noqa: E402
+from repro.serve.loadgen import run_loadgen  # noqa: E402
+from repro.serve.service import OramService  # noqa: E402
+
+
+def service_config(backend: str, error_rate: float, seed: int) -> SystemConfig:
+    return SystemConfig(
+        oram=small_test_config(10, block_bytes=64),
+        scheduler=SchedulerConfig(label_queue_size=16),
+        cache=CacheConfig(policy="none"),
+        service=ServiceConfig(
+            backend=backend,
+            retry_base_ns=100_000.0,
+            fault_error_rate=error_rate if backend == "faulty" else 0.0,
+            fault_seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+async def one_run(
+    backend: str, clients: int, requests: int, error_rate: float, seed: int,
+    trace_path=None,
+) -> dict:
+    tracer = tracer_for_jsonl(str(trace_path)) if trace_path else None
+    service = OramService(
+        service_config(backend, error_rate, seed), tracer=tracer
+    )
+    host, port = await service.start()
+    try:
+        result = await run_loadgen(
+            host,
+            port,
+            clients=clients,
+            requests=requests,
+            num_blocks=service.engine.num_blocks,
+            seed=seed,
+        )
+    finally:
+        await service.stop()
+        if tracer is not None:
+            tracer.close()
+    if result.lost or result.mismatches or result.failed:
+        raise RuntimeError(
+            f"benchmark run unhealthy: lost={result.lost} "
+            f"failed={result.failed} mismatches={result.mismatches}"
+        )
+    summary = result.summary()
+    summary["accesses"] = float(service.engine.accesses)
+    summary["real_accesses"] = float(service.engine.real_accesses)
+    summary["backend_retries"] = float(service.engine.store.retries)
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick sanity run (no JSON output)")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=150,
+                        help="requests per client")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--error-rate", type=float, default=0.03)
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_serve.json")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="JSONL event trace of the first memory run")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.clients, args.requests, args.repeats = 4, 30, 1
+
+    report: dict = {
+        "benchmark": f"serve loadgen, {args.clients} clients x "
+        f"{args.requests} requests, L=10 queue=16",
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+    }
+    for backend in ("memory", "faulty"):
+        runs = []
+        for repeat in range(args.repeats):
+            trace = args.trace if backend == "memory" and repeat == 0 else None
+            runs.append(
+                asyncio.run(
+                    one_run(
+                        backend,
+                        args.clients,
+                        args.requests,
+                        args.error_rate,
+                        seed=41 + repeat,
+                        trace_path=trace,
+                    )
+                )
+            )
+        med = lambda key: statistics.median(run[key] for run in runs)  # noqa: E731
+        report[backend] = {
+            "median_requests_per_s": med("requests_per_s"),
+            "median_p50_ms": med("p50_ns") / 1e6,
+            "median_p99_ms": med("p99_ns") / 1e6,
+            "completed": runs[0]["completed"],
+            "accesses": runs[0]["accesses"],
+            "real_accesses": runs[0]["real_accesses"],
+            "backend_retries": med("backend_retries"),
+        }
+        print(
+            f"{backend:7s}: {report[backend]['median_requests_per_s']:8.1f} req/s, "
+            f"p50 {report[backend]['median_p50_ms']:7.2f} ms, "
+            f"p99 {report[backend]['median_p99_ms']:7.2f} ms "
+            f"({report[backend]['backend_retries']:.0f} retries)"
+        )
+    if not args.smoke:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ from repro.config import (
     ProcessorConfig,
     RecursionConfig,
     SchedulerConfig,
+    ServiceConfig,
     SystemConfig,
     levels_for_capacity,
     small_test_config,
@@ -46,11 +47,13 @@ from repro.config import (
 from repro.core.controller import ArrivalSource, ForkPathController
 from repro.core.metrics import ControllerMetrics
 from repro.errors import (
+    BackendError,
     ConfigError,
     InvariantViolationError,
     ProtocolError,
     ReproError,
     StashOverflowError,
+    TransientBackendError,
 )
 from repro.memsys.system import FullSystemResult, simulate_system
 from repro.obs import (
@@ -77,6 +80,7 @@ __all__ = [
     "ProcessorConfig",
     "RecursionConfig",
     "SchedulerConfig",
+    "ServiceConfig",
     "SystemConfig",
     "levels_for_capacity",
     "small_test_config",
@@ -85,11 +89,13 @@ __all__ = [
     "ArrivalSource",
     "ForkPathController",
     "ControllerMetrics",
+    "BackendError",
     "ConfigError",
     "InvariantViolationError",
     "ProtocolError",
     "ReproError",
     "StashOverflowError",
+    "TransientBackendError",
     "FullSystemResult",
     "simulate_system",
     "Simulation",

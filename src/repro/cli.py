@@ -11,8 +11,14 @@ Commands
 ``mix MIXNAME``
     Full-system comparison on one Table 2 mix (see
     ``examples/mix_simulation.py`` for the long-form version).
+``serve``
+    Run the oblivious key-value service (``repro.serve``) until
+    interrupted; configure with ``--set service.*`` overrides
+    (``docs/SERVICE.md`` documents the wire protocol).
+``loadgen --port P``
+    Drive a running service with concurrent verifying clients.
 
-``demo`` and ``mix`` accept two extra flags:
+``demo``, ``mix`` and ``serve`` accept two extra flags:
 
 ``--set key=value`` (repeatable)
     Dotted-path config overrides applied via
@@ -78,6 +84,10 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"default cache: {config.cache.policy} "
           f"{config.cache.capacity_bytes >> 10} KiB")
     print("figures: " + ", ".join(f"fig{n}" for n in range(10, 20)))
+    from repro.serve import available_backends
+
+    print("service backends: " + ", ".join(available_backends()))
+    print("commands: info, figure, demo, mix, serve, loadgen")
     return 0
 
 
@@ -176,6 +186,62 @@ def _cmd_mix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import SystemConfig
+    from repro.serve.service import run_service
+
+    overrides = _parse_overrides(args.set)
+    base = SystemConfig(oram=_small_service_oram()) if args.small else SystemConfig()
+    config = SystemConfig.from_overrides(overrides, base=base)
+    tracer = _make_tracer(args.trace)
+    try:
+        asyncio.run(run_service(config, tracer=tracer))
+    except KeyboardInterrupt:
+        print("interrupted; service stopped")
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+def _small_service_oram():
+    from repro.config import small_test_config
+
+    return small_test_config(10, block_bytes=64)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.loadgen import run_loadgen
+
+    result = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            clients=args.clients,
+            requests=args.requests,
+            num_blocks=args.num_blocks,
+            seed=args.seed,
+        )
+    )
+    summary = result.summary()
+    print(
+        f"{result.completed}/{result.sent} requests completed by "
+        f"{result.clients} clients in {result.elapsed_s:.2f} s "
+        f"({summary['requests_per_s']:.1f} req/s)"
+    )
+    print(
+        f"latency p50 {summary['p50_ns'] / 1e6:.2f} ms, "
+        f"p99 {summary['p99_ns'] / 1e6:.2f} ms; "
+        f"lost {result.lost}, failed {result.failed}, "
+        f"mismatches {result.mismatches}"
+    )
+    return 0 if result.lost == 0 and result.mismatches == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Fork Path ORAM reproduction toolkit"
@@ -195,7 +261,31 @@ def main(argv: list[str] | None = None) -> int:
     mix = subparsers.add_parser("mix", help="full-system run of a Table 2 mix")
     mix.add_argument("mix", help="Mix1 .. Mix10")
 
-    for command in (demo, mix):
+    serve = subparsers.add_parser(
+        "serve", help="run the oblivious key-value service"
+    )
+    serve.add_argument(
+        "--small",
+        action="store_true",
+        help="use a small (L=10) tree instead of the paper-scale default",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive a running service with verifying clients"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--clients", type=int, default=4)
+    loadgen.add_argument("--requests", type=int, default=50)
+    loadgen.add_argument(
+        "--num-blocks",
+        type=int,
+        default=1 << 10,
+        help="address-space size split into per-client slices",
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+
+    for command in (demo, mix, serve):
         command.add_argument(
             "--set",
             action="append",
@@ -216,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "demo": _cmd_demo,
         "mix": _cmd_mix,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

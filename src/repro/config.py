@@ -439,6 +439,99 @@ class RecursionConfig:
             raise ConfigError("plb_entries must be >= 0")
 
 
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The oblivious key-value service (``repro.serve``).
+
+    Attributes
+    ----------
+    host / port:
+        TCP bind address for ``python -m repro serve``. Port 0 binds an
+        ephemeral port (the bound port is printed / returned).
+    backend:
+        Storage backend behind the ORAM tree: ``"memory"`` (the plain
+        dict store), ``"file"`` (crash-safe append-log persistence at
+        ``backend_path``) or ``"faulty"`` (the in-memory store wrapped
+        in configurable fault injection — see the ``fault_*`` knobs).
+    backend_path:
+        Store file for the ``"file"`` backend.
+    admission_capacity:
+        Bound of the admission queue between client sessions and the
+        ORAM engine. When full, session handlers stop reading frames —
+        backpressure propagates to clients through TCP flow control
+        rather than requests being dropped.
+    nonstop:
+        Keep issuing (dummy-padded) ORAM accesses while no client work
+        is pending, so the backend-visible access *rate* leaks nothing
+        about client intensity. Off by default: tests and benchmarks
+        prefer the idle engine to sleep.
+    pace_ns:
+        Minimum wall-clock gap between consecutive ORAM accesses
+        (0 = flat out). With ``nonstop`` this fixes the trace rate.
+    retry_attempts / retry_base_ns / retry_max_ns:
+        Exponential-backoff retry policy for backend operations:
+        attempt ``k`` (1-based) sleeps ``min(retry_max_ns,
+        retry_base_ns * 2**(k-1))`` before retrying. Only transient
+        errors and timeouts are retried; bucket writes are absolute
+        (idempotent), so a retried write never corrupts state.
+    op_timeout_ns:
+        Per-operation backend timeout; a stalled operation is cancelled
+        and counts as a retryable failure (0 disables the timeout).
+    fault_error_rate / fault_stall_rate / fault_jitter_ns / fault_stall_ns:
+        ``FaultyBackend`` knobs: probability of a transient error per
+        operation, probability of a stall of ``fault_stall_ns`` (sized
+        to trip ``op_timeout_ns``), and uniform extra latency in
+        ``[0, fault_jitter_ns]`` per operation.
+    fault_seed:
+        Seed of the fault plan's private RNG — faults are deterministic
+        given the seed and the operation sequence.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    backend: str = "memory"
+    backend_path: str = ""
+    admission_capacity: int = 128
+    max_frame_bytes: int = 1 << 20
+    nonstop: bool = False
+    pace_ns: float = 0.0
+    retry_attempts: int = 8
+    retry_base_ns: float = 1_000_000.0
+    retry_max_ns: float = 200_000_000.0
+    op_timeout_ns: float = 250_000_000.0
+    fault_error_rate: float = 0.0
+    fault_stall_rate: float = 0.0
+    fault_jitter_ns: float = 0.0
+    fault_stall_ns: float = 0.0
+    fault_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("memory", "file", "faulty"):
+            raise ConfigError(f"unknown service backend {self.backend!r}")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.admission_capacity < 1:
+            raise ConfigError(
+                f"admission_capacity must be >= 1, got {self.admission_capacity}"
+            )
+        if self.max_frame_bytes < 64:
+            raise ConfigError(
+                f"max_frame_bytes must be >= 64, got {self.max_frame_bytes}"
+            )
+        if self.retry_attempts < 1:
+            raise ConfigError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}"
+            )
+        for name in ("pace_ns", "retry_base_ns", "retry_max_ns",
+                     "op_timeout_ns", "fault_jitter_ns", "fault_stall_ns"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        for name in ("fault_error_rate", "fault_stall_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {rate}")
+
+
 def _coerce_override(path: str, value: object, current: object) -> object:
     """Convert a string override to the type of the current value.
 
@@ -515,6 +608,7 @@ class SystemConfig:
     dram: DramConfig = field(default_factory=DramConfig)
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     recursion: RecursionConfig = field(default_factory=RecursionConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
     #: Fixed idle gap between ORAM phases for timing protection, in ns.
     idle_gap_ns: float = 0.0
     #: Strict periodic issue (Figure 1c): when > 0, every tree access

@@ -53,3 +53,21 @@ class ProtocolError(ReproError):
 
 class DecryptionError(ReproError):
     """Ciphertext failed authentication / structural checks on decrypt."""
+
+
+class BackendError(ReproError):
+    """A storage backend operation failed permanently.
+
+    Raised by the service layer once its retry policy is exhausted; the
+    wrapped cause (transient error, timeout) is chained as
+    ``__cause__``.
+    """
+
+
+class TransientBackendError(BackendError):
+    """A storage backend operation failed in a retryable way.
+
+    Injected by :class:`repro.serve.backends.FaultyBackend` (and raised
+    by real backends for conditions a retry can clear). The service
+    retry policy catches exactly this type plus timeouts.
+    """

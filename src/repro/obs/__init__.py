@@ -24,6 +24,7 @@ within noise of the uninstrumented simulator (pinned by
 """
 
 from repro.obs.events import (
+    BackendRetry,
     DramBankBusy,
     DummyTakeover,
     Event,
@@ -38,6 +39,10 @@ from repro.obs.events import (
     RequestScheduled,
     RunFinished,
     RunStarted,
+    ServiceAdmitted,
+    ServiceCompleted,
+    SessionClosed,
+    SessionOpened,
     StashHighWater,
     TimelineSample,
 )
@@ -68,6 +73,11 @@ __all__ = [
     "MacMiss",
     "DramBankBusy",
     "TimelineSample",
+    "SessionOpened",
+    "SessionClosed",
+    "ServiceAdmitted",
+    "BackendRetry",
+    "ServiceCompleted",
     "Sink",
     "JsonlSink",
     "RingBufferSink",

@@ -24,6 +24,18 @@ Event inventory (one lifecycle, paper Figure 9 left to right):
 ``timeline_sample``    periodic sampler output (stash / queue / overlap)
 ``run_started``/``run_finished``  one simulation run bracket
 ================== ====================================================
+
+The ``repro.serve`` service layer adds its own lifecycle on top (one
+client request, wall-clock timestamps):
+
+================== ====================================================
+``session_opened``/``session_closed``  one client connection bracket
+``service_admitted``   request left the admission queue for the engine
+``backend_retry``      a backend op failed transiently and was retried
+``service_completed``  response sent (per-phase breakdown that sums
+                       exactly to end-to-end, as for
+                       ``request_completed``)
+================== ====================================================
 """
 
 from __future__ import annotations
@@ -204,6 +216,73 @@ class DramBankBusy(Event):
     bank: int = 0
     wait_ns: float = 0.0
     kind: ClassVar[str] = "dram_bank_busy"
+
+
+@dataclass(slots=True)
+class SessionOpened(Event):
+    """A client connected to the oblivious key-value service."""
+
+    session_id: int = 0
+    peer: str = ""
+    kind: ClassVar[str] = "session_opened"
+
+
+@dataclass(slots=True)
+class SessionClosed(Event):
+    """A client session ended (``requests`` = frames it submitted)."""
+
+    session_id: int = 0
+    requests: int = 0
+    kind: ClassVar[str] = "session_closed"
+
+
+@dataclass(slots=True)
+class ServiceAdmitted(Event):
+    """A client request left the admission queue and entered the
+    oblivious engine (``wait_ns`` = admission-queue residency)."""
+
+    request_id: int = 0
+    session_id: int = 0
+    op: str = ""
+    addr: int = 0
+    wait_ns: float = 0.0
+    kind: ClassVar[str] = "service_admitted"
+
+
+@dataclass(slots=True)
+class BackendRetry(Event):
+    """A storage-backend operation failed transiently; the retry policy
+    sleeps ``backoff_ns`` and tries again."""
+
+    node_id: int = 0
+    op: str = ""
+    attempt: int = 0
+    backoff_ns: float = 0.0
+    error: str = ""
+    kind: ClassVar[str] = "backend_retry"
+
+
+@dataclass(slots=True)
+class ServiceCompleted(Event):
+    """A client request was answered; ``phases`` sum to ``latency_ns``.
+
+    The phases are deltas of the monotone per-request wall-clock chain
+    (arrival <= admitted <= scheduled <= completed):
+
+    * ``admission_ns`` — admission-queue residency
+    * ``sched_wait_ns`` — label-queue wait until its access began
+      (exactly 0 for on-chip stash hits, which are never queued)
+    * ``service_ns`` — the tree access itself
+    """
+
+    request_id: int = 0
+    session_id: int = 0
+    op: str = ""
+    addr: int = 0
+    status: str = ""
+    latency_ns: float = 0.0
+    phases: Dict[str, float] = dataclasses.field(default_factory=dict)
+    kind: ClassVar[str] = "service_completed"
 
 
 @dataclass(slots=True)

@@ -97,10 +97,44 @@ EVENT_FIELDS: Dict[str, Dict[str, str]] = {
         "queue_fill": _INT,
         "overlap_depth": _INT,
     },
+    "session_opened": {"session_id": _INT, "peer": _STR},
+    "session_closed": {"session_id": _INT, "requests": _INT},
+    "service_admitted": {
+        "request_id": _INT,
+        "session_id": _INT,
+        "op": _STR,
+        "addr": _INT,
+        "wait_ns": _NUMBER,
+    },
+    "backend_retry": {
+        "node_id": _INT,
+        "op": _STR,
+        "attempt": _INT,
+        "backoff_ns": _NUMBER,
+        "error": _STR,
+    },
+    "service_completed": {
+        "request_id": _INT,
+        "session_id": _INT,
+        "op": _STR,
+        "addr": _INT,
+        "status": _STR,
+        "latency_ns": _NUMBER,
+        "phases": _DICT,
+    },
 }
 
 #: The phase keys a ``request_completed`` breakdown must consist of.
 PHASE_KEYS = ("posmap_ns", "queue_wait_ns", "sched_wait_ns", "service_ns")
+
+#: The phase keys of a ``service_completed`` breakdown (wall clock).
+SERVICE_PHASE_KEYS = ("admission_ns", "sched_wait_ns", "service_ns")
+
+#: Kinds carrying a phase breakdown that must sum to ``latency_ns``.
+PHASE_KEYS_BY_KIND = {
+    "request_completed": PHASE_KEYS,
+    "service_completed": SERVICE_PHASE_KEYS,
+}
 
 
 def _type_ok(value: object, tag: str) -> bool:
@@ -145,39 +179,40 @@ def validate_event(event: object, where: str = "") -> List[str]:
     extras = set(event) - set(fields) - {"kind", "ts_ns"}
     if extras:
         errors.append(f"{prefix}{kind}: unexpected fields {sorted(extras)}")
-    if kind == "request_completed" and not errors:
-        errors.extend(_check_phases(event, prefix))
+    if kind in PHASE_KEYS_BY_KIND and not errors:
+        errors.extend(_check_phases(event, prefix, kind))
     return errors
 
 
-def _check_phases(event: Dict[str, object], prefix: str) -> List[str]:
+def _check_phases(event: Dict[str, object], prefix: str, kind: str) -> List[str]:
     """Phase components must be non-negative and sum to the latency."""
     errors: List[str] = []
+    phase_keys = PHASE_KEYS_BY_KIND[kind]
     phases = event["phases"]
     assert isinstance(phases, dict)
     latency = float(event["latency_ns"])  # type: ignore[arg-type]
-    if set(phases) != set(PHASE_KEYS):
+    if set(phases) != set(phase_keys):
         errors.append(
-            f"{prefix}request_completed: phases keys {sorted(phases)} != "
-            f"{sorted(PHASE_KEYS)}"
+            f"{prefix}{kind}: phases keys {sorted(phases)} != "
+            f"{sorted(phase_keys)}"
         )
         return errors
     total = 0.0
-    for key in PHASE_KEYS:
+    for key in phase_keys:
         value = phases[key]
         if not _type_ok(value, _NUMBER):
             errors.append(
-                f"{prefix}request_completed: phase {key!r} is not numeric"
+                f"{prefix}{kind}: phase {key!r} is not numeric"
             )
             return errors
         if value < -phase_sum_tolerance(latency):
             errors.append(
-                f"{prefix}request_completed: phase {key!r} negative ({value})"
+                f"{prefix}{kind}: phase {key!r} negative ({value})"
             )
         total += float(value)  # type: ignore[arg-type]
     if abs(total - latency) > phase_sum_tolerance(latency):
         errors.append(
-            f"{prefix}request_completed (request "
+            f"{prefix}{kind} (request "
             f"{event.get('request_id')}): phases sum to {total} but "
             f"latency_ns is {latency}"
         )

@@ -15,7 +15,7 @@ timestamps — via :class:`TraceRecorder`.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, NamedTuple, Optional
+from typing import List, MutableMapping, NamedTuple, Optional
 
 from repro.errors import ConfigError
 from repro.oram.blocks import Block, Bucket
@@ -83,6 +83,12 @@ class UntrustedMemory:
     trace:
         Optional shared :class:`TraceRecorder`; a private one is created
         when omitted.
+    backend:
+        Mapping-like sealed-bucket store keyed by node id (e.g. one of
+        the :mod:`repro.serve.backends` implementations, duck-typed so
+        this layer stays independent of the service layer). ``None``
+        (the default) keeps the plain in-process dict — the zero
+        overhead simulator hot path.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class UntrustedMemory:
         bucket_slots: int,
         cipher: Optional[BucketCipher] = None,
         trace: Optional[TraceRecorder] = None,
+        backend: "Optional[MutableMapping[int, object]]" = None,
     ) -> None:
         if bucket_slots < 1:
             raise ConfigError(f"bucket_slots must be >= 1, got {bucket_slots}")
@@ -99,7 +106,9 @@ class UntrustedMemory:
         self._num_nodes = geometry.num_nodes
         self.cipher = cipher if cipher is not None else NullCipher()
         self.trace = trace if trace is not None else TraceRecorder()
-        self._store: Dict[int, object] = {}
+        self._store: MutableMapping[int, object] = (
+            backend if backend is not None else {}
+        )
         self.reads = 0
         self.writes = 0
 

@@ -1,0 +1,485 @@
+"""The oblivious engine: fork-path accesses driving client requests.
+
+This is the service-side counterpart of
+:class:`~repro.core.controller.ForkPathController`. The batch
+controller advances simulated time; the engine serves *live* client
+requests in wall-clock time over an (async, possibly faulty) storage
+backend — but executes the exact same oblivious access discipline:
+
+* one position map + stash + :class:`~repro.core.merging.ForkState`;
+* a dummy-padded :class:`~repro.core.scheduling.LabelQueue`, so the
+  scheduling choice set always has ``M`` candidates and the backend
+  observes the same kind of trace whether zero or a hundred clients
+  are connected;
+* per access: read the non-resident path suffix, serve the target from
+  the stash, pick the next entry, refill down to the fork point,
+  retain the overlap prefix on chip.
+
+Request semantics on top of the block interface:
+
+* **stash hits complete on-chip** — like the simulator, a request whose
+  address is already stash-resident never touches the backend (the
+  threat model's adversary cannot see on-chip traffic);
+* **per-address serialization** — while an access for address ``a`` is
+  in flight, later requests for ``a`` queue as *waiters* and are served
+  from the stash the moment the access completes, preserving
+  read-your-writes per client without issuing a second tree access;
+* **exactly-once completion** — every submitted request's future is
+  resolved exactly once, including when the backend fails past the
+  retry budget (the request fails with ``ok: false``; the fork state is
+  reset so the next access re-reads a full path).
+
+Backend operations go through :class:`AsyncBucketStore`, which seals
+and opens buckets with the configured cipher and retries transient
+errors and timeouts with exponential backoff — writes are absolute
+(a bucket is always written whole), so a retried or duplicated write
+is idempotent by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.config import ServiceConfig, SystemConfig
+from repro.core.merging import ForkState
+from repro.core.requests import LabelEntry
+from repro.core.scheduling import LabelQueue
+from repro.errors import BackendError, TransientBackendError
+from repro.obs.events import BackendRetry, ServiceAdmitted, ServiceCompleted
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.oram.blocks import Block
+from repro.oram.encryption import BucketCipher, NullCipher
+from repro.oram.posmap import PositionMap
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+from repro.serve.backends import StorageBackend
+
+_serve_request_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for backend operations.
+
+    Attempt ``k`` (1-based) that fails transiently sleeps
+    ``min(max_ns, base_ns * 2**(k-1))`` before attempt ``k+1``; after
+    ``attempts`` failures the operation raises :class:`BackendError`.
+    """
+
+    attempts: int = 8
+    base_ns: float = 1_000_000.0
+    max_ns: float = 200_000_000.0
+    op_timeout_ns: float = 250_000_000.0
+
+    @classmethod
+    def from_config(cls, config: ServiceConfig) -> "RetryPolicy":
+        return cls(
+            attempts=config.retry_attempts,
+            base_ns=config.retry_base_ns,
+            max_ns=config.retry_max_ns,
+            op_timeout_ns=config.op_timeout_ns,
+        )
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Sleep before the retry following failed attempt ``attempt``."""
+        return min(self.max_ns, self.base_ns * (2.0 ** (attempt - 1)))
+
+
+@dataclass(slots=True)
+class ServeRequest:
+    """One client request inside the service (the engine's unit).
+
+    The ``*_ns`` fields form the monotone wall-clock chain
+    ``arrival <= admitted <= scheduled <= completed`` whose deltas are
+    the ``service_completed`` phase breakdown.
+    """
+
+    op: str
+    addr: int
+    value: Optional[str] = None
+    session_id: int = 0
+    request_id: int = field(default_factory=lambda: next(_serve_request_ids))
+    #: Client-chosen correlation id, echoed in the response.
+    client_id: object = None
+    arrival_ns: float = 0.0
+    admitted_ns: float = 0.0
+    scheduled_ns: float = 0.0
+    completed_ns: float = 0.0
+    #: "stash" (on-chip hit), "oram" (own tree access), "coalesced"
+    #: (served as a waiter of an in-flight same-address access), or
+    #: "failed" (backend gave up past the retry budget).
+    status: str = ""
+    found: bool = False
+    result: Optional[str] = None
+    error: Optional[str] = None
+    future: Optional["asyncio.Future[ServeRequest]"] = None
+
+    def phases(self) -> Dict[str, float]:
+        return {
+            "admission_ns": self.admitted_ns - self.arrival_ns,
+            "sched_wait_ns": self.scheduled_ns - self.admitted_ns,
+            "service_ns": self.completed_ns - self.scheduled_ns,
+        }
+
+    @property
+    def latency_ns(self) -> float:
+        return self.completed_ns - self.arrival_ns
+
+
+class AsyncBucketStore:
+    """Sealed-bucket reads/writes over an async backend, with retries.
+
+    The cipher boundary lives here (the trusted side): plaintext blocks
+    in, sealed buckets out. Every backend operation is guarded by the
+    per-op timeout and retried per :class:`RetryPolicy`; a write retried
+    after an ambiguous failure simply overwrites the same bucket with
+    the same sealed value, so duplication is harmless.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        bucket_slots: int,
+        cipher: Optional[BucketCipher] = None,
+        policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.backend = backend
+        self.bucket_slots = bucket_slots
+        self.cipher = cipher if cipher is not None else NullCipher()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
+        self._clock = clock if clock is not None else _default_clock()
+        self.retries = 0
+        self.failures = 0
+
+    async def read_blocks(self, node_id: int) -> List[Block]:
+        sealed = await self._attempt("read", node_id, lambda: self.backend.aget(node_id))
+        if sealed is None:
+            return []
+        return self.cipher.open_blocks(sealed, self.bucket_slots)
+
+    async def write_blocks(self, node_id: int, blocks: List[Block]) -> None:
+        sealed = self.cipher.seal_blocks(blocks, self.bucket_slots)
+        await self._attempt("write", node_id, lambda: self.backend.aput(node_id, sealed))
+
+    async def _attempt(
+        self, op: str, node_id: int, thunk: Callable[[], "asyncio.Future"]
+    ) -> object:
+        policy = self.policy
+        timeout_s = policy.op_timeout_ns / 1e9 if policy.op_timeout_ns > 0 else None
+        last_error = ""
+        for attempt in range(1, policy.attempts + 1):
+            try:
+                coro = thunk()  # fresh coroutine per attempt
+                if timeout_s is None:
+                    return await coro
+                return await asyncio.wait_for(coro, timeout_s)
+            except (TransientBackendError, asyncio.TimeoutError) as exc:
+                last_error = (
+                    "operation timed out"
+                    if isinstance(exc, asyncio.TimeoutError)
+                    else str(exc)
+                )
+                if attempt == policy.attempts:
+                    break
+                self.retries += 1
+                backoff = policy.backoff_ns(attempt)
+                if self._trace:
+                    self.tracer.emit(
+                        BackendRetry(
+                            ts_ns=self._clock(),
+                            node_id=node_id,
+                            op=op,
+                            attempt=attempt,
+                            backoff_ns=backoff,
+                            error=last_error,
+                        )
+                    )
+                    self.tracer.counters.inc("serve.backend.retries")
+                await asyncio.sleep(backoff / 1e9)
+        self.failures += 1
+        raise BackendError(
+            f"backend {op} of node {node_id} failed after "
+            f"{policy.attempts} attempts: {last_error}"
+        )
+
+
+def _default_clock() -> Callable[[], float]:
+    """Wall-clock ns relative to creation (floats stay precise)."""
+    start = time.perf_counter_ns()
+    return lambda: float(time.perf_counter_ns() - start)
+
+
+class ObliviousEngine:
+    """Fork-path access engine serving live requests from a backend."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        backend: StorageBackend,
+        cipher: Optional[BucketCipher] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
+        self.clock = clock if clock is not None else _default_clock()
+        self.rng = random.Random(config.seed)
+        oram = config.oram
+        self.geometry = TreeGeometry(oram.levels)
+        self.bucket_slots = oram.bucket_slots
+        self.num_blocks = oram.num_blocks
+        self.posmap = PositionMap(self.geometry, self.rng)
+        self.stash = Stash(self.geometry, oram.stash_capacity)
+        self.fork = ForkState(self.geometry, enabled=config.scheduler.enable_merging)
+        self.label_queue = LabelQueue(
+            self.geometry, config.scheduler, self.rng, self.tracer
+        )
+        self.store = AsyncBucketStore(
+            backend,
+            oram.bucket_slots,
+            cipher=cipher,
+            policy=RetryPolicy.from_config(config.service),
+            tracer=self.tracer,
+            clock=self.clock,
+        )
+        #: Address -> the request whose tree access is in flight.
+        self._inflight: Dict[int, ServeRequest] = {}
+        #: Address -> later same-address requests awaiting that access.
+        self._waiters: Dict[int, Deque[ServeRequest]] = {}
+        #: The entry already revealed as the next path (fork target).
+        self._next_entry: Optional[LabelEntry] = None
+        #: Invoked between serve and next-path selection so the service
+        #: can admit freshly queued requests into this very window.
+        self.admit_hook: Optional[Callable[[], None]] = None
+        self.accesses = 0
+        self.real_accesses = 0
+        self.failed_accesses = 0
+        self.completed_requests = 0
+        #: Scheduling rounds that saw an underfull queue — the padding
+        #: invariant says this must stay 0 (tests assert it).
+        self.underfull_rounds = 0
+        #: (leaf, was_dummy, read_nodes, written_nodes) per access.
+        self.records: List[tuple] = []
+
+    # -------------------------------------------------------------- admission
+
+    def has_pending_real(self) -> bool:
+        """Whether any client work is queued or in flight."""
+        return bool(
+            self._inflight
+            or self.label_queue.pending_real
+            or (self._next_entry is not None and self._next_entry.is_real)
+        )
+
+    def submit(self, request: ServeRequest) -> bool:
+        """Admit one request into the engine; False = no room yet.
+
+        On False the caller must hold the request and retry later — the
+        label queue is saturated with real entries and admitting more
+        would break the fixed-size padding discipline.
+        """
+        now = self.clock()
+        addr = request.addr
+        if addr in self._inflight:
+            request.admitted_ns = now
+            self._waiters.setdefault(addr, deque()).append(request)
+            self._emit_admitted(request)
+            return True
+        block = self.stash.get(addr)
+        if block is not None:
+            # On-chip hit: complete immediately, no tree access.
+            request.admitted_ns = now
+            request.scheduled_ns = now
+            self._emit_admitted(request)
+            self._apply(request, stash_leaf=block.leaf)
+            self._complete(request, "stash")
+            return True
+        if not self.label_queue.has_room_for_real():
+            return False
+        request.admitted_ns = now
+        old_leaf, new_leaf = self.posmap.remap(addr)
+        self.label_queue.insert_real(
+            LabelEntry(
+                leaf=old_leaf,
+                target_addr=addr,
+                new_leaf=new_leaf,
+                enqueue_ns=now,
+            )
+        )
+        self._inflight[addr] = request
+        self._emit_admitted(request)
+        return True
+
+    def _emit_admitted(self, request: ServeRequest) -> None:
+        if self._trace:
+            self.tracer.emit(
+                ServiceAdmitted(
+                    ts_ns=request.admitted_ns,
+                    request_id=request.request_id,
+                    session_id=request.session_id,
+                    op=request.op,
+                    addr=request.addr,
+                    wait_ns=request.admitted_ns - request.arrival_ns,
+                )
+            )
+
+    # ---------------------------------------------------------------- access
+
+    async def run_access(self) -> None:
+        """Execute one (possibly dummy) fork-path tree access."""
+        now = self.clock()
+        entry = self._next_entry
+        self._next_entry = None
+        if entry is None:  # bootstrap: no revealed path yet
+            entry = self._select(None, now)
+        leaf = entry.leaf
+        request = (
+            self._inflight.get(entry.target_addr)
+            if entry.target_addr is not None
+            else None
+        )
+        if request is not None:
+            request.scheduled_ns = now
+        try:
+            read_nodes = self.fork.read_set(leaf)
+            for node in read_nodes:
+                self.stash.add_all(await self.store.read_blocks(node))
+            if entry.is_real:
+                self._serve_real(entry)
+                self.real_accesses += 1
+            if self.admit_hook is not None:
+                self.admit_hook()
+            next_entry = self._select(leaf, self.clock())
+            retain = self.fork.retain_depth(leaf, next_entry.leaf)
+            path = self.geometry.path_tuple(leaf)
+            z = self.bucket_slots
+            written = 0
+            for level in range(self.geometry.levels, retain - 1, -1):
+                blocks = self.stash.collect_for_node(leaf, level, z)
+                await self.store.write_blocks(path[level], blocks)
+                written += 1
+            self.fork.commit_write(leaf, retain)
+            self.stash.check_persistent_occupancy(slack=z * retain)
+            self._next_entry = next_entry
+            self.accesses += 1
+            self.records.append((leaf, entry.is_dummy, len(read_nodes), written))
+        except BackendError as exc:
+            # The backend gave up past the retry budget. Fail the
+            # request (exactly-once: its future still resolves) and
+            # drop the resident prefix so the next access re-reads a
+            # full path — stash contents are intact, nothing is lost.
+            self.failed_accesses += 1
+            self.fork.reset()
+            if entry.target_addr is not None:
+                self._fail_address(entry.target_addr, str(exc))
+
+    def _select(self, current_leaf: Optional[int], now_ns: float) -> LabelEntry:
+        queue = self.label_queue
+        queue.top_up(now_ns)
+        if len(queue.entries) < queue.size:
+            self.underfull_rounds += 1
+        return queue.select_next(current_leaf, now_ns)
+
+    # ---------------------------------------------------------------- serving
+
+    def _serve_real(self, entry: LabelEntry) -> None:
+        addr = entry.target_addr
+        assert addr is not None and entry.new_leaf is not None
+        request = self._inflight.pop(addr, None)
+        if request is not None:
+            self._apply(request, stash_leaf=entry.new_leaf)
+            self._complete(request, "oram")
+        # Serve queued same-address requests from the stash, in order.
+        waiters = self._waiters.pop(addr, None)
+        if waiters:
+            now = self.clock()
+            for waiter in waiters:
+                waiter.scheduled_ns = now
+                self._apply(waiter, stash_leaf=self.posmap.lookup(addr))
+                self._complete(waiter, "coalesced")
+
+    def _apply(self, request: ServeRequest, stash_leaf: int) -> None:
+        """Apply one op against the stash-resident state of its address."""
+        addr = request.addr
+        stash = self.stash
+        block = stash.get(addr)
+        if request.op == "get":
+            request.found = block is not None
+            request.result = block.payload if block is not None else None  # type: ignore[assignment]
+            if block is not None:
+                stash.relabel(addr, stash_leaf)
+        elif request.op == "put":
+            request.found = block is not None
+            if block is None:
+                stash.add(Block(addr, stash_leaf, request.value))
+            else:
+                block.payload = request.value
+                stash.relabel(addr, stash_leaf)
+        else:  # delete
+            request.found = block is not None
+            stash.pop(addr)
+
+    def _complete(self, request: ServeRequest, status: str) -> None:
+        request.status = status
+        request.completed_ns = self.clock()
+        self.completed_requests += 1
+        if self._trace:
+            self.tracer.emit(
+                ServiceCompleted(
+                    ts_ns=request.completed_ns,
+                    request_id=request.request_id,
+                    session_id=request.session_id,
+                    op=request.op,
+                    addr=request.addr,
+                    status=status,
+                    latency_ns=request.latency_ns,
+                    phases=request.phases(),
+                )
+            )
+            self.tracer.observe_phases(request.latency_ns, request.phases())
+            self.tracer.counters.inc(f"serve.completed.{status}")
+            self.tracer.histogram(
+                f"serve.session.{request.session_id}.latency"
+            ).record(request.latency_ns)
+        if request.future is not None and not request.future.done():
+            request.future.set_result(request)
+
+    def _fail_address(self, addr: int, error: str) -> None:
+        doomed: List[ServeRequest] = []
+        request = self._inflight.pop(addr, None)
+        if request is not None:
+            doomed.append(request)
+        waiters = self._waiters.pop(addr, None)
+        if waiters:
+            doomed.extend(waiters)
+        now = self.clock()
+        for request in doomed:
+            if request.scheduled_ns < request.admitted_ns or request.scheduled_ns == 0.0:
+                request.scheduled_ns = max(request.admitted_ns, request.scheduled_ns)
+            request.error = error
+            self._complete(request, "failed")
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        self.store.backend.close()
+
+
+__all__ = [
+    "RetryPolicy",
+    "ServeRequest",
+    "AsyncBucketStore",
+    "ObliviousEngine",
+]

@@ -1,0 +1,174 @@
+"""Concurrent load generator and correctness checker for the service.
+
+``run_loadgen`` drives ``clients`` concurrent TCP sessions, each
+issuing ``requests`` operations over its *own* disjoint address slice
+(so cross-client interleavings never make expected values ambiguous).
+Every client keeps a local model of its slice and verifies each
+response against it — a read-your-writes check riding along with the
+throughput measurement. The result counts three things the service
+tests assert on:
+
+* ``lost`` — requests sent but never answered (must be 0: the
+  exactly-once guarantee);
+* ``mismatches`` — responses contradicting the local model (must be 0:
+  coherence);
+* ``failed`` — ``ok: false`` responses (0 unless the fault plan is
+  configured to exhaust the retry budget).
+
+Per-request latencies are kept so callers can report p50/p99.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serve import protocol
+
+
+@dataclass
+class LoadgenResult:
+    clients: int = 0
+    sent: int = 0
+    completed: int = 0
+    failed: int = 0
+    lost: int = 0
+    mismatches: int = 0
+    elapsed_s: float = 0.0
+    latencies_ns: List[float] = field(default_factory=list)
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_percentile_ns(self, fraction: float) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "clients": float(self.clients),
+            "sent": float(self.sent),
+            "completed": float(self.completed),
+            "failed": float(self.failed),
+            "lost": float(self.lost),
+            "mismatches": float(self.mismatches),
+            "elapsed_s": self.elapsed_s,
+            "requests_per_s": self.requests_per_s,
+            "p50_ns": self.latency_percentile_ns(0.50),
+            "p99_ns": self.latency_percentile_ns(0.99),
+        }
+
+
+async def _run_client(
+    host: str,
+    port: int,
+    client_index: int,
+    requests: int,
+    addr_base: int,
+    addr_span: int,
+    seed: int,
+    result: LoadgenResult,
+    lock: asyncio.Lock,
+) -> None:
+    """One client: sequential request/response over its address slice."""
+    rng = random.Random(seed + client_index)
+    model: Dict[int, Optional[str]] = {}
+    reader, writer = await asyncio.open_connection(host, port)
+    sent = completed = failed = mismatches = 0
+    latencies: List[float] = []
+    try:
+        for sequence in range(requests):
+            addr = addr_base + rng.randrange(addr_span)
+            roll = rng.random()
+            if roll < 0.5:
+                op, value = "put", f"c{client_index}-s{sequence}"
+            elif roll < 0.9:
+                op, value = "get", None
+            else:
+                op, value = "delete", None
+            message: Dict[str, object] = {"id": sequence, "op": op, "addr": addr}
+            if op == "put":
+                message["value"] = value
+            start = time.perf_counter_ns()
+            await protocol.write_message(writer, message)
+            sent += 1
+            response = await protocol.read_message(reader)
+            if response is None:
+                break
+            latencies.append(float(time.perf_counter_ns() - start))
+            completed += 1
+            if response.get("id") != sequence:
+                mismatches += 1
+                continue
+            if not response.get("ok"):
+                failed += 1
+                continue
+            expected = model.get(addr)
+            if op == "get":
+                if (response.get("found"), response.get("value")) != (
+                    expected is not None,
+                    expected,
+                ):
+                    mismatches += 1
+            elif op == "put":
+                model[addr] = value
+            else:  # delete
+                if bool(response.get("found")) != (expected is not None):
+                    mismatches += 1
+                model[addr] = None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    async with lock:
+        result.sent += sent
+        result.completed += completed
+        result.failed += failed
+        result.mismatches += mismatches
+        result.latencies_ns.extend(latencies)
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    clients: int = 4,
+    requests: int = 50,
+    num_blocks: int = 1 << 12,
+    seed: int = 7,
+) -> LoadgenResult:
+    """Drive the service with ``clients`` concurrent sessions."""
+    result = LoadgenResult(clients=clients)
+    lock = asyncio.Lock()
+    span = max(1, num_blocks // max(1, clients))
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _run_client(
+                host,
+                port,
+                index,
+                requests,
+                addr_base=index * span,
+                addr_span=span,
+                seed=seed,
+                result=result,
+                lock=lock,
+            )
+            for index in range(clients)
+        )
+    )
+    result.elapsed_s = time.perf_counter() - start
+    result.lost = result.sent - result.completed
+    return result
+
+
+__all__ = ["LoadgenResult", "run_loadgen"]

@@ -1,0 +1,146 @@
+"""Wire protocol of the oblivious key-value service.
+
+Deliberately minimal so clients are trivial to write in any language:
+each message is a **4-byte big-endian length prefix** followed by that
+many bytes of UTF-8 JSON. Requests and responses are flat objects:
+
+Request::
+
+    {"id": 7, "op": "get" | "put" | "delete", "addr": 42, "value": "..."}
+
+* ``id`` — client-chosen correlation id, echoed verbatim in the
+  response (responses may arrive out of submission order);
+* ``op`` — the operation; ``value`` is required for ``put`` (any JSON
+  string) and must be absent otherwise;
+* ``addr`` — logical block address in ``[0, num_blocks)``.
+
+Response::
+
+    {"id": 7, "ok": true, "found": true, "value": "...", "error": null}
+
+* ``ok`` — false only when the service gave up (backend failed past
+  the retry budget, or the request was malformed);
+* ``found`` — for ``get``/``delete``: whether the address held a
+  block; ``value`` — the block payload for a found ``get``, else null.
+
+Frames larger than the negotiated ``max_frame_bytes`` are rejected
+before allocation — a malformed length prefix cannot make the server
+buffer unbounded data. All framing errors raise
+:class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+#: Length prefix: one unsigned 32-bit big-endian integer.
+_LEN = struct.Struct(">I")
+
+OPS: Tuple[str, ...] = ("get", "put", "delete")
+
+#: Default cap on one frame's body (also in ``ServiceConfig``).
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+
+def encode_frame(obj: Dict[str, object]) -> bytes:
+    """Serialise one message to its length-prefixed wire form."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, object]:
+    """Parse one frame body back into a message object."""
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame body: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return obj
+
+
+def validate_request(obj: Dict[str, object], num_blocks: int) -> Tuple[int, str, Optional[str]]:
+    """Check a decoded request; returns ``(addr, op, value)``.
+
+    Raises :class:`ProtocolError` with a client-safe message on any
+    violation — the service echoes it in an ``ok: false`` response.
+    """
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"op must be one of {OPS}, got {op!r}")
+    addr = obj.get("addr")
+    if not isinstance(addr, int) or isinstance(addr, bool):
+        raise ProtocolError("addr must be an integer")
+    if not 0 <= addr < num_blocks:
+        raise ProtocolError(f"addr {addr} out of range [0, {num_blocks})")
+    value = obj.get("value")
+    if op == "put":
+        if not isinstance(value, str):
+            raise ProtocolError("put requires a string value")
+    elif value is not None:
+        raise ProtocolError(f"{op} must not carry a value")
+    return addr, op, value if op == "put" else None
+
+
+def make_response(
+    request_id: object,
+    ok: bool = True,
+    found: bool = False,
+    value: Optional[str] = None,
+    error: Optional[str] = None,
+) -> Dict[str, object]:
+    return {
+        "id": request_id,
+        "ok": ok,
+        "found": found,
+        "value": value,
+        "error": error,
+    }
+
+
+async def read_message(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    (length,) = _LEN.unpack(header)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds limit {max_frame_bytes}"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, obj: Dict[str, object]
+) -> None:
+    """Write one frame and drain (applies TCP backpressure)."""
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+__all__ = [
+    "OPS",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_body",
+    "validate_request",
+    "make_response",
+    "read_message",
+    "write_message",
+]

@@ -1,0 +1,286 @@
+"""The asyncio front end: sessions, admission, backpressure.
+
+:class:`OramService` glues three layers together:
+
+* **sessions** — one handler task per TCP connection, speaking the
+  length-prefixed JSON protocol of :mod:`repro.serve.protocol`;
+* **admission** — a bounded :class:`asyncio.Queue` between sessions and
+  the engine. When it fills, handlers block in ``put()`` and stop
+  reading frames, so backpressure reaches clients through TCP flow
+  control — no request is ever dropped, and the *engine-side* schedule
+  stays dummy-padded regardless of offered load;
+* the **engine loop** — a single task draining admissions into
+  :meth:`~repro.serve.engine.ObliviousEngine.submit` and running tree
+  accesses while real work is pending (or unconditionally with
+  ``service.nonstop``, which makes the backend-visible access rate
+  independent of client intensity too).
+
+Ordering note: the drain preserves admission order. When the label
+queue is saturated, the head request is *held* (not re-queued) until an
+access frees a slot, so two requests from one client can never leapfrog
+each other on their way into the engine — together with the engine's
+per-address waiter chains this gives each client read-your-writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Dict, Optional, Set, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import ProtocolError
+from repro.obs.events import SessionClosed, SessionOpened
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.oram.encryption import BucketCipher
+from repro.serve import protocol
+from repro.serve.backends import StorageBackend, make_backend
+from repro.serve.engine import ObliviousEngine, ServeRequest
+
+
+class OramService:
+    """An oblivious key-value service over one ORAM tree."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        backend: Optional[StorageBackend] = None,
+        cipher: Optional[BucketCipher] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig()
+        service = self.config.service
+        self.service_config = service
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
+        self.backend = backend if backend is not None else make_backend(service)
+        start = time.perf_counter_ns()
+        self._clock = lambda: float(time.perf_counter_ns() - start)
+        self.engine = ObliviousEngine(
+            self.config,
+            self.backend,
+            cipher=cipher,
+            tracer=self.tracer,
+            clock=self._clock,
+        )
+        self.engine.admit_hook = self._drain_ready
+        self._admission: "asyncio.Queue[ServeRequest]" = asyncio.Queue(
+            maxsize=service.admission_capacity
+        )
+        #: Head-of-line request the engine had no room for yet.
+        self._held: Optional[ServeRequest] = None
+        self._wake = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._engine_task: Optional[asyncio.Task] = None
+        self._session_tasks: Set[asyncio.Task] = set()
+        self._session_ids = itertools.count(1)
+        self._stopping = False
+        self.sessions_opened = 0
+        self.frames_received = 0
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and serve; returns the bound ``(host, port)``."""
+        service = self.service_config
+        self._server = await asyncio.start_server(
+            self._handle_session, service.host, service.port
+        )
+        self._engine_task = asyncio.create_task(self._engine_loop())
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Stop accepting, finish in-flight work, release resources."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._session_tasks):
+            task.cancel()
+        if self._session_tasks:
+            await asyncio.gather(*self._session_tasks, return_exceptions=True)
+        self._wake.set()
+        if self._engine_task is not None:
+            await self._engine_task
+        self.engine.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------ engine loop
+
+    def _drain_ready(self) -> None:
+        """Feed queued admissions into the engine until it refuses.
+
+        Also the engine's ``admit_hook``: called inside the access
+        window between serving and next-path selection, so a request
+        admitted here can be chosen as the very next path.
+        """
+        engine = self.engine
+        while True:
+            if self._held is not None:
+                request, self._held = self._held, None
+            else:
+                try:
+                    request = self._admission.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+            if not engine.submit(request):
+                self._held = request  # keep admission order intact
+                return
+
+    async def _engine_loop(self) -> None:
+        service = self.service_config
+        pace_s = service.pace_ns / 1e9
+        while not (self._stopping and self._pending() == 0):
+            self._drain_ready()
+            if self.engine.has_pending_real() or service.nonstop:
+                await self.engine.run_access()
+                if pace_s > 0:
+                    await asyncio.sleep(pace_s)
+                else:
+                    # One scheduling point per access even when flat
+                    # out, so session handlers keep making progress.
+                    await asyncio.sleep(0)
+            else:
+                self._wake.clear()
+                if self._pending():
+                    continue
+                if self._stopping:
+                    break
+                await self._wake.wait()
+
+    def _pending(self) -> int:
+        return (
+            self._admission.qsize()
+            + (1 if self._held is not None else 0)
+            + (1 if self.engine.has_pending_real() else 0)
+        )
+
+    # --------------------------------------------------------------- sessions
+
+    async def _handle_session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._session_tasks.add(task)
+        task.add_done_callback(self._session_tasks.discard)
+        session_id = next(self._session_ids)
+        self.sessions_opened += 1
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        if self._trace:
+            self.tracer.emit(
+                SessionOpened(ts_ns=self._clock(), session_id=session_id, peer=peer)
+            )
+        requests = 0
+        write_lock = asyncio.Lock()
+        response_tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    message = await protocol.read_message(
+                        reader, self.service_config.max_frame_bytes
+                    )
+                except ProtocolError:
+                    break  # framing is unrecoverable: drop the session
+                if message is None:
+                    break
+                requests += 1
+                self.frames_received += 1
+                arrival = self._clock()
+                client_id = message.get("id")
+                try:
+                    addr, op, value = protocol.validate_request(
+                        message, self.engine.num_blocks
+                    )
+                except ProtocolError as exc:
+                    async with write_lock:
+                        await protocol.write_message(
+                            writer,
+                            protocol.make_response(
+                                client_id, ok=False, error=str(exc)
+                            ),
+                        )
+                    continue
+                request = ServeRequest(
+                    op=op,
+                    addr=addr,
+                    value=value,
+                    session_id=session_id,
+                    client_id=client_id,
+                    arrival_ns=arrival,
+                    future=asyncio.get_running_loop().create_future(),
+                )
+                # Blocks when the admission queue is full — the
+                # backpressure point: this handler stops reading.
+                await self._admission.put(request)
+                self._wake.set()
+                responder = asyncio.create_task(
+                    self._respond(request, writer, write_lock)
+                )
+                response_tasks.add(responder)
+                responder.add_done_callback(response_tasks.discard)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            if response_tasks:
+                await asyncio.gather(*response_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            if self._trace:
+                self.tracer.emit(
+                    SessionClosed(
+                        ts_ns=self._clock(),
+                        session_id=session_id,
+                        requests=requests,
+                    )
+                )
+
+    async def _respond(
+        self,
+        request: ServeRequest,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        assert request.future is not None
+        done = await request.future
+        response = protocol.make_response(
+            done.client_id,
+            ok=done.status != "failed",
+            found=done.found,
+            value=done.result,
+            error=done.error,
+        )
+        try:
+            async with write_lock:
+                await protocol.write_message(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away; the request itself still completed
+
+
+async def run_service(config: SystemConfig, tracer: Optional[Tracer] = None) -> None:
+    """``python -m repro serve`` body: serve until interrupted."""
+    service = OramService(config, tracer=tracer)
+    host, port = await service.start()
+    print(f"serving oblivious KV store on {host}:{port} "
+          f"(backend={config.service.backend}, L={config.oram.levels})",
+          flush=True)
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()
+
+
+__all__ = ["OramService", "run_service"]

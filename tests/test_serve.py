@@ -1,0 +1,667 @@
+"""Tests for ``repro.serve`` — the oblivious key-value service.
+
+Covers the acceptance criteria of the service subsystem:
+
+* wire protocol round-trip and malformed-input rejection;
+* crash-safe :class:`FileBackend` persistence (torn-tail recovery,
+  atomic compaction, reuse under ``UntrustedMemory``);
+* deterministic fault injection and the retry policy's backoff math;
+* the engine's request semantics (read-your-writes, stash hits,
+  per-address waiter coalescing, exactly-once completion on permanent
+  backend failure);
+* a fault-injected four-client service run where every request is
+  answered exactly once, the label queue is never observed underfull,
+  and the emitted JSONL trace validates against the schema;
+* the backend-observed bucket trace passing the statistical
+  indistinguishability harness, and matching the label-sequence
+  reconstruction exactly when faults are latency-only.
+
+No pytest-asyncio in the CI image: async tests run via ``asyncio.run``
+inside plain sync test functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    SchedulerConfig,
+    ServiceConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.errors import BackendError, ConfigError, ProtocolError, TransientBackendError
+from repro.obs.schema import validate_lines
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracer import Tracer
+from repro.oram.encryption import CounterModeCipher
+from repro.oram.memory import UntrustedMemory
+from repro.oram.tree import TreeGeometry
+from repro.security.adversary import (
+    split_trace_into_accesses,
+    verify_trace_matches_labels,
+)
+from repro.security.indistinguishability import (
+    TraceProfile,
+    adversary_advantage,
+    leaf_distribution_pvalue,
+    shape_distribution_pvalue,
+)
+from repro.serve import protocol
+from repro.serve.backends import (
+    FaultPlan,
+    FaultyBackend,
+    FileBackend,
+    InMemoryBackend,
+    available_backends,
+    make_backend,
+)
+from repro.serve.engine import ObliviousEngine, RetryPolicy, ServeRequest
+from repro.serve.loadgen import run_loadgen
+from repro.serve.service import OramService
+
+
+def serve_system(levels: int = 8, **service_kwargs: object) -> SystemConfig:
+    """A small service configuration: L-level tree, queue of 8."""
+    return SystemConfig(
+        oram=small_test_config(levels, block_bytes=64),
+        scheduler=SchedulerConfig(label_queue_size=8),
+        cache=CacheConfig(policy="none"),
+        service=ServiceConfig(**service_kwargs),  # type: ignore[arg-type]
+    )
+
+
+# --------------------------------------------------------------------- protocol
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        message = {"id": 3, "op": "put", "addr": 9, "value": "x" * 100}
+        frame = protocol.encode_frame(message)
+        assert protocol.decode_body(frame[4:]) == message
+
+    def test_oversized_frame_rejected_before_read(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data((1 << 25).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError):
+                await protocol.read_message(reader, max_frame_bytes=1 << 20)
+
+        asyncio.run(scenario())
+
+    def test_clean_eof_returns_none_mid_frame_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            assert await protocol.read_message(reader) is None
+            torn = asyncio.StreamReader()
+            torn.feed_data(b"\x00\x00")
+            torn.feed_eof()
+            with pytest.raises(ProtocolError):
+                await protocol.read_message(torn)
+
+        asyncio.run(scenario())
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"op": "peek", "addr": 0},
+            {"op": "get", "addr": "zero"},
+            {"op": "get", "addr": -1},
+            {"op": "get", "addr": 10**9},
+            {"op": "put", "addr": 0},
+            {"op": "get", "addr": 0, "value": "no"},
+        ],
+    )
+    def test_invalid_requests_rejected(self, message):
+        with pytest.raises(ProtocolError):
+            protocol.validate_request(message, num_blocks=1024)
+
+
+# --------------------------------------------------------------------- backends
+
+
+class TestBackends:
+    def test_registry_matches_config_contract(self, tmp_path):
+        assert available_backends() == ("memory", "file", "faulty")
+        for name in available_backends():
+            config = ServiceConfig(
+                backend=name,
+                backend_path=str(tmp_path / "store.log") if name == "file" else "",
+            )
+            backend = make_backend(config)
+            assert type(backend).name == name
+            backend.close()
+
+    def test_file_backend_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        backend = FileBackend(path)
+        backend[3] = b"sealed-three"
+        backend[7] = (1, ((5, 2, "payload"),))  # NullCipher tuple form
+        backend[3] = b"sealed-three-v2"
+        backend.close()
+
+        reopened = FileBackend(path)
+        assert reopened.recovered_records == 3  # last record per node wins
+        assert not reopened.torn_tail
+        assert reopened[3] == b"sealed-three-v2"
+        assert reopened[7] == (1, ((5, 2, "payload"),))
+        assert sorted(reopened) == [3, 7]
+        reopened.close()
+
+    def test_file_backend_recovers_from_torn_tail(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        backend = FileBackend(path)
+        backend[1] = b"alpha"
+        backend[2] = b"beta"
+        backend.close()
+        # Simulate a crash mid-append: truncate into the final record.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+
+        recovered = FileBackend(path)
+        assert recovered.torn_tail
+        assert recovered[1] == b"alpha"
+        assert 2 not in recovered
+        # The store keeps working after recovery.
+        recovered[2] = b"beta-again"
+        recovered.close()
+        final = FileBackend(path)
+        assert final[2] == b"beta-again"
+        final.close()
+
+    def test_file_backend_compaction_is_atomic_and_lossless(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        backend = FileBackend(path)
+        for round_no in range(5):
+            for node in range(4):
+                backend[node] = f"r{round_no}-n{node}".encode()
+        assert backend.records_appended == 20
+        backend.sync()
+        size_before = os.path.getsize(path)
+        backend.compact()
+        assert os.path.getsize(path) < size_before
+        assert backend.records_appended == 4
+        assert {node: backend[node] for node in backend} == {
+            node: f"r4-n{node}".encode() for node in range(4)
+        }
+        backend.close()
+        reopened = FileBackend(path)
+        assert reopened.recovered_records == 4
+        reopened.close()
+
+    def test_untrusted_memory_over_file_backend_round_trips(self, tmp_path):
+        """The duck-typed seam: the simulator's memory over persistence."""
+        path = str(tmp_path / "tree.log")
+        geometry = TreeGeometry(4)
+        oram = small_test_config(4)
+        cipher = CounterModeCipher(key=b"k" * 16, block_bytes=16)
+        backend = FileBackend(path)
+        memory = UntrustedMemory(geometry, oram.bucket_slots, cipher, backend=backend)
+        from repro.oram.blocks import Block
+
+        hello = b"hello".ljust(16, b"\x00")
+        world = b"world".ljust(16, b"\x00")
+        memory.write_blocks(5, [Block(1, 2, hello), Block(2, 3, world)])
+        backend.close()
+
+        memory2 = UntrustedMemory(
+            geometry, oram.bucket_slots, cipher, backend=FileBackend(path)
+        )
+        payloads = {b.addr: b.payload for b in memory2.read_blocks(5)}
+        assert payloads == {1: hello, 2: world}
+
+    def test_faulty_backend_is_deterministic_and_key_independent(self):
+        def error_pattern(keys):
+            backend = FaultyBackend(
+                InMemoryBackend(), FaultPlan(error_rate=0.4, seed=11)
+            )
+            pattern = []
+            for key in keys:
+                try:
+                    backend.get(key)
+                    pattern.append(False)
+                except TransientBackendError:
+                    pattern.append(True)
+            return pattern
+
+        # Same seed, same op sequence -> same faults, whatever the keys.
+        assert error_pattern(range(50)) == error_pattern([0] * 50)
+        assert any(error_pattern(range(50)))
+
+    def test_faulty_backend_records_every_attempt(self):
+        backend = FaultyBackend(InMemoryBackend(), FaultPlan(error_rate=0.5, seed=3))
+        attempts = 0
+        for _ in range(20):
+            attempts += 1
+            try:
+                backend[0] = b"x"
+                break
+            except TransientBackendError:
+                continue
+        assert len(backend.trace.events) == attempts
+        assert backend.errors_injected == attempts - 1
+
+    def test_delete_is_rejected(self):
+        backend = InMemoryBackend()
+        backend[0] = b"x"
+        with pytest.raises(BackendError):
+            del backend[0]
+
+    def test_file_backend_requires_path(self):
+        with pytest.raises(ConfigError):
+            make_backend(ServiceConfig(backend="file"))
+
+
+# ----------------------------------------------------------------- retry policy
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(attempts=6, base_ns=100.0, max_ns=1000.0)
+        assert [policy.backoff_ns(k) for k in range(1, 6)] == [
+            100.0,
+            200.0,
+            400.0,
+            800.0,
+            1000.0,
+        ]
+
+    def test_store_retries_then_raises_backend_error(self):
+        config = serve_system(
+            levels=4,
+            backend="faulty",
+            retry_attempts=3,
+            retry_base_ns=1000.0,
+            fault_error_rate=0.97,
+            fault_seed=5,
+        )
+        engine = ObliviousEngine(config, make_backend(config.service))
+
+        async def scenario():
+            with pytest.raises(BackendError):
+                for _ in range(40):  # p(3 clean ops in a row) ~ 2.7e-5
+                    await engine.store.read_blocks(0)
+
+        asyncio.run(scenario())
+        assert engine.store.retries > 0
+        assert engine.store.failures == 1
+
+    def test_timeout_counts_as_transient(self):
+        config = serve_system(
+            levels=4,
+            backend="faulty",
+            retry_attempts=2,
+            retry_base_ns=1000.0,
+            op_timeout_ns=2_000_000.0,  # 2 ms
+            fault_stall_rate=0.99,
+            fault_stall_ns=300_000_000.0,
+        )
+        engine = ObliviousEngine(config, make_backend(config.service))
+
+        async def scenario():
+            with pytest.raises(BackendError) as excinfo:
+                await engine.store.read_blocks(0)
+            assert "timed out" in str(excinfo.value)
+
+        asyncio.run(scenario())
+
+
+# -------------------------------------------------------------------- engine
+
+
+def drain(engine: ObliviousEngine) -> None:
+    """Run accesses until no real work remains (bounded)."""
+
+    async def loop():
+        for _ in range(500):
+            if not engine.has_pending_real():
+                return
+            await engine.run_access()
+        raise AssertionError("engine did not drain in 500 accesses")
+
+    asyncio.run(loop())
+
+
+def submit(engine: ObliviousEngine, op: str, addr: int, value=None) -> ServeRequest:
+    request = ServeRequest(op=op, addr=addr, value=value)
+    assert engine.submit(request)
+    return request
+
+
+class TestEngine:
+    def test_read_your_writes_and_stash_hits(self):
+        config = serve_system(levels=6)
+        engine = ObliviousEngine(config, InMemoryBackend())
+        put = submit(engine, "put", 17, "v1")
+        drain(engine)
+        assert put.status in ("oram", "stash")
+        # The block now sits in the stash: a get completes on-chip.
+        get = submit(engine, "get", 17)
+        assert get.status == "stash"
+        assert (get.found, get.result) == (True, "v1")
+        assert get.phases()["sched_wait_ns"] == 0.0  # never queued
+
+    def test_get_of_never_written_address_not_found(self):
+        engine = ObliviousEngine(serve_system(levels=6), InMemoryBackend())
+        get = submit(engine, "get", 42)
+        drain(engine)
+        assert (get.status, get.found, get.result) == ("oram", False, None)
+
+    def test_same_address_requests_coalesce_in_order(self):
+        engine = ObliviousEngine(serve_system(levels=6), InMemoryBackend())
+        first = submit(engine, "put", 5, "a")
+        second = submit(engine, "put", 5, "b")
+        third = submit(engine, "get", 5)
+        drain(engine)
+        assert first.status == "oram"
+        assert second.status == "coalesced"
+        assert (third.status, third.result) == ("coalesced", "b")
+        assert engine.real_accesses == 1  # one tree access served all three
+
+    def test_delete_removes_block(self):
+        engine = ObliviousEngine(serve_system(levels=6), InMemoryBackend())
+        submit(engine, "put", 9, "gone")
+        drain(engine)
+        deleted = submit(engine, "delete", 9)
+        assert deleted.found
+        drain(engine)
+        after = submit(engine, "get", 9)
+        drain(engine)
+        assert not after.found
+
+    def test_permanent_backend_failure_fails_request_exactly_once(self):
+        config = serve_system(
+            levels=5,
+            backend="faulty",
+            retry_attempts=2,
+            retry_base_ns=1000.0,
+            fault_error_rate=0.9,
+            fault_seed=2,
+        )
+        engine = ObliviousEngine(config, make_backend(config.service))
+        request = submit(engine, "get", 3)
+
+        async def loop():
+            for _ in range(200):
+                if request.status:
+                    return
+                await engine.run_access()
+
+        asyncio.run(loop())
+        assert request.status in ("failed", "oram")
+        if request.status == "failed":
+            assert request.error
+            assert engine.failed_accesses > 0
+        # Either way the engine keeps serving afterwards.
+        assert engine.completed_requests == 1
+
+    def test_submit_refuses_when_label_queue_saturated(self):
+        config = serve_system(levels=6)
+        engine = ObliviousEngine(config, InMemoryBackend())
+        admitted = 0
+        for addr in range(config.scheduler.label_queue_size + 4):
+            if engine.submit(ServeRequest(op="put", addr=1000 + addr, value="x")):
+                admitted += 1
+        assert admitted == config.scheduler.label_queue_size
+        drain(engine)
+
+    def test_phase_chain_is_monotone_and_sums_to_latency(self):
+        engine = ObliviousEngine(serve_system(levels=6), InMemoryBackend())
+        request = submit(engine, "put", 2, "v")
+        drain(engine)
+        phases = request.phases()
+        assert all(value >= 0 for value in phases.values())
+        assert sum(phases.values()) == pytest.approx(request.latency_ns)
+
+
+# -------------------------------------------------------------------- service
+
+
+def run_service_scenario(
+    config: SystemConfig,
+    clients: int = 4,
+    requests: int = 20,
+    tracer: Tracer | None = None,
+    backend=None,
+):
+    """Start a service, drive it with the loadgen, stop it."""
+
+    async def scenario():
+        service = OramService(config, backend=backend, tracer=tracer)
+        host, port = await service.start()
+        result = await run_loadgen(
+            host,
+            port,
+            clients=clients,
+            requests=requests,
+            num_blocks=config.oram.num_blocks,
+            seed=13,
+        )
+        await service.stop()
+        return service, result
+
+    return asyncio.run(scenario())
+
+
+class TestService:
+    def test_faulty_four_client_run_loses_nothing(self):
+        """The headline acceptance test: fault-injected concurrent load,
+        every request answered exactly once, queue never underfull,
+        trace schema-valid."""
+        ring = RingBufferSink(capacity=100_000)
+        tracer = Tracer(sinks=[ring])
+        config = serve_system(
+            levels=7,
+            backend="faulty",
+            fault_error_rate=0.05,
+            fault_jitter_ns=2_000.0,
+            retry_base_ns=100_000.0,
+            fault_seed=23,
+        )
+        service, result = run_service_scenario(
+            config, clients=4, requests=20, tracer=tracer
+        )
+
+        assert result.sent == 80
+        assert result.lost == 0
+        assert result.completed == 80
+        assert result.failed == 0
+        assert result.mismatches == 0
+        assert service.engine.underfull_rounds == 0
+        assert service.backend.errors_injected > 0
+        assert service.engine.store.retries >= service.backend.errors_injected
+
+        # Exactly-once, cross-checked from the trace itself.
+        events = [event.to_dict() for event in ring.events]
+        completed_ids = [
+            event["request_id"]
+            for event in events
+            if event["kind"] == "service_completed"
+        ]
+        assert len(completed_ids) == len(set(completed_ids)) == 80
+        admitted_ids = {
+            event["request_id"]
+            for event in events
+            if event["kind"] == "service_admitted"
+        }
+        assert set(completed_ids) == admitted_ids
+        sessions = [e for e in events if e["kind"] == "session_closed"]
+        assert sum(e["requests"] for e in sessions) == 80
+        assert any(e["kind"] == "backend_retry" for e in events)
+
+        # The full event stream validates against the JSONL schema.
+        lines = [json.dumps(event) for event in events]
+        assert validate_lines(lines) == []
+
+    def test_memory_backend_run_and_per_session_histograms(self):
+        tracer = Tracer()
+        config = serve_system(levels=6)
+        service, result = run_service_scenario(
+            config, clients=2, requests=15, tracer=tracer
+        )
+        assert (result.lost, result.mismatches) == (0, 0)
+        session_histograms = [
+            name
+            for name, histogram in tracer.histograms.items()
+            if name.startswith("serve.session.") and histogram.count > 0
+        ]
+        assert len(session_histograms) == 2  # one latency histogram per client
+
+    def test_malformed_request_gets_error_response_session_survives(self):
+        async def scenario():
+            service = OramService(serve_system(levels=5))
+            host, port = await service.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await protocol.write_message(
+                writer, {"id": 1, "op": "frob", "addr": 1}
+            )
+            bad = await protocol.read_message(reader)
+            await protocol.write_message(
+                writer, {"id": 2, "op": "put", "addr": 1, "value": "ok"}
+            )
+            good = await protocol.read_message(reader)
+            writer.close()
+            await writer.wait_closed()
+            await service.stop()
+            return bad, good
+
+        bad, good = asyncio.run(scenario())
+        assert (bad["id"], bad["ok"]) == (1, False)
+        assert "op" in bad["error"]
+        assert (good["id"], good["ok"]) == (2, True)
+
+    def test_admission_backpressure_bounds_engine_queue(self):
+        """A tiny admission queue + saturated label queue must never
+        admit more than capacity holds; the rest waits in the socket."""
+        config = serve_system(levels=6, admission_capacity=2)
+        service, result = run_service_scenario(config, clients=3, requests=10)
+        assert (result.lost, result.mismatches) == (0, 0)
+        assert service.engine.underfull_rounds == 0
+
+
+# ------------------------------------------------------------------- security
+
+
+def traced_service_run(workload: str, seed: int, requests: int = 25, error_rate: float = 0.0):
+    """One 4-client service run over a trace-recording FaultyBackend.
+
+    ``workload`` contrasts a skewed program against a uniform one —
+    the classic indistinguishability experiment, now end-to-end over
+    TCP with fault injection at the storage server.
+    """
+    config = serve_system(
+        levels=7,
+        backend="faulty",
+        retry_base_ns=50_000.0,
+        fault_seed=seed,
+    )
+    backend = FaultyBackend(
+        InMemoryBackend(), FaultPlan(error_rate=error_rate, seed=seed)
+    )
+
+    async def client(host, port, index, rng):
+        reader, writer = await asyncio.open_connection(host, port)
+        for sequence in range(requests):
+            if workload == "hot":
+                addr = rng.randrange(4)  # four hot addresses
+            else:
+                addr = rng.randrange(config.oram.num_blocks)
+            op = "put" if sequence % 2 == 0 else "get"
+            message = {"id": sequence, "op": op, "addr": addr}
+            if op == "put":
+                message["value"] = f"w{index}-{sequence}"
+            await protocol.write_message(writer, message)
+            response = await protocol.read_message(reader)
+            assert response is not None and response["ok"]
+        writer.close()
+        await writer.wait_closed()
+
+    async def scenario():
+        import random
+
+        service = OramService(config, backend=backend)
+        host, port = await service.start()
+        await asyncio.gather(
+            *(client(host, port, i, random.Random(seed * 100 + i)) for i in range(4))
+        )
+        await service.stop()
+        return service
+
+    service = asyncio.run(scenario())
+    leaves = [record[0] for record in service.engine.records]
+    chunks = split_trace_into_accesses(service.engine.geometry, backend.trace.events)
+    shapes = [
+        (
+            sum(1 for e in chunk if e.op.value == "read"),
+            sum(1 for e in chunk if e.op.value == "write"),
+        )
+        for chunk in chunks
+    ]
+    return service, TraceProfile(
+        leaves=leaves, shapes=shapes, num_leaves=service.engine.geometry.num_leaves
+    )
+
+
+class TestServedTraceSecurity:
+    @pytest.fixture(scope="class")
+    def served_profiles(self):
+        _, hot = traced_service_run("hot", seed=31, requests=60, error_rate=0.02)
+        _, uniform = traced_service_run(
+            "uniform", seed=32, requests=60, error_rate=0.02
+        )
+        return hot, uniform
+
+    def test_backend_trace_is_indistinguishable(self, served_profiles):
+        hot, uniform = served_profiles
+        assert leaf_distribution_pvalue(hot, uniform) > 0.001
+        assert shape_distribution_pvalue(hot, uniform) > 0.001
+        assert adversary_advantage(hot, uniform, trials=400) < 0.15
+
+    def test_backend_trace_matches_label_reconstruction(self):
+        """With a quiescent fault plan (no retries) the bucket trace must
+        equal the deterministic reconstruction from the public label
+        sequence — the executable form of the paper's security
+        argument, now measured at the storage server."""
+        service, _profile = traced_service_run("hot", seed=33)
+        leaves = [record[0] for record in service.engine.records]
+        verify_trace_matches_labels(
+            service.engine.geometry,
+            service.engine.store.backend.trace.events,
+            leaves,
+        )
+
+
+# ----------------------------------------------------------------------- CLI
+
+
+class TestCli:
+    def test_info_lists_backends_and_subcommands(self, capsys):
+        from repro.cli import main
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "service backends: memory, file, faulty" in out
+        assert "serve" in out and "loadgen" in out
+
+    def test_service_config_overrides_parse(self):
+        config = SystemConfig.from_overrides(
+            {
+                "service.backend": "faulty",
+                "service.fault_error_rate": "0.25",
+                "service.admission_capacity": "16",
+            }
+        )
+        assert config.service.backend == "faulty"
+        assert config.service.fault_error_rate == 0.25
+        assert config.service.admission_capacity == 16
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(backend="cloud")
