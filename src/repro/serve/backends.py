@@ -163,12 +163,15 @@ _TAG_PICKLE = 1  # payload is a pickled sealed object (e.g. NullCipher tuples)
 class FileBackend(StorageBackend):
     """Crash-safe bucket persistence: an append-only CRC-framed log.
 
-    Every put appends one record; the last record per node wins. On
-    open, the log is replayed into an in-memory index and replay stops
-    at the first short or CRC-corrupt record — a crash mid-append
-    (torn write) loses at most the bucket being written, never the
-    store. :meth:`compact` rewrites the live set to a temp file,
-    fsyncs, and atomically renames over the log.
+    Every put appends one record and flushes it to the OS; the last
+    record per node wins. On open, the log is replayed into an
+    in-memory index and replay stops at the first short or CRC-corrupt
+    record. A *process* crash mid-append (torn write) therefore loses
+    at most the bucket being written, never the store; surviving an OS
+    crash or power loss is only guaranteed up to the last fsync —
+    :meth:`sync`, :meth:`compact` or :meth:`close`. :meth:`compact`
+    rewrites the live set to a temp file, fsyncs, and atomically
+    renames over the log.
 
     Sealed values that are ``bytes`` (e.g. from
     :class:`~repro.oram.encryption.CounterModeCipher`) are stored raw;
@@ -242,6 +245,10 @@ class FileBackend(StorageBackend):
 
     def _save(self, node_id: int, sealed: object) -> None:
         self._file.write(self._encode(node_id, sealed))
+        # Flush each append to the OS so a *process* crash loses at most
+        # the record being written; power-loss durability is bounded by
+        # the last fsync (sync()/compact()/close()).
+        self._file.flush()
         self._index[node_id] = sealed
         self.records_appended += 1
 

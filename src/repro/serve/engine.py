@@ -63,6 +63,11 @@ from repro.serve.backends import StorageBackend
 
 _serve_request_ids = itertools.count()
 
+#: Most recent per-access records kept on the engine (deque maxlen).
+RECORD_CAPACITY = 1 << 16
+#: Distinct session ids that get a per-session latency histogram.
+SESSION_HISTOGRAM_CAP = 256
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -270,8 +275,14 @@ class ObliviousEngine:
         #: Scheduling rounds that saw an underfull queue — the padding
         #: invariant says this must stay 0 (tests assert it).
         self.underfull_rounds = 0
-        #: (leaf, was_dummy, read_nodes, written_nodes) per access.
-        self.records: List[tuple] = []
+        #: (leaf, was_dummy, read_nodes, written_nodes) per access —
+        #: bounded so a long-running service does not grow without
+        #: limit; only the most recent accesses are kept.
+        self.records: Deque[tuple] = deque(maxlen=RECORD_CAPACITY)
+        #: Session ids granted a per-session latency histogram; capped
+        #: so the tracer's histogram table stays bounded however many
+        #: sessions a long-lived server accumulates.
+        self._histogram_sessions: set = set()
 
     # -------------------------------------------------------------- admission
 
@@ -352,12 +363,24 @@ class ObliviousEngine:
         )
         if request is not None:
             request.scheduled_ns = now
+        next_entry: Optional[LabelEntry] = None
+        served = False
         try:
             read_nodes = self.fork.read_set(leaf)
+            stash = self.stash
             for node in read_nodes:
-                self.stash.add_all(await self.store.read_blocks(node))
+                # A tree node can hold a copy of a stash-resident block
+                # only after an ambiguous write failure (the write landed
+                # but reported failure, so the blocks were re-inserted
+                # into the stash) — the stash copy is the fresh one.
+                stash.add_all(
+                    block
+                    for block in await self.store.read_blocks(node)
+                    if block.addr not in stash
+                )
             if entry.is_real:
                 self._serve_real(entry)
+                served = True
                 self.real_accesses += 1
             if self.admit_hook is not None:
                 self.admit_hook()
@@ -368,7 +391,13 @@ class ObliviousEngine:
             written = 0
             for level in range(self.geometry.levels, retain - 1, -1):
                 blocks = self.stash.collect_for_node(leaf, level, z)
-                await self.store.write_blocks(path[level], blocks)
+                try:
+                    await self.store.write_blocks(path[level], blocks)
+                except BackendError:
+                    # The collected blocks are not in the tree; put them
+                    # back so no address's data is silently lost.
+                    self.stash.add_all(blocks)
+                    raise
                 written += 1
             self.fork.commit_write(leaf, retain)
             self.stash.check_persistent_occupancy(slack=z * retain)
@@ -376,14 +405,27 @@ class ObliviousEngine:
             self.accesses += 1
             self.records.append((leaf, entry.is_dummy, len(read_nodes), written))
         except BackendError as exc:
-            # The backend gave up past the retry budget. Fail the
-            # request (exactly-once: its future still resolves) and
-            # drop the resident prefix so the next access re-reads a
-            # full path — stash contents are intact, nothing is lost.
+            # The backend gave up past the retry budget. Drop the
+            # resident prefix so the next access re-reads a full path;
+            # blocks collected for the failed write were re-inserted
+            # above, so the stash again holds everything unwritten.
             self.failed_accesses += 1
             self.fork.reset()
-            if entry.target_addr is not None:
+            if entry.target_addr is not None and not served:
+                # The target was never served: the block still lives on
+                # its old path, so restore the old position-map label
+                # before failing the request (exactly-once: its future
+                # still resolves). If it *was* served, the request
+                # already completed and the stash holds the fresh block
+                # under its new label — nothing to undo.
+                self.posmap.assign(entry.target_addr, entry.leaf)
                 self._fail_address(entry.target_addr, str(exc))
+            if next_entry is not None and next_entry.is_real:
+                # The next path was already popped from the label queue;
+                # re-queue it so its in-flight request is neither lost
+                # nor wedged (the queue just freed a slot, so this
+                # cannot raise).
+                self.label_queue.insert_real(next_entry)
 
     def _select(self, current_leaf: Optional[int], now_ns: float) -> LabelEntry:
         queue = self.label_queue
@@ -450,9 +492,13 @@ class ObliviousEngine:
             )
             self.tracer.observe_phases(request.latency_ns, request.phases())
             self.tracer.counters.inc(f"serve.completed.{status}")
-            self.tracer.histogram(
-                f"serve.session.{request.session_id}.latency"
-            ).record(request.latency_ns)
+            sessions = self._histogram_sessions
+            session_id = request.session_id
+            if session_id in sessions or len(sessions) < SESSION_HISTOGRAM_CAP:
+                sessions.add(session_id)
+                self.tracer.histogram(
+                    f"serve.session.{session_id}.latency"
+                ).record(request.latency_ns)
         if request.future is not None and not request.future.done():
             request.future.set_result(request)
 

@@ -254,6 +254,16 @@ class TestBackends:
         with pytest.raises(BackendError):
             del backend[0]
 
+    def test_file_backend_flushes_each_append(self, tmp_path):
+        """Without any explicit sync(), every appended record must
+        already have reached the OS — a process crash loses at most the
+        record being written."""
+        path = str(tmp_path / "store.log")
+        backend = FileBackend(path)
+        backend[1] = b"alpha"
+        assert os.path.getsize(path) == len(FileBackend._encode(1, b"alpha"))
+        backend.close()
+
     def test_file_backend_requires_path(self):
         with pytest.raises(ConfigError):
             make_backend(ServiceConfig(backend="file"))
@@ -314,6 +324,44 @@ class TestRetryPolicy:
 
 
 # -------------------------------------------------------------------- engine
+
+
+class FlakyWriteBackend(InMemoryBackend):
+    """Every async write fails transiently while ``fail_writes`` is set."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail_writes = False
+
+    async def aput(self, node_id, sealed):
+        if self.fail_writes:
+            raise TransientBackendError("injected write failure")
+        await super().aput(node_id, sealed)
+
+
+class RootWriteFailingBackend(InMemoryBackend):
+    """Writes of the root bucket fail transiently while ``arm`` is set.
+
+    The root is written last in the write-back loop, so by then the
+    stash's eligible blocks have been collected — exactly the state
+    where a buggy failure path would lose them.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.arm = False
+
+    async def aput(self, node_id, sealed):
+        if self.arm and node_id == 0:
+            raise TransientBackendError("injected root write failure")
+        await super().aput(node_id, sealed)
+
+
+class FailingReadBackend(InMemoryBackend):
+    """Every async read fails transiently."""
+
+    async def aget(self, node_id):
+        raise TransientBackendError("injected read failure")
 
 
 def drain(engine: ObliviousEngine) -> None:
@@ -419,6 +467,98 @@ class TestEngine:
         phases = request.phases()
         assert all(value >= 0 for value in phases.values())
         assert sum(phases.values()) == pytest.approx(request.latency_ns)
+
+    def test_write_failure_requeues_popped_next_entry(self):
+        """A write-back failure must not discard the already-selected
+        next entry: its request still resolves (no wedged ``_inflight``
+        address, no client hanging forever)."""
+        config = SystemConfig(
+            oram=small_test_config(5, block_bytes=64),
+            scheduler=SchedulerConfig(label_queue_size=8, enable_scheduling=False),
+            cache=CacheConfig(policy="none"),
+            service=ServiceConfig(retry_attempts=2, retry_base_ns=1000.0),
+        )
+        backend = FlakyWriteBackend()
+        backend.fail_writes = True
+        engine = ObliviousEngine(config, backend)
+        first = submit(engine, "put", 1, "a")
+        second = submit(engine, "put", 2, "b")
+        drain(engine)
+        assert first.status == "oram"
+        assert second.status == "oram"
+        assert engine.completed_requests == 2
+        assert engine._inflight == {}
+        assert engine.failed_accesses > 0
+
+    def test_write_failure_does_not_lose_stash_blocks(self):
+        """Blocks collected for a bucket write that fails past the retry
+        budget go back into the stash — no address loses data."""
+        # Merging off: every access writes the whole path down to the
+        # root, so the armed backend fails each access at its very last
+        # write, after all deeper buckets were collected and written.
+        config = SystemConfig(
+            oram=small_test_config(5, block_bytes=64),
+            scheduler=SchedulerConfig(label_queue_size=8, enable_merging=False),
+            cache=CacheConfig(policy="none"),
+            service=ServiceConfig(retry_attempts=2, retry_base_ns=1000.0),
+        )
+        backend = RootWriteFailingBackend()
+        engine = ObliviousEngine(config, backend)
+        for addr in range(8):
+            submit(engine, "put", addr, f"v{addr}")
+            drain(engine)
+        backend.arm = True
+        for addr in range(8):
+            victim = submit(engine, "get", addr)
+            drain(engine)
+            assert victim.status in ("stash", "oram")
+        assert engine.failed_accesses > 0
+        backend.arm = False
+        for addr in range(8):
+            check = submit(engine, "get", addr)
+            drain(engine)
+            assert (check.found, check.result) == (True, f"v{addr}")
+
+    def test_read_failure_restores_position_map(self):
+        """A request failed before being served leaves the position map
+        pointing at the path the block still lives on, so a later access
+        for the same address reads the right path."""
+        config = serve_system(levels=5, retry_attempts=2, retry_base_ns=1000.0)
+        engine = ObliviousEngine(config, FailingReadBackend())
+        old_leaf = engine.posmap.lookup(3)
+        request = submit(engine, "get", 3)
+
+        async def loop():
+            for _ in range(50):
+                if request.status:
+                    return
+                await engine.run_access()
+
+        asyncio.run(loop())
+        assert request.status == "failed"
+        assert engine.posmap.lookup(3) == old_leaf
+        assert engine._inflight == {}
+
+    def test_session_histogram_keys_are_bounded(self):
+        from repro.serve.engine import SESSION_HISTOGRAM_CAP
+
+        tracer = Tracer()
+        engine = ObliviousEngine(
+            serve_system(levels=5), InMemoryBackend(), tracer=tracer
+        )
+        assert engine.submit(ServeRequest(op="put", addr=1, value="x", session_id=0))
+        drain(engine)
+        # Stash hits complete synchronously, one distinct session each.
+        for session_id in range(1, SESSION_HISTOGRAM_CAP + 50):
+            assert engine.submit(
+                ServeRequest(op="get", addr=1, session_id=session_id)
+            )
+        session_keys = [
+            name
+            for name in tracer.histograms
+            if name.startswith("serve.session.")
+        ]
+        assert len(session_keys) == SESSION_HISTOGRAM_CAP
 
 
 # -------------------------------------------------------------------- service
