@@ -1,0 +1,216 @@
+"""Sharded service benchmark: aggregate throughput vs shard count.
+
+Starts an in-process :class:`repro.cluster.ClusterService` on an
+ephemeral port for each shard count in ``--shard-counts`` (default
+1, 2, 4, 8) and drives it with the verifying load generator. Numbers
+go to ``BENCH_cluster.json`` at the repository root.
+
+Where the scaling comes from: the cluster stripes ``N`` logical blocks
+over ``K`` shards, so each shard's tree holds only ``ceil(N / K)``
+blocks and is about ``log2 K`` levels shallower than the monolithic
+one. Every access therefore reads and writes fewer buckets — the
+per-request work shrinks with the shard count even on a single thread,
+and the parallel dispatch policy additionally overlaps shard turns
+within a round. Throughput must rise monotonically from 1 to 4 shards
+on the in-memory backend (the acceptance criterion; checked here).
+
+Methodology
+-----------
+* The loadgen verifies every response against a per-client model, so a
+  benchmark run is also a correctness run: any lost, failed or
+  incoherent response fails the benchmark (exit 1).
+* All shard counts share one address-space size (the 1-shard tree's
+  capacity), so per-request work differs only through sharding.
+* The median over ``--repeats`` runs is reported per shard count;
+  each run uses fresh shards and trees, so runs are independent.
+
+Usage::
+
+    python benchmarks/bench_cluster.py            # full run, writes JSON
+    python benchmarks/bench_cluster.py --smoke    # quick CI sanity run
+    python benchmarks/bench_cluster.py --smoke --trace cluster-trace.jsonl
+
+``--trace`` attaches the observability layer to the first run of the
+largest shard count (shard-tagged events written as JSONL, validatable
+with ``python -m repro.obs.schema``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import statistics
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import (  # noqa: E402
+    CacheConfig,
+    ClusterConfig,
+    SchedulerConfig,
+    ServiceConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.cluster import ClusterService  # noqa: E402
+from repro.obs import tracer_for_jsonl  # noqa: E402
+from repro.serve.loadgen import run_loadgen  # noqa: E402
+
+#: Tree depth of the monolithic (1-shard) baseline.
+BASE_LEVELS = 10
+#: Logical address-space size shared by every shard count. Kept below
+#: the L=10 tree's capacity so per-shard trees can actually shrink —
+#: striping a maximally-full tree leaves every shard one block past
+#: the next-shallower tree's capacity.
+NUM_BLOCKS = 2000
+
+
+def cluster_config(shards: int, dispatch: str, seed: int) -> SystemConfig:
+    oram = small_test_config(BASE_LEVELS, block_bytes=64, num_blocks=NUM_BLOCKS)
+    return SystemConfig(
+        oram=oram,
+        scheduler=SchedulerConfig(label_queue_size=16),
+        cache=CacheConfig(policy="none"),
+        service=ServiceConfig(retry_base_ns=100_000.0),
+        cluster=ClusterConfig(shards=shards, dispatch=dispatch),
+        seed=seed,
+    )
+
+
+async def one_run(
+    shards: int, dispatch: str, clients: int, requests: int, seed: int,
+    trace_path=None,
+) -> dict:
+    tracer = tracer_for_jsonl(str(trace_path)) if trace_path else None
+    service = ClusterService(
+        cluster_config(shards, dispatch, seed), tracer=tracer
+    )
+    host, port = await service.start()
+    try:
+        result = await run_loadgen(
+            host,
+            port,
+            clients=clients,
+            requests=requests,
+            num_blocks=service.num_blocks,
+            seed=seed,
+        )
+    finally:
+        await service.stop()
+        if tracer is not None:
+            tracer.close()
+    if result.lost or result.mismatches or result.failed:
+        raise RuntimeError(
+            f"benchmark run unhealthy: lost={result.lost} "
+            f"failed={result.failed} mismatches={result.mismatches}"
+        )
+    workers = service.router.workers
+    counts = [worker.engine.accesses for worker in workers]
+    if max(counts) - min(counts) > 1:
+        raise RuntimeError(
+            f"benchmark run unhealthy: shard access counts {counts} "
+            f"diverge — the fixed dispatch schedule was not kept"
+        )
+    summary = result.summary()
+    summary["rounds"] = float(service.router.rounds)
+    summary["accesses"] = float(sum(counts))
+    summary["shard_levels"] = float(workers[0].config.oram.levels)
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick sanity run (no JSON output)")
+    parser.add_argument("--shard-counts", type=int, nargs="+",
+                        default=None, help="default 1 2 4 8 (1 2 in smoke)")
+    parser.add_argument("--dispatch", choices=["rr", "parallel"],
+                        default="parallel")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=150,
+                        help="requests per client")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_cluster.json")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="JSONL event trace of the first max-shard run")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.clients, args.requests, args.repeats = 4, 30, 1
+    if args.shard_counts is None:
+        args.shard_counts = [1, 2] if args.smoke else [1, 2, 4, 8]
+
+    report: dict = {
+        "benchmark": f"cluster loadgen, {args.clients} clients x "
+        f"{args.requests} requests, base L={BASE_LEVELS} queue=16, "
+        f"dispatch={args.dispatch}",
+        "dispatch": args.dispatch,
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "shards": {},
+    }
+    throughputs: dict = {}
+    for shards in args.shard_counts:
+        runs = []
+        for repeat in range(args.repeats):
+            trace = (
+                args.trace
+                if shards == max(args.shard_counts) and repeat == 0
+                else None
+            )
+            runs.append(
+                asyncio.run(
+                    one_run(
+                        shards,
+                        args.dispatch,
+                        args.clients,
+                        args.requests,
+                        seed=41 + repeat,
+                        trace_path=trace,
+                    )
+                )
+            )
+        med = lambda key: statistics.median(run[key] for run in runs)  # noqa: E731
+        entry = {
+            "median_requests_per_s": med("requests_per_s"),
+            "median_p50_ms": med("p50_ns") / 1e6,
+            "median_p99_ms": med("p99_ns") / 1e6,
+            "completed": runs[0]["completed"],
+            "rounds": runs[0]["rounds"],
+            "accesses": runs[0]["accesses"],
+            "shard_levels": runs[0]["shard_levels"],
+        }
+        report["shards"][str(shards)] = entry
+        throughputs[shards] = entry["median_requests_per_s"]
+        print(
+            f"{shards:2d} shard(s) (L={entry['shard_levels']:.0f}): "
+            f"{entry['median_requests_per_s']:8.1f} req/s, "
+            f"p50 {entry['median_p50_ms']:7.2f} ms, "
+            f"p99 {entry['median_p99_ms']:7.2f} ms"
+        )
+    # Acceptance criterion: aggregate throughput must rise monotonically
+    # from 1 to 4 shards (checked over whichever of 1/2/4 were run).
+    checked = [k for k in (1, 2, 4) if k in throughputs]
+    for low, high in zip(checked, checked[1:]):
+        if throughputs[high] <= throughputs[low]:
+            print(
+                f"FAIL: {high} shards ({throughputs[high]:.1f} req/s) not "
+                f"faster than {low} ({throughputs[low]:.1f} req/s)",
+                file=sys.stderr,
+            )
+            return 1
+    if not args.smoke:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

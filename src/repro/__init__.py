@@ -31,6 +31,7 @@ Deprecated: :func:`repro.simulate_system` (use
 
 from repro.config import (
     CacheConfig,
+    ClusterConfig,
     DramConfig,
     DramTimingConfig,
     OramConfig,
@@ -74,6 +75,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CacheConfig",
+    "ClusterConfig",
     "DramConfig",
     "DramTimingConfig",
     "OramConfig",

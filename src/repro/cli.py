@@ -15,10 +15,17 @@ Commands
     Run the oblivious key-value service (``repro.serve``) until
     interrupted; configure with ``--set service.*`` overrides
     (``docs/SERVICE.md`` documents the wire protocol).
+``cluster --shards K``
+    Run the sharded service (``repro.cluster``): K independent
+    fork-path shards behind the oblivious round-robin dispatcher
+    (``docs/CLUSTER.md``).
 ``loadgen --port P``
-    Drive a running service with concurrent verifying clients.
+    Drive a running service with concurrent verifying clients
+    (``--hot-span N`` skews each client onto a hot address range).
+``compact PATH``
+    Compact a ``FileBackend`` append log down to its live record set.
 
-``demo``, ``mix`` and ``serve`` accept two extra flags:
+``demo``, ``mix``, ``serve`` and ``cluster`` accept two extra flags:
 
 ``--set key=value`` (repeatable)
     Dotted-path config overrides applied via
@@ -87,7 +94,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     from repro.serve import available_backends
 
     print("service backends: " + ", ".join(available_backends()))
-    print("commands: info, figure, demo, mix, serve, loadgen")
+    print("commands: info, figure, demo, mix, serve, cluster, loadgen, compact")
     return 0
 
 
@@ -212,6 +219,54 @@ def _small_service_oram():
     return small_test_config(10, block_bytes=64)
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import SystemConfig
+    from repro.cluster import run_cluster
+
+    overrides = _parse_overrides(args.set)
+    if args.shards is not None:
+        overrides.setdefault("cluster.shards", args.shards)
+    base = SystemConfig(oram=_small_service_oram()) if args.small else SystemConfig()
+    config = SystemConfig.from_overrides(overrides, base=base)
+    tracer = _make_tracer(args.trace)
+    try:
+        asyncio.run(run_cluster(config, tracer=tracer))
+    except KeyboardInterrupt:
+        print("interrupted; cluster stopped")
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.serve.backends import FileBackend
+
+    if not os.path.exists(args.path):
+        print(f"no backend log at {args.path}", file=sys.stderr)
+        return 2
+    before = os.path.getsize(args.path)
+    backend = FileBackend(args.path)
+    try:
+        live = len(backend)
+        recovered = backend.recovered_records
+        torn = backend.torn_tail
+        backend.compact()
+    finally:
+        backend.close()
+    after = os.path.getsize(args.path)
+    note = "; dropped torn tail" if torn else ""
+    print(
+        f"{args.path}: {recovered} records ({before} bytes) -> "
+        f"{live} live ({after} bytes){note}"
+    )
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -225,6 +280,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             requests=args.requests,
             num_blocks=args.num_blocks,
             seed=args.seed,
+            hot_span=args.hot_span,
         )
     )
     summary = result.summary()
@@ -270,6 +326,20 @@ def main(argv: list[str] | None = None) -> int:
         help="use a small (L=10) tree instead of the paper-scale default",
     )
 
+    cluster = subparsers.add_parser(
+        "cluster", help="run the sharded oblivious key-value service"
+    )
+    cluster.add_argument(
+        "--shards",
+        type=int,
+        help="shard count (shorthand for --set cluster.shards=K)",
+    )
+    cluster.add_argument(
+        "--small",
+        action="store_true",
+        help="use a small (L=10) tree instead of the paper-scale default",
+    )
+
     loadgen = subparsers.add_parser(
         "loadgen", help="drive a running service with verifying clients"
     )
@@ -284,8 +354,20 @@ def main(argv: list[str] | None = None) -> int:
         help="address-space size split into per-client slices",
     )
     loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--hot-span",
+        type=int,
+        default=0,
+        help="restrict each client to the first N addresses of its "
+        "slice (0 = whole slice): a skewed workload for cluster tests",
+    )
 
-    for command in (demo, mix, serve):
+    compact = subparsers.add_parser(
+        "compact", help="compact a FileBackend append log in place"
+    )
+    compact.add_argument("path", help="backend log path (service.backend_path)")
+
+    for command in (demo, mix, serve, cluster):
         command.add_argument(
             "--set",
             action="append",
@@ -307,7 +389,9 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "mix": _cmd_mix,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "loadgen": _cmd_loadgen,
+        "compact": _cmd_compact,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,37 @@
+"""Sharded oblivious service: K fork-path ORAMs behind one dispatcher.
+
+The cluster subsystem scales the single-engine service of
+:mod:`repro.serve` horizontally while keeping the storage-side view
+oblivious *across* shards:
+
+* :mod:`repro.cluster.partition` — public residue striping of the
+  address space and per-shard ORAM sizing (shallower trees per shard);
+* :mod:`repro.cluster.router` — shard workers plus the
+  :class:`ShardRouter`, whose fixed round-robin dispatch schedule and
+  per-shard dummy padding make the interleaved shard-visit/bucket trace
+  data-independent;
+* :mod:`repro.cluster.service` — the TCP front end
+  (:class:`ClusterService`), sharing its session machinery with
+  :class:`~repro.serve.service.OramService`.
+
+The cross-shard obliviousness argument and its verification live in
+``docs/CLUSTER.md`` and :mod:`repro.security.cluster`.
+"""
+
+from repro.cluster.partition import (
+    AddressPartitioner,
+    shard_levels,
+    shard_system_config,
+)
+from repro.cluster.router import ShardRouter, ShardWorker
+from repro.cluster.service import ClusterService, run_cluster
+
+__all__ = [
+    "AddressPartitioner",
+    "shard_levels",
+    "shard_system_config",
+    "ShardRouter",
+    "ShardWorker",
+    "ClusterService",
+    "run_cluster",
+]

@@ -1,0 +1,221 @@
+"""Shard workers and the oblivious cross-shard dispatcher.
+
+A :class:`ShardWorker` wraps one fully independent fork-path ORAM — its
+own tree, stash, position map, dummy-padded label queue and storage
+backend — sized for its slice of the address space
+(:func:`~repro.cluster.partition.shard_system_config`).
+
+The :class:`ShardRouter` drives the workers on a **fixed,
+data-independent dispatch schedule**: work proceeds in rounds, and
+every round visits every shard exactly once, in shard order, executing
+exactly one (possibly dummy) tree access per visit. A shard with no
+real work still takes its turn — the engine's label queue pads it with
+a dummy access — so after ``r`` rounds every shard has performed
+exactly ``r`` accesses regardless of where real traffic landed. The
+adversary's cross-shard view (which shard's backend is touched when,
+and which buckets) is therefore a function of public randomness only;
+``repro.security.cluster`` verifies this by reconstructing the
+interleaved trace from the public leaf labels alone.
+
+Two dispatch policies share that schedule and differ only in wall-clock
+overlap (see :class:`~repro.config.ClusterConfig`): ``"rr"`` awaits
+each shard's access before starting the next (a strictly sequential
+interleaving, exactly reconstructible), ``"parallel"`` issues the whole
+round concurrently and barriers on round completion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.oram.encryption import BucketCipher
+from repro.oram.memory import TraceRecorder
+from repro.serve.backends import StorageBackend, make_backend
+from repro.serve.engine import ObliviousEngine, ServeRequest
+
+from repro.cluster.partition import AddressPartitioner, shard_system_config
+
+#: Most recent shard visits kept on the router (deque maxlen).
+VISIT_LOG_CAPACITY = 1 << 16
+
+
+class ShardWorker:
+    """One shard: an oblivious engine plus its admission queue.
+
+    Requests arrive with their *shard-local* address (the router
+    translates before admission). The worker mirrors the single-engine
+    service's drain discipline — head-of-line hold when the label queue
+    is saturated, so per-session order survives sharding — but its
+    accesses are clocked by the router's dispatch schedule instead of
+    an owned loop.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: SystemConfig,
+        partitioner: AddressPartitioner,
+        backend: Optional[StorageBackend] = None,
+        cipher: Optional[BucketCipher] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = shard_system_config(config, shard_id, partitioner)
+        self.backend = (
+            backend
+            if backend is not None
+            else make_backend(config.service, trace, shard_id=shard_id)
+        )
+        self.engine = ObliviousEngine(
+            self.config,
+            self.backend,
+            cipher=cipher,
+            tracer=tracer,
+            clock=clock,
+            shard_id=shard_id,
+        )
+        self.engine.admit_hook = self._drain_ready
+        self._admission: "asyncio.Queue[ServeRequest]" = asyncio.Queue(
+            maxsize=config.service.admission_capacity
+        )
+        #: Head-of-line request the engine had no room for yet.
+        self._held: Optional[ServeRequest] = None
+
+    async def admit(self, request: ServeRequest) -> None:
+        """Queue one shard-local request (blocks when the queue is
+        full — per-shard backpressure up to the session handler)."""
+        await self._admission.put(request)
+
+    def _drain_ready(self) -> None:
+        engine = self.engine
+        while True:
+            if self._held is not None:
+                request, self._held = self._held, None
+            else:
+                try:
+                    request = self._admission.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+            if not engine.submit(request):
+                self._held = request  # keep admission order intact
+                return
+
+    async def run_turn(self) -> None:
+        """This shard's slot in the dispatch round: drain admissions,
+        then exactly one (dummy-padded) tree access."""
+        self._drain_ready()
+        await self.engine.run_access()
+
+    def pending(self) -> int:
+        return (
+            self._admission.qsize()
+            + (1 if self._held is not None else 0)
+            + (1 if self.engine.has_pending_real() else 0)
+        )
+
+    def close(self) -> None:
+        self.engine.close()
+
+
+class ShardRouter:
+    """The cluster's dispatcher: K workers on one fixed visit schedule."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        cipher: Optional[BucketCipher] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+        backends: Optional[Sequence[Optional[StorageBackend]]] = None,
+        traces: Optional[Sequence[Optional[TraceRecorder]]] = None,
+    ) -> None:
+        self.config = config
+        cluster = config.cluster
+        self.dispatch = cluster.dispatch
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
+        self.partitioner = AddressPartitioner(
+            config.oram.num_blocks, cluster.shards
+        )
+        if backends is not None and len(backends) != cluster.shards:
+            raise ConfigError(
+                f"got {len(backends)} backends for {cluster.shards} shards"
+            )
+        if traces is not None and len(traces) != cluster.shards:
+            raise ConfigError(
+                f"got {len(traces)} trace recorders for {cluster.shards} shards"
+            )
+        self.workers: List[ShardWorker] = [
+            ShardWorker(
+                shard,
+                config,
+                self.partitioner,
+                backend=backends[shard] if backends is not None else None,
+                cipher=cipher,
+                tracer=tracer,
+                clock=clock,
+                trace=traces[shard] if traces is not None else None,
+            )
+            for shard in range(cluster.shards)
+        ]
+        self.rounds = 0
+        #: Shard ids in executed-turn order — the public visit sequence
+        #: (bounded; only the most recent visits are kept).
+        self.visit_log: Deque[int] = deque(maxlen=VISIT_LOG_CAPACITY)
+
+    # -------------------------------------------------------------- dispatch
+
+    async def admit(self, request: ServeRequest) -> None:
+        """Translate a global-address request and queue it on its shard.
+
+        The shard choice is forced by the public striping function —
+        the router never *decides* where traffic goes, so admission
+        carries no routing information beyond the address itself.
+        """
+        shard, local = self.partitioner.locate(request.addr)
+        request.addr = local
+        await self.workers[shard].admit(request)
+
+    async def run_round(self) -> None:
+        """One dispatch round: every shard, fixed order, one access each."""
+        if self.dispatch == "rr":
+            for worker in self.workers:
+                await worker.run_turn()
+                self.visit_log.append(worker.shard_id)
+        else:  # "parallel": same schedule, rounds overlap in wall time
+            await asyncio.gather(
+                *(worker.run_turn() for worker in self.workers)
+            )
+            self.visit_log.extend(worker.shard_id for worker in self.workers)
+        self.rounds += 1
+        if self._trace:
+            self.tracer.counters.inc("cluster.rounds")
+            self.tracer.counters.inc("cluster.accesses", len(self.workers))
+
+    # --------------------------------------------------------------- queries
+
+    def has_pending_real(self) -> bool:
+        return any(worker.pending() for worker in self.workers)
+
+    def pending(self) -> int:
+        return sum(worker.pending() for worker in self.workers)
+
+    def total_accesses(self) -> int:
+        return sum(worker.engine.accesses for worker in self.workers)
+
+    def completed_requests(self) -> int:
+        return sum(worker.engine.completed_requests for worker in self.workers)
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+
+
+__all__ = ["ShardWorker", "ShardRouter", "VISIT_LOG_CAPACITY"]

@@ -1,0 +1,117 @@
+"""The sharded oblivious key-value service front end.
+
+:class:`ClusterService` is :class:`~repro.serve.service.OramService`'s
+horizontal sibling: the same TCP sessions, protocol and response
+plumbing (inherited from
+:class:`~repro.serve.service.ServiceFrontEnd`), but admitted requests
+are striped across K independent shard engines by the
+:class:`~repro.cluster.router.ShardRouter`, and the background work
+loop runs *dispatch rounds* — every shard, fixed order, one
+dummy-padded access each — instead of single-engine accesses.
+
+Clients are unaffected: the wire protocol addresses the global block
+space, translation to (shard, local address) happens at admission, and
+responses never echo addresses. Backpressure is per shard (a handler
+blocks when the target shard's admission queue fills), which is itself
+data-independent to the adversary — admission queues are on-chip state,
+invisible at the storage boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.obs.tracer import Tracer
+from repro.oram.encryption import BucketCipher
+from repro.oram.memory import TraceRecorder
+from repro.serve.backends import StorageBackend
+from repro.serve.engine import ServeRequest
+from repro.serve.service import ServiceFrontEnd
+
+from repro.cluster.router import ShardRouter
+
+
+class ClusterService(ServiceFrontEnd):
+    """An oblivious key-value service sharded over K ORAM trees."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        cipher: Optional[BucketCipher] = None,
+        tracer: Optional[Tracer] = None,
+        backends: Optional[Sequence[Optional[StorageBackend]]] = None,
+        traces: Optional[Sequence[Optional[TraceRecorder]]] = None,
+    ) -> None:
+        super().__init__(config, tracer)
+        self.router = ShardRouter(
+            self.config,
+            cipher=cipher,
+            tracer=self.tracer,
+            clock=self._clock,
+            backends=backends,
+            traces=traces,
+        )
+        self.cluster_config = self.config.cluster
+
+    # ----------------------------------------------------------------- hooks
+
+    @property
+    def num_blocks(self) -> int:
+        return self.router.partitioner.num_blocks
+
+    async def _admit(self, request: ServeRequest) -> None:
+        await self.router.admit(request)
+
+    def _shutdown(self) -> None:
+        self.router.close()
+
+    async def _work_loop(self) -> None:
+        service = self.service_config
+        router = self.router
+        pace_s = service.pace_ns / 1e9
+        while not (self._stopping and self._pending() == 0):
+            if router.has_pending_real() or service.nonstop:
+                await router.run_round()
+                if pace_s > 0:
+                    await asyncio.sleep(pace_s)
+                else:
+                    # One scheduling point per round even when flat
+                    # out, so session handlers keep making progress.
+                    await asyncio.sleep(0)
+            else:
+                self._wake.clear()
+                if self._pending():
+                    continue
+                if self._stopping:
+                    break
+                await self._wake.wait()
+
+    def _pending(self) -> int:
+        return self.router.pending()
+
+
+async def run_cluster(config: SystemConfig, tracer: Optional[Tracer] = None) -> None:
+    """``python -m repro cluster`` body: serve until interrupted."""
+    service = ClusterService(config, tracer=tracer)
+    host, port = await service.start()
+    depths = sorted(
+        {worker.config.oram.levels for worker in service.router.workers}
+    )
+    print(
+        f"serving sharded oblivious KV store on {host}:{port} "
+        f"(shards={config.cluster.shards}, dispatch={config.cluster.dispatch}, "
+        f"backend={config.service.backend}, "
+        f"shard L={'/'.join(str(d) for d in depths)})",
+        flush=True,
+    )
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()
+
+
+__all__ = ["ClusterService", "run_cluster"]

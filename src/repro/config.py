@@ -449,12 +449,23 @@ class ServiceConfig:
         TCP bind address for ``python -m repro serve``. Port 0 binds an
         ephemeral port (the bound port is printed / returned).
     backend:
-        Storage backend behind the ORAM tree: ``"memory"`` (the plain
-        dict store), ``"file"`` (crash-safe append-log persistence at
-        ``backend_path``) or ``"faulty"`` (the in-memory store wrapped
-        in configurable fault injection — see the ``fault_*`` knobs).
+        Storage backend behind the ORAM tree, one of the names in the
+        :data:`repro.serve.backends.BACKEND_FACTORIES` registry:
+        ``"memory"`` (the plain dict store), ``"file"`` (crash-safe
+        append-log persistence at ``backend_path``) or ``"faulty"``
+        (the in-memory store wrapped in configurable fault injection —
+        see the ``fault_*`` knobs).
     backend_path:
-        Store file for the ``"file"`` backend.
+        Store file for the ``"file"`` backend. Cluster shards derive
+        per-shard paths (``<path>.shard<k>``) from this stem.
+    compact_every_appends:
+        Engine-side log-compaction trigger for append-log backends:
+        once the log holds at least this many records beyond the live
+        set, the engine compacts it after finishing the access
+        (bounding the log at ``live + N`` records however long the
+        service runs). ``0`` (default) disables the trigger; compaction
+        is then manual (``repro compact PATH`` or
+        :meth:`FileBackend.compact`).
     admission_capacity:
         Bound of the admission queue between client sessions and the
         ORAM engine. When full, session handlers stop reading frames —
@@ -491,6 +502,7 @@ class ServiceConfig:
     port: int = 0
     backend: str = "memory"
     backend_path: str = ""
+    compact_every_appends: int = 0
     admission_capacity: int = 128
     max_frame_bytes: int = 1 << 20
     nonstop: bool = False
@@ -506,10 +518,24 @@ class ServiceConfig:
     fault_seed: int = 1
 
     def __post_init__(self) -> None:
-        if self.backend not in ("memory", "file", "faulty"):
-            raise ConfigError(f"unknown service backend {self.backend!r}")
+        # The authoritative backend list is the registry dict in
+        # repro.serve.backends (imported lazily: backends imports this
+        # module at load time, so the reverse import must wait until a
+        # config is actually constructed).
+        from repro.serve.backends import available_backends
+
+        if self.backend not in available_backends():
+            raise ConfigError(
+                f"unknown service backend {self.backend!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
         if not 0 <= self.port <= 65535:
             raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.compact_every_appends < 0:
+            raise ConfigError(
+                f"compact_every_appends must be >= 0, "
+                f"got {self.compact_every_appends}"
+            )
         if self.admission_capacity < 1:
             raise ConfigError(
                 f"admission_capacity must be >= 1, got {self.admission_capacity}"
@@ -530,6 +556,61 @@ class ServiceConfig:
             rate = getattr(self, name)
             if not 0.0 <= rate < 1.0:
                 raise ConfigError(f"{name} must be in [0, 1), got {rate}")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The sharded oblivious service (``repro.cluster``).
+
+    Attributes
+    ----------
+    shards:
+        Number of independent fork-path ORAM shards the logical address
+        space is striped across (``addr % shards`` owns the address).
+        ``1`` degenerates to a single-engine cluster, behaviourally
+        equivalent to ``repro.serve`` behind the same front end.
+    dispatch:
+        The router's fixed, data-independent dispatch schedule. Both
+        policies visit every shard exactly once per round in a fixed
+        order — the obliviousness requirement — and differ only in
+        wall-clock overlap:
+
+        * ``"rr"`` — strict sequential round robin: shard ``k+1``'s
+          turn starts only after shard ``k``'s access completed, so
+          the *interleaved* backend trace is round-robin-blocked and
+          exactly reconstructible from public labels.
+        * ``"parallel"`` — each round issues all shard turns
+          concurrently (``asyncio.gather``), overlapping backend
+          latency across shards; per-shard traces keep the fixed
+          per-round cadence but interleave freely in wall time.
+    auto_scale_levels:
+        Derive each shard's tree depth from its slice of the address
+        space (``ceil(num_blocks / shards)`` blocks), so doubling the
+        shard count removes roughly one tree level per shard — the
+        source of the cluster's aggregate-throughput scaling. When
+        False every shard keeps the full ``oram.levels`` depth.
+    min_shard_levels:
+        Lower bound on a shard's tree depth when auto-scaling
+        (degenerate one-bucket trees stress nothing interesting).
+    """
+
+    shards: int = 1
+    dispatch: str = "parallel"
+    auto_scale_levels: bool = True
+    min_shard_levels: int = 2
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.shards <= 1024:
+            raise ConfigError(f"shards must be in [1, 1024], got {self.shards}")
+        if self.dispatch not in ("rr", "parallel"):
+            raise ConfigError(
+                f"unknown dispatch policy {self.dispatch!r} "
+                f"(choose 'rr' or 'parallel')"
+            )
+        if self.min_shard_levels < 0:
+            raise ConfigError(
+                f"min_shard_levels must be >= 0, got {self.min_shard_levels}"
+            )
 
 
 def _coerce_override(path: str, value: object, current: object) -> object:
@@ -609,6 +690,7 @@ class SystemConfig:
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     recursion: RecursionConfig = field(default_factory=RecursionConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
     #: Fixed idle gap between ORAM phases for timing protection, in ns.
     idle_gap_ns: float = 0.0
     #: Strict periodic issue (Figure 1c): when > 0, every tree access

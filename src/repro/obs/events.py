@@ -55,7 +55,12 @@ class Event:
     def to_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {"kind": self.kind}
         for field in dataclasses.fields(self):
-            data[field.name] = getattr(self, field.name)
+            value = getattr(self, field.name)
+            # Optional fields (e.g. shard_id outside a cluster) are
+            # omitted rather than serialised as null, keeping
+            # single-engine traces identical to the pre-cluster format.
+            if value is not None:
+                data[field.name] = value
         return data
 
 
@@ -246,6 +251,8 @@ class ServiceAdmitted(Event):
     op: str = ""
     addr: int = 0
     wait_ns: float = 0.0
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
     kind: ClassVar[str] = "service_admitted"
 
 
@@ -259,6 +266,8 @@ class BackendRetry(Event):
     attempt: int = 0
     backoff_ns: float = 0.0
     error: str = ""
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
     kind: ClassVar[str] = "backend_retry"
 
 
@@ -282,6 +291,8 @@ class ServiceCompleted(Event):
     status: str = ""
     latency_ns: float = 0.0
     phases: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
     kind: ClassVar[str] = "service_completed"
 
 

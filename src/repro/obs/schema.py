@@ -124,6 +124,16 @@ EVENT_FIELDS: Dict[str, Dict[str, str]] = {
     },
 }
 
+#: kind -> {field: type tag} for fields an emitter MAY include. The
+#: cluster layer tags service events with the owning shard; traces from
+#: a single-engine service (and all pre-cluster traces) omit the field
+#: and stay valid.
+OPTIONAL_EVENT_FIELDS: Dict[str, Dict[str, str]] = {
+    "service_admitted": {"shard_id": _INT},
+    "backend_retry": {"shard_id": _INT},
+    "service_completed": {"shard_id": _INT},
+}
+
 #: The phase keys a ``request_completed`` breakdown must consist of.
 PHASE_KEYS = ("posmap_ns", "queue_wait_ns", "sched_wait_ns", "service_ns")
 
@@ -176,7 +186,14 @@ def validate_event(event: object, where: str = "") -> List[str]:
                 f"{prefix}{kind}: field {name!r} should be {tag}, "
                 f"got {type(event[name]).__name__}"
             )
-    extras = set(event) - set(fields) - {"kind", "ts_ns"}
+    optional = OPTIONAL_EVENT_FIELDS.get(kind, {})
+    for name, tag in optional.items():
+        if name in event and not _type_ok(event[name], tag):
+            errors.append(
+                f"{prefix}{kind}: optional field {name!r} should be "
+                f"{tag}, got {type(event[name]).__name__}"
+            )
+    extras = set(event) - set(fields) - set(optional) - {"kind", "ts_ns"}
     if extras:
         errors.append(f"{prefix}{kind}: unexpected fields {sorted(extras)}")
     if kind in PHASE_KEYS_BY_KIND and not errors:

@@ -18,6 +18,14 @@ from repro.security.indistinguishability import (
     shape_distribution_pvalue,
     adversary_advantage,
 )
+from repro.security.cluster import (
+    InterleavedTraceRecorder,
+    verify_visit_schedule,
+    verify_shard_balance,
+    expected_interleaved_trace,
+    verify_interleaved_cluster_trace,
+    shard_profile,
+)
 
 __all__ = [
     "expected_fork_trace",
@@ -31,4 +39,10 @@ __all__ = [
     "leaf_distribution_pvalue",
     "shape_distribution_pvalue",
     "adversary_advantage",
+    "InterleavedTraceRecorder",
+    "verify_visit_schedule",
+    "verify_shard_balance",
+    "expected_interleaved_trace",
+    "verify_interleaved_cluster_trace",
+    "shard_profile",
 ]

@@ -33,12 +33,13 @@ Three implementations:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import random
 import struct
 import zlib
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.config import ServiceConfig
 from repro.errors import BackendError, ConfigError, TransientBackendError
@@ -46,8 +47,13 @@ from repro.oram.memory import MemoryOp, TraceRecorder
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Backend names accepted by ``ServiceConfig.backend``."""
-    return ("memory", "file", "faulty")
+    """Backend names accepted by ``ServiceConfig.backend``.
+
+    Reads :data:`BACKEND_FACTORIES`, so registering a backend there (or
+    via :func:`register_backend`) makes it visible to config validation,
+    ``make_backend`` and the CLI all at once.
+    """
+    return tuple(BACKEND_FACTORIES)
 
 
 class StorageBackend:
@@ -428,28 +434,74 @@ class FaultyBackend(StorageBackend):
         self.base.close()
 
 
+#: A factory builds a backend from a (possibly shard-specialised)
+#: service config and an optional adversary trace.
+BackendFactory = Callable[[ServiceConfig, Optional[TraceRecorder]], StorageBackend]
+
+#: The single authoritative backend registry. ``ServiceConfig.backend``
+#: validation, :func:`available_backends` and :func:`make_backend` all
+#: read this dict, so a backend exists everywhere or nowhere.
+#: Insertion order is the public listing order.
+BACKEND_FACTORIES: Dict[str, BackendFactory] = {
+    "memory": lambda config, trace: InMemoryBackend(trace),
+    "file": lambda config, trace: FileBackend(config.backend_path, trace),
+    "faulty": lambda config, trace: FaultyBackend(
+        InMemoryBackend(), FaultPlan.from_config(config), trace
+    ),
+}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Add a backend to the registry (e.g. from tests or extensions)."""
+    if name in BACKEND_FACTORIES:
+        raise ConfigError(f"backend {name!r} is already registered")
+    BACKEND_FACTORIES[name] = factory
+
+
+def shard_service_config(config: ServiceConfig, shard_id: int) -> ServiceConfig:
+    """Specialise a service config for one cluster shard.
+
+    A file-backed shard gets its own log (``<backend_path>.shard<k>``)
+    so shards never contend for the append handle, and a faulty shard
+    gets its own fault stream (``fault_seed + shard_id``) so fault
+    timing is not correlated across shards.
+    """
+    updates: Dict[str, object] = {"fault_seed": config.fault_seed + shard_id}
+    if config.backend_path:
+        updates["backend_path"] = f"{config.backend_path}.shard{shard_id}"
+    return dataclasses.replace(config, **updates)
+
+
 def make_backend(
-    config: ServiceConfig, trace: Optional[TraceRecorder] = None
+    config: ServiceConfig,
+    trace: Optional[TraceRecorder] = None,
+    shard_id: Optional[int] = None,
 ) -> StorageBackend:
     """Build the backend named by ``config.backend``.
 
-    ``"faulty"`` wraps the in-memory store with
-    :class:`FaultPlan.from_config`; to fault-inject over a file store,
-    compose ``FaultyBackend(FileBackend(path), plan)`` directly.
+    ``shard_id`` builds a per-shard instance via
+    :func:`shard_service_config`. ``"faulty"`` wraps the in-memory
+    store with :class:`FaultPlan.from_config`; to fault-inject over a
+    file store, compose ``FaultyBackend(FileBackend(path), plan)``
+    directly.
     """
-    if config.backend == "memory":
-        return InMemoryBackend(trace)
-    if config.backend == "file":
-        return FileBackend(config.backend_path, trace)
-    if config.backend == "faulty":
-        return FaultyBackend(
-            InMemoryBackend(), FaultPlan.from_config(config), trace
-        )
-    raise ConfigError(f"unknown service backend {config.backend!r}")
+    if shard_id is not None:
+        config = shard_service_config(config, shard_id)
+    try:
+        factory = BACKEND_FACTORIES[config.backend]
+    except KeyError:
+        raise ConfigError(
+            f"unknown service backend {config.backend!r}; "
+            f"available: {', '.join(BACKEND_FACTORIES)}"
+        ) from None
+    return factory(config, trace)
 
 
 __all__: List[str] = [
     "available_backends",
+    "BACKEND_FACTORIES",
+    "register_backend",
+    "shard_service_config",
     "StorageBackend",
     "InMemoryBackend",
     "FileBackend",

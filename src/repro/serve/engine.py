@@ -156,6 +156,7 @@ class AsyncBucketStore:
         policy: Optional[RetryPolicy] = None,
         tracer: Optional[Tracer] = None,
         clock: Optional[Callable[[], float]] = None,
+        shard_id: Optional[int] = None,
     ) -> None:
         self.backend = backend
         self.bucket_slots = bucket_slots
@@ -164,6 +165,7 @@ class AsyncBucketStore:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = self.tracer.enabled
         self._clock = clock if clock is not None else _default_clock()
+        self.shard_id = shard_id
         self.retries = 0
         self.failures = 0
 
@@ -208,6 +210,7 @@ class AsyncBucketStore:
                             attempt=attempt,
                             backoff_ns=backoff,
                             error=last_error,
+                            shard_id=self.shard_id,
                         )
                     )
                     self.tracer.counters.inc("serve.backend.retries")
@@ -235,11 +238,15 @@ class ObliviousEngine:
         cipher: Optional[BucketCipher] = None,
         tracer: Optional[Tracer] = None,
         clock: Optional[Callable[[], float]] = None,
+        shard_id: Optional[int] = None,
     ) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = self.tracer.enabled
         self.clock = clock if clock is not None else _default_clock()
+        #: Cluster shard that owns this engine; None for a standalone
+        #: service. Tags every emitted service event and counter.
+        self.shard_id = shard_id
         self.rng = random.Random(config.seed)
         oram = config.oram
         self.geometry = TreeGeometry(oram.levels)
@@ -258,6 +265,7 @@ class ObliviousEngine:
             policy=RetryPolicy.from_config(config.service),
             tracer=self.tracer,
             clock=self.clock,
+            shard_id=shard_id,
         )
         #: Address -> the request whose tree access is in flight.
         self._inflight: Dict[int, ServeRequest] = {}
@@ -272,6 +280,8 @@ class ObliviousEngine:
         self.real_accesses = 0
         self.failed_accesses = 0
         self.completed_requests = 0
+        #: Engine-triggered backend compactions (see _maybe_compact).
+        self.compactions = 0
         #: Scheduling rounds that saw an underfull queue — the padding
         #: invariant says this must stay 0 (tests assert it).
         self.underfull_rounds = 0
@@ -343,6 +353,7 @@ class ObliviousEngine:
                     op=request.op,
                     addr=request.addr,
                     wait_ns=request.admitted_ns - request.arrival_ns,
+                    shard_id=self.shard_id,
                 )
             )
 
@@ -404,6 +415,7 @@ class ObliviousEngine:
             self._next_entry = next_entry
             self.accesses += 1
             self.records.append((leaf, entry.is_dummy, len(read_nodes), written))
+            self._maybe_compact()
         except BackendError as exc:
             # The backend gave up past the retry budget. Drop the
             # resident prefix so the next access re-reads a full path;
@@ -426,6 +438,33 @@ class ObliviousEngine:
                 # nor wedged (the queue just freed a slot, so this
                 # cannot raise).
                 self.label_queue.insert_real(next_entry)
+
+    def _maybe_compact(self) -> None:
+        """Compact an append-log backend once it holds enough stale
+        records (``service.compact_every_appends`` beyond the live set).
+
+        Triggering on *staleness* rather than raw appends bounds the log
+        at ``live + N`` records without re-compacting on every access
+        once the append counter passes the threshold. The log-holding
+        backend is found by following ``.base`` links (so a
+        fault-injection wrapper around a file store still compacts).
+        Compaction is data-independent — it depends only on record
+        counts, which the adversary already observes.
+        """
+        threshold = self.config.service.compact_every_appends
+        if threshold <= 0:
+            return
+        backend: Optional[object] = self.store.backend
+        while backend is not None and not hasattr(backend, "records_appended"):
+            backend = getattr(backend, "base", None)
+        if backend is None:
+            return
+        stale = backend.records_appended - len(backend)  # type: ignore[arg-type]
+        if stale >= threshold:
+            backend.compact()  # type: ignore[union-attr]
+            self.compactions += 1
+            if self._trace:
+                self.tracer.counters.inc("serve.backend.compactions")
 
     def _select(self, current_leaf: Optional[int], now_ns: float) -> LabelEntry:
         queue = self.label_queue
@@ -488,10 +527,15 @@ class ObliviousEngine:
                     status=status,
                     latency_ns=request.latency_ns,
                     phases=request.phases(),
+                    shard_id=self.shard_id,
                 )
             )
             self.tracer.observe_phases(request.latency_ns, request.phases())
             self.tracer.counters.inc(f"serve.completed.{status}")
+            if self.shard_id is not None:
+                self.tracer.counters.inc(
+                    f"cluster.shard{self.shard_id}.completed.{status}"
+                )
             sessions = self._histogram_sessions
             session_id = request.session_id
             if session_id in sessions or len(sessions) < SESSION_HISTOGRAM_CAP:

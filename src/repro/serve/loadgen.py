@@ -144,11 +144,20 @@ async def run_loadgen(
     requests: int = 50,
     num_blocks: int = 1 << 12,
     seed: int = 7,
+    hot_span: int = 0,
 ) -> LoadgenResult:
-    """Drive the service with ``clients`` concurrent sessions."""
+    """Drive the service with ``clients`` concurrent sessions.
+
+    ``hot_span`` > 0 narrows each client's draws to the first
+    ``hot_span`` addresses of its slice — a skewed (hot-spot) workload
+    for exercising the cluster's obliviousness under uneven shard load.
+    Slices stay disjoint, so the read-your-writes verification is
+    unaffected.
+    """
     result = LoadgenResult(clients=clients)
     lock = asyncio.Lock()
     span = max(1, num_blocks // max(1, clients))
+    draw_span = min(span, hot_span) if hot_span > 0 else span
     start = time.perf_counter()
     await asyncio.gather(
         *(
@@ -158,7 +167,7 @@ async def run_loadgen(
                 index,
                 requests,
                 addr_base=index * span,
-                addr_span=span,
+                addr_span=draw_span,
                 seed=seed,
                 result=result,
                 lock=lock,

@@ -1,9 +1,16 @@
 """The asyncio front end: sessions, admission, backpressure.
 
+:class:`ServiceFrontEnd` is the transport skeleton shared by the
+single-engine :class:`OramService` and the sharded
+:class:`repro.cluster.service.ClusterService`: one handler task per TCP
+connection speaking the length-prefixed JSON protocol of
+:mod:`repro.serve.protocol`, with subclass hooks for where an admitted
+request goes (``_admit``) and what the background work loop does
+(``_work_loop``).
+
 :class:`OramService` glues three layers together:
 
-* **sessions** — one handler task per TCP connection, speaking the
-  length-prefixed JSON protocol of :mod:`repro.serve.protocol`;
+* **sessions** — the front end's per-connection handler tasks;
 * **admission** — a bounded :class:`asyncio.Queue` between sessions and
   the engine. When it fills, handlers block in ``put()`` and stop
   reading frames, so backpressure reaches clients through TCP flow
@@ -27,7 +34,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.config import SystemConfig
 from repro.errors import ProtocolError
@@ -39,45 +46,64 @@ from repro.serve.backends import StorageBackend, make_backend
 from repro.serve.engine import ObliviousEngine, ServeRequest
 
 
-class OramService:
-    """An oblivious key-value service over one ORAM tree."""
+class ServiceFrontEnd:
+    """Session/transport skeleton of an oblivious key-value service.
+
+    Subclasses provide the storage side through four hooks:
+
+    * :attr:`num_blocks` — the logical address space bound used to
+      validate incoming requests;
+    * :meth:`_admit` — take ownership of one validated request
+      (blocking here is the backpressure point);
+    * :meth:`_work_loop` — the background task draining admitted
+      requests into tree accesses until stop;
+    * :meth:`_shutdown` — release storage resources after the work
+      loop exits.
+    """
 
     def __init__(
         self,
         config: Optional[SystemConfig] = None,
-        backend: Optional[StorageBackend] = None,
-        cipher: Optional[BucketCipher] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
-        service = self.config.service
-        self.service_config = service
+        self.service_config = self.config.service
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = self.tracer.enabled
-        self.backend = backend if backend is not None else make_backend(service)
         start = time.perf_counter_ns()
         self._clock = lambda: float(time.perf_counter_ns() - start)
-        self.engine = ObliviousEngine(
-            self.config,
-            self.backend,
-            cipher=cipher,
-            tracer=self.tracer,
-            clock=self._clock,
-        )
-        self.engine.admit_hook = self._drain_ready
-        self._admission: "asyncio.Queue[ServeRequest]" = asyncio.Queue(
-            maxsize=service.admission_capacity
-        )
-        #: Head-of-line request the engine had no room for yet.
-        self._held: Optional[ServeRequest] = None
         self._wake = asyncio.Event()
         self._server: Optional[asyncio.base_events.Server] = None
-        self._engine_task: Optional[asyncio.Task] = None
+        self._work_task: Optional[asyncio.Task] = None
         self._session_tasks: Set[asyncio.Task] = set()
         self._session_ids = itertools.count(1)
         self._stopping = False
         self.sessions_opened = 0
         self.frames_received = 0
+
+    # ----------------------------------------------------------------- hooks
+
+    @property
+    def num_blocks(self) -> int:
+        """Logical address space size (requests validated against it)."""
+        raise NotImplementedError
+
+    async def _admit(self, request: ServeRequest) -> None:
+        """Take ownership of a validated request (may block: this is
+        where backpressure reaches the session handler)."""
+        raise NotImplementedError
+
+    async def _work_loop(self) -> None:
+        """Drain admitted requests into oblivious accesses until stop."""
+        raise NotImplementedError
+
+    def _pending(self) -> int:
+        """Admitted-but-unanswered work still owed to clients."""
+        raise NotImplementedError
+
+    def _shutdown(self) -> None:
+        """Release storage resources (engines, backends)."""
+        raise NotImplementedError
 
     # -------------------------------------------------------------- lifecycle
 
@@ -87,7 +113,7 @@ class OramService:
         self._server = await asyncio.start_server(
             self._handle_session, service.host, service.port
         )
-        self._engine_task = asyncio.create_task(self._engine_loop())
+        self._work_task = asyncio.create_task(self._work_loop())
         sock = self._server.sockets[0]
         host, port = sock.getsockname()[:2]
         return host, port
@@ -103,64 +129,14 @@ class OramService:
         if self._session_tasks:
             await asyncio.gather(*self._session_tasks, return_exceptions=True)
         self._wake.set()
-        if self._engine_task is not None:
-            await self._engine_task
-        self.engine.close()
+        if self._work_task is not None:
+            await self._work_task
+        self._shutdown()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
         async with self._server:
             await self._server.serve_forever()
-
-    # ------------------------------------------------------------ engine loop
-
-    def _drain_ready(self) -> None:
-        """Feed queued admissions into the engine until it refuses.
-
-        Also the engine's ``admit_hook``: called inside the access
-        window between serving and next-path selection, so a request
-        admitted here can be chosen as the very next path.
-        """
-        engine = self.engine
-        while True:
-            if self._held is not None:
-                request, self._held = self._held, None
-            else:
-                try:
-                    request = self._admission.get_nowait()
-                except asyncio.QueueEmpty:
-                    return
-            if not engine.submit(request):
-                self._held = request  # keep admission order intact
-                return
-
-    async def _engine_loop(self) -> None:
-        service = self.service_config
-        pace_s = service.pace_ns / 1e9
-        while not (self._stopping and self._pending() == 0):
-            self._drain_ready()
-            if self.engine.has_pending_real() or service.nonstop:
-                await self.engine.run_access()
-                if pace_s > 0:
-                    await asyncio.sleep(pace_s)
-                else:
-                    # One scheduling point per access even when flat
-                    # out, so session handlers keep making progress.
-                    await asyncio.sleep(0)
-            else:
-                self._wake.clear()
-                if self._pending():
-                    continue
-                if self._stopping:
-                    break
-                await self._wake.wait()
-
-    def _pending(self) -> int:
-        return (
-            self._admission.qsize()
-            + (1 if self._held is not None else 0)
-            + (1 if self.engine.has_pending_real() else 0)
-        )
 
     # --------------------------------------------------------------- sessions
 
@@ -198,7 +174,7 @@ class OramService:
                 client_id = message.get("id")
                 try:
                     addr, op, value = protocol.validate_request(
-                        message, self.engine.num_blocks
+                        message, self.num_blocks
                     )
                 except ProtocolError as exc:
                     async with write_lock:
@@ -218,9 +194,9 @@ class OramService:
                     arrival_ns=arrival,
                     future=asyncio.get_running_loop().create_future(),
                 )
-                # Blocks when the admission queue is full — the
+                # May block when the admission queue is full — the
                 # backpressure point: this handler stops reading.
-                await self._admission.put(request)
+                await self._admit(request)
                 self._wake.set()
                 responder = asyncio.create_task(
                     self._respond(request, writer, write_lock)
@@ -268,6 +244,96 @@ class OramService:
             pass  # client went away; the request itself still completed
 
 
+class OramService(ServiceFrontEnd):
+    """An oblivious key-value service over one ORAM tree."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        backend: Optional[StorageBackend] = None,
+        cipher: Optional[BucketCipher] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(config, tracer)
+        service = self.service_config
+        self.backend = backend if backend is not None else make_backend(service)
+        self.engine = ObliviousEngine(
+            self.config,
+            self.backend,
+            cipher=cipher,
+            tracer=self.tracer,
+            clock=self._clock,
+        )
+        self.engine.admit_hook = self._drain_ready
+        self._admission: "asyncio.Queue[ServeRequest]" = asyncio.Queue(
+            maxsize=service.admission_capacity
+        )
+        #: Head-of-line request the engine had no room for yet.
+        self._held: Optional[ServeRequest] = None
+
+    # ----------------------------------------------------------------- hooks
+
+    @property
+    def num_blocks(self) -> int:
+        return self.engine.num_blocks
+
+    async def _admit(self, request: ServeRequest) -> None:
+        await self._admission.put(request)
+
+    def _shutdown(self) -> None:
+        self.engine.close()
+
+    # ------------------------------------------------------------ engine loop
+
+    def _drain_ready(self) -> None:
+        """Feed queued admissions into the engine until it refuses.
+
+        Also the engine's ``admit_hook``: called inside the access
+        window between serving and next-path selection, so a request
+        admitted here can be chosen as the very next path.
+        """
+        engine = self.engine
+        while True:
+            if self._held is not None:
+                request, self._held = self._held, None
+            else:
+                try:
+                    request = self._admission.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+            if not engine.submit(request):
+                self._held = request  # keep admission order intact
+                return
+
+    async def _work_loop(self) -> None:
+        service = self.service_config
+        pace_s = service.pace_ns / 1e9
+        while not (self._stopping and self._pending() == 0):
+            self._drain_ready()
+            if self.engine.has_pending_real() or service.nonstop:
+                await self.engine.run_access()
+                if pace_s > 0:
+                    await asyncio.sleep(pace_s)
+                else:
+                    # One scheduling point per access even when flat
+                    # out, so session handlers keep making progress.
+                    await asyncio.sleep(0)
+            else:
+                self._wake.clear()
+                if self._pending():
+                    continue
+                if self._stopping:
+                    break
+                await self._wake.wait()
+
+    def _pending(self) -> int:
+        return (
+            self._admission.qsize()
+            + (1 if self._held is not None else 0)
+            + (1 if self.engine.has_pending_real() else 0)
+        )
+
+
 async def run_service(config: SystemConfig, tracer: Optional[Tracer] = None) -> None:
     """``python -m repro serve`` body: serve until interrupted."""
     service = OramService(config, tracer=tracer)
@@ -283,4 +349,4 @@ async def run_service(config: SystemConfig, tracer: Optional[Tracer] = None) -> 
         await service.stop()
 
 
-__all__ = ["OramService", "run_service"]
+__all__ = ["ServiceFrontEnd", "OramService", "run_service"]
