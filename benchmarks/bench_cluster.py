@@ -181,6 +181,7 @@ def main(argv=None) -> int:
         entry = {
             "median_requests_per_s": med("requests_per_s"),
             "median_p50_ms": med("p50_ns") / 1e6,
+            "median_p95_ms": med("p95_ns") / 1e6,
             "median_p99_ms": med("p99_ns") / 1e6,
             "completed": runs[0]["completed"],
             "rounds": runs[0]["rounds"],
@@ -193,6 +194,7 @@ def main(argv=None) -> int:
             f"{shards:2d} shard(s) (L={entry['shard_levels']:.0f}): "
             f"{entry['median_requests_per_s']:8.1f} req/s, "
             f"p50 {entry['median_p50_ms']:7.2f} ms, "
+            f"p95 {entry['median_p95_ms']:7.2f} ms, "
             f"p99 {entry['median_p99_ms']:7.2f} ms"
         )
     # Acceptance criterion: aggregate throughput must rise monotonically

@@ -4,7 +4,7 @@ Starts an in-process :class:`repro.serve.OramService` on an ephemeral
 port and drives it with the verifying load generator (``N`` concurrent
 TCP clients, sequential request/response per client), once over the
 plain in-memory backend and once over a fault-injecting backend, and
-reports req/s plus p50/p99 client-observed latency for both. Numbers go
+reports req/s plus p50/p95/p99 client-observed latency for both. Numbers go
 to ``BENCH_serve.json`` at the repository root.
 
 Methodology
@@ -149,6 +149,7 @@ def main(argv=None) -> int:
         report[backend] = {
             "median_requests_per_s": med("requests_per_s"),
             "median_p50_ms": med("p50_ns") / 1e6,
+            "median_p95_ms": med("p95_ns") / 1e6,
             "median_p99_ms": med("p99_ns") / 1e6,
             "completed": runs[0]["completed"],
             "accesses": runs[0]["accesses"],
@@ -158,6 +159,7 @@ def main(argv=None) -> int:
         print(
             f"{backend:7s}: {report[backend]['median_requests_per_s']:8.1f} req/s, "
             f"p50 {report[backend]['median_p50_ms']:7.2f} ms, "
+            f"p95 {report[backend]['median_p95_ms']:7.2f} ms, "
             f"p99 {report[backend]['median_p99_ms']:7.2f} ms "
             f"({report[backend]['backend_retries']:.0f} retries)"
         )

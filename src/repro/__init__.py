@@ -37,6 +37,7 @@ from repro.config import (
     OramConfig,
     ProcessorConfig,
     RecursionConfig,
+    ReplicaConfig,
     SchedulerConfig,
     ServiceConfig,
     SystemConfig,
@@ -81,6 +82,7 @@ __all__ = [
     "OramConfig",
     "ProcessorConfig",
     "RecursionConfig",
+    "ReplicaConfig",
     "SchedulerConfig",
     "ServiceConfig",
     "SystemConfig",

@@ -24,6 +24,16 @@ Commands
     (``--hot-span N`` skews each client onto a hot address range).
 ``compact PATH``
     Compact a ``FileBackend`` append log down to its live record set.
+``replicate --port P --dir DIR``
+    Tail a running service's replication stream into a local replica
+    directory (WAL + sealed checkpoints) as a warm standby
+    (``docs/REPLICATION.md``).
+``promote --dir DIR``
+    Recover from a replica directory (newest sealed checkpoint + WAL
+    replay) and serve as the new primary.
+``validate-trace FILE [...]``
+    Validate JSONL event traces against the ``repro.obs`` schema
+    (exit 1 on the first invalid file; used by CI).
 
 ``demo``, ``mix``, ``serve`` and ``cluster`` accept two extra flags:
 
@@ -94,7 +104,10 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     from repro.serve import available_backends
 
     print("service backends: " + ", ".join(available_backends()))
-    print("commands: info, figure, demo, mix, serve, cluster, loadgen, compact")
+    print(
+        "commands: info, figure, demo, mix, serve, cluster, loadgen, "
+        "compact, replicate, promote, validate-trace"
+    )
     return 0
 
 
@@ -267,6 +280,105 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import SystemConfig
+    from repro.replica.standby import ReplicaService
+
+    overrides = _parse_overrides(args.set)
+    overrides.setdefault("replica.enabled", "true")
+    overrides.setdefault("replica.dir", args.dir)
+    config = SystemConfig.from_overrides(overrides)
+    standby = ReplicaService(config.replica, directory=args.dir)
+    try:
+        asyncio.run(
+            standby.tail(
+                args.host,
+                args.port,
+                shard=args.shard,
+                until_seq=args.until_seq,
+                until_checkpoint_seq=args.until_checkpoint,
+            )
+        )
+    except KeyboardInterrupt:
+        print("interrupted; standby stopped")
+    finally:
+        standby.close()
+    health = f"DIVERGED: {standby.divergence}" if standby.divergence else "healthy"
+    print(
+        f"standby {args.dir}: applied {standby.records_applied} records "
+        f"(wal at seq {standby.applied_seq}), "
+        f"{standby.checkpoints_received} checkpoints received "
+        f"(newest seq {standby.checkpoint_seq}), "
+        f"{standby.digests_verified} epoch digests verified — {health}"
+    )
+    return 1 if standby.divergence else 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import SystemConfig
+    from repro.errors import ReplicationError
+    from repro.replica.recovery import promote_service
+
+    overrides = _parse_overrides(args.set)
+    overrides.setdefault("replica.enabled", "true")
+    overrides.setdefault("replica.dir", args.dir)
+    base = SystemConfig(oram=_small_service_oram()) if args.small else SystemConfig()
+    config = SystemConfig.from_overrides(overrides, base=base)
+    tracer = _make_tracer(args.trace)
+
+    async def _run() -> None:
+        service, report = promote_service(
+            config, directory=args.dir, tracer=tracer
+        )
+        host, port = await service.start()
+        print(report.describe())
+        print(
+            f"promoted primary serving oblivious KV store on {host}:{port} "
+            f"(backend={config.service.backend})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; promoted service stopped")
+    except ReplicationError as exc:
+        print(f"promotion refused: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+def _cmd_validate_trace(args: argparse.Namespace) -> int:
+    from repro.obs.schema import validate_file
+
+    status = 0
+    for path in args.files:
+        errors = validate_file(path)
+        if errors:
+            status = 1
+            for error in errors[:50]:
+                print(error, file=sys.stderr)
+            if len(errors) > 50:
+                print(f"... {len(errors) - 50} more", file=sys.stderr)
+            print(f"{path}: INVALID ({len(errors)} errors)", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -291,6 +403,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
     print(
         f"latency p50 {summary['p50_ns'] / 1e6:.2f} ms, "
+        f"p95 {summary['p95_ns'] / 1e6:.2f} ms, "
         f"p99 {summary['p99_ns'] / 1e6:.2f} ms; "
         f"lost {result.lost}, failed {result.failed}, "
         f"mismatches {result.mismatches}"
@@ -367,7 +480,54 @@ def main(argv: list[str] | None = None) -> int:
     )
     compact.add_argument("path", help="backend log path (service.backend_path)")
 
-    for command in (demo, mix, serve, cluster):
+    replicate = subparsers.add_parser(
+        "replicate", help="tail a service's replication stream (warm standby)"
+    )
+    replicate.add_argument("--host", default="127.0.0.1")
+    replicate.add_argument("--port", type=int, required=True)
+    replicate.add_argument(
+        "--dir", required=True, help="local replica directory (WAL + checkpoints)"
+    )
+    replicate.add_argument(
+        "--shard", type=int, default=None,
+        help="shard to replicate from a cluster primary (default: shard 0)",
+    )
+    replicate.add_argument(
+        "--until-seq", type=int, default=None,
+        help="exit once the WAL reaches this sequence number "
+        "(default: tail until the primary goes away)",
+    )
+    replicate.add_argument(
+        "--until-checkpoint", type=int, default=None,
+        help="additionally wait for a sealed checkpoint at least this new",
+    )
+
+    promote = subparsers.add_parser(
+        "promote", help="recover a replica directory and serve as primary"
+    )
+    promote.add_argument(
+        "--dir", required=True, help="replica directory to promote"
+    )
+    promote.add_argument(
+        "--small",
+        action="store_true",
+        help="use a small (L=10) tree instead of the paper-scale default "
+        "(must match the failed primary's configuration)",
+    )
+
+    validate_trace = subparsers.add_parser(
+        "validate-trace", help="validate JSONL event traces (repro.obs schema)"
+    )
+    validate_trace.add_argument("files", nargs="+", metavar="FILE")
+
+    replicate.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="dotted config override, e.g. replica.key=... (repeatable)",
+    )
+
+    for command in (demo, mix, serve, cluster, promote):
         command.add_argument(
             "--set",
             action="append",
@@ -392,6 +552,9 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "loadgen": _cmd_loadgen,
         "compact": _cmd_compact,
+        "replicate": _cmd_replicate,
+        "promote": _cmd_promote,
+        "validate-trace": _cmd_validate_trace,
     }
     return handlers[args.command](args)
 

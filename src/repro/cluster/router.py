@@ -27,6 +27,7 @@ round concurrently and barriers on round completion.
 from __future__ import annotations
 
 import asyncio
+import os
 from collections import deque
 from typing import Callable, Deque, List, Optional, Sequence
 
@@ -35,6 +36,7 @@ from repro.errors import ConfigError
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.encryption import BucketCipher
 from repro.oram.memory import TraceRecorder
+from repro.replica.replicator import Replicator
 from repro.serve.backends import StorageBackend, make_backend
 from repro.serve.engine import ObliviousEngine, ServeRequest
 
@@ -42,6 +44,16 @@ from repro.cluster.partition import AddressPartitioner, shard_system_config
 
 #: Most recent shard visits kept on the router (deque maxlen).
 VISIT_LOG_CAPACITY = 1 << 16
+
+
+def shard_replica_directory(base_dir: str, shard_id: int) -> str:
+    """Per-shard replica subdirectory (WAL + sealed checkpoints)."""
+    return os.path.join(base_dir, f"shard{shard_id}")
+
+
+def shard_replica_salt(shard_id: int) -> bytes:
+    """Checkpoint-nonce salt separating shards that share one key."""
+    return f"shard{shard_id}".encode("ascii")
 
 
 class ShardWorker:
@@ -73,6 +85,20 @@ class ShardWorker:
             if backend is not None
             else make_backend(config.service, trace, shard_id=shard_id)
         )
+        replica = self.config.replica
+        self.replicator: Optional[Replicator] = None
+        if replica.enabled:
+            # Each shard replicates independently: its own WAL +
+            # checkpoint subdirectory and a shard-derived checkpoint
+            # salt, mirroring how backend paths get a shard suffix.
+            self.replicator = Replicator(
+                replica,
+                directory=shard_replica_directory(replica.dir, shard_id),
+                salt=shard_replica_salt(shard_id),
+                tracer=tracer,
+                clock=clock,
+                shard_id=shard_id,
+            )
         self.engine = ObliviousEngine(
             self.config,
             self.backend,
@@ -80,6 +106,7 @@ class ShardWorker:
             tracer=tracer,
             clock=clock,
             shard_id=shard_id,
+            replicator=self.replicator,
         )
         self.engine.admit_hook = self._drain_ready
         self._admission: "asyncio.Queue[ServeRequest]" = asyncio.Queue(
@@ -204,6 +231,18 @@ class ShardRouter:
     def has_pending_real(self) -> bool:
         return any(worker.pending() for worker in self.workers)
 
+    def replicator_for(self, shard_id: int) -> Optional[Replicator]:
+        """The WAL source of one shard (None when out of range or
+        replication is disabled)."""
+        if not 0 <= shard_id < len(self.workers):
+            return None
+        return self.workers[shard_id].replicator
+
+    def flush_durability(self) -> None:
+        """Seal due/gating checkpoints on every shard (idle moments)."""
+        for worker in self.workers:
+            worker.engine.flush_durability()
+
     def pending(self) -> int:
         return sum(worker.pending() for worker in self.workers)
 
@@ -218,4 +257,10 @@ class ShardRouter:
             worker.close()
 
 
-__all__ = ["ShardWorker", "ShardRouter", "VISIT_LOG_CAPACITY"]
+__all__ = [
+    "ShardWorker",
+    "ShardRouter",
+    "VISIT_LOG_CAPACITY",
+    "shard_replica_directory",
+    "shard_replica_salt",
+]

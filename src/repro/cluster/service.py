@@ -65,7 +65,19 @@ class ClusterService(ServiceFrontEnd):
         await self.router.admit(request)
 
     def _shutdown(self) -> None:
+        # Final per-shard checkpoints: release deferred acknowledgments
+        # and persist each shard's closing client state.
+        self.router.flush_durability()
         self.router.close()
+
+    def _replicator_for(self, message: dict):
+        """Shards replicate independently: a standby names its shard in
+        the replicate request (``{"op": "replicate", "shard": k}``;
+        default shard 0)."""
+        shard = message.get("shard", 0)
+        if not isinstance(shard, int) or isinstance(shard, bool):
+            return None
+        return self.router.replicator_for(shard)
 
     async def _work_loop(self) -> None:
         service = self.service_config
@@ -81,6 +93,9 @@ class ClusterService(ServiceFrontEnd):
                     # out, so session handlers keep making progress.
                     await asyncio.sleep(0)
             else:
+                # Idle: seal due checkpoints so no gated response waits
+                # longer than one quiet moment (mirrors OramService).
+                router.flush_durability()
                 self._wake.clear()
                 if self._pending():
                     continue

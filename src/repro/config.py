@@ -559,6 +559,92 @@ class ServiceConfig:
 
 
 @dataclass(frozen=True)
+class ReplicaConfig:
+    """Durability and warm-standby replication (``repro.replica``).
+
+    The replication stream is *public by construction*: the write-ahead
+    log records exactly what the untrusted storage server observes
+    anyway (scheduled leaf labels and sealed bucket writes), and the
+    client-state checkpoints are sealed with the state cipher before
+    touching disk — so neither artefact opens a leakage channel beyond
+    the already-public access trace (``repro.security.replication``
+    verifies this).
+
+    Attributes
+    ----------
+    enabled:
+        Master switch. When off, no WAL, no checkpoints, no
+        replication endpoint — byte-for-byte the pre-replica service.
+    dir:
+        Data directory holding ``wal.log`` and ``ckpt-<seq>.bin``
+        files. Required when enabled. Cluster shards derive per-shard
+        subdirectories (``<dir>/shard<k>``).
+    checkpoint_every_accesses:
+        Seal a client-state checkpoint every N tree accesses. The
+        cadence is a function of the (public) access count only, so
+        checkpoint timing is data-independent.
+    keep_checkpoints:
+        Sealed checkpoints retained on disk (older ones are pruned
+        after a successful seal). Minimum 1.
+    ack_mode:
+        When ``"checkpoint"``, responses to state-changing requests
+        (put/delete) are withheld until a sealed checkpoint covering
+        them is durable — an acknowledged write can then never be lost
+        to a crash (the failover guarantee the recovery path asserts).
+        ``"none"`` (default) acknowledges immediately; a crash may then
+        lose acknowledged writes that were still stash-resident.
+    epoch_accesses:
+        Digest-epoch length in accesses for divergence detection
+        between primary and standby (0 derives the checkpoint
+        interval). Epoch digests cover only public WAL bytes.
+    key:
+        Checkpoint sealing key (UTF-8). A deployment must supply its
+        own secret; the default exists so tests and demos run.
+    """
+
+    enabled: bool = False
+    dir: str = ""
+    checkpoint_every_accesses: int = 64
+    keep_checkpoints: int = 2
+    ack_mode: str = "none"
+    epoch_accesses: int = 0
+    key: str = "fork-path-replica"
+
+    def __post_init__(self) -> None:
+        if self.enabled and not self.dir:
+            raise ConfigError("replica.enabled requires replica.dir")
+        if self.checkpoint_every_accesses < 1:
+            raise ConfigError(
+                f"checkpoint_every_accesses must be >= 1, "
+                f"got {self.checkpoint_every_accesses}"
+            )
+        if self.keep_checkpoints < 1:
+            raise ConfigError(
+                f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
+            )
+        if self.ack_mode not in ("none", "checkpoint"):
+            raise ConfigError(
+                f"unknown ack_mode {self.ack_mode!r} "
+                f"(choose 'none' or 'checkpoint')"
+            )
+        if self.epoch_accesses < 0:
+            raise ConfigError(
+                f"epoch_accesses must be >= 0 (0 = checkpoint interval), "
+                f"got {self.epoch_accesses}"
+            )
+        if not self.key:
+            raise ConfigError("replica.key must be non-empty")
+
+    @property
+    def effective_epoch_accesses(self) -> int:
+        return self.epoch_accesses or self.checkpoint_every_accesses
+
+    @property
+    def key_bytes(self) -> bytes:
+        return self.key.encode("utf-8")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """The sharded oblivious service (``repro.cluster``).
 
@@ -691,6 +777,7 @@ class SystemConfig:
     recursion: RecursionConfig = field(default_factory=RecursionConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    replica: ReplicaConfig = field(default_factory=ReplicaConfig)
     #: Fixed idle gap between ORAM phases for timing protection, in ns.
     idle_gap_ns: float = 0.0
     #: Strict periodic issue (Figure 1c): when > 0, every tree access

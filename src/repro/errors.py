@@ -64,6 +64,15 @@ class BackendError(ReproError):
     """
 
 
+class ReplicationError(ReproError):
+    """A replication/durability invariant failed (``repro.replica``).
+
+    Examples: a WAL append with a non-contiguous sequence number, a
+    corrupt record in the middle of a log being tailed, or an epoch
+    digest mismatch between primary and standby (divergence detection).
+    """
+
+
 class TransientBackendError(BackendError):
     """A storage backend operation failed in a retryable way.
 

@@ -36,6 +36,18 @@ client request, wall-clock timestamps):
                        exactly to end-to-end, as for
                        ``request_completed``)
 ================== ====================================================
+
+And ``repro.replica`` the durability/replication lifecycle:
+
+===================== =================================================
+``checkpoint_sealed``  sealed client-state checkpoint written (with the
+                       WAL watermark it covers)
+``replica_shipped``    a standby connection was shipped a batch of WAL
+                       records
+``replica_applied``    standby finished an epoch and verified its digest
+``failover_promoted``  a replica was promoted to primary (checkpoint +
+                       WAL-suffix recovery totals)
+===================== =================================================
 """
 
 from __future__ import annotations
@@ -294,6 +306,64 @@ class ServiceCompleted(Event):
     #: Owning cluster shard; None when emitted by a single engine.
     shard_id: "int | None" = None
     kind: ClassVar[str] = "service_completed"
+
+
+@dataclass(slots=True)
+class CheckpointSealed(Event):
+    """A sealed client-state checkpoint reached disk (``repro.replica``).
+
+    ``seq`` is the WAL watermark the checkpoint covers; acknowledgments
+    deferred under ``ack_mode="checkpoint"`` up to that watermark are
+    released when this event fires (``released`` counts them).
+    """
+
+    seq: int = 0
+    epoch: int = 0
+    size_bytes: int = 0
+    released: int = 0
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
+    kind: ClassVar[str] = "checkpoint_sealed"
+
+
+@dataclass(slots=True)
+class ReplicaShipped(Event):
+    """A batch of WAL records was shipped to a tailing standby."""
+
+    peer: str = ""
+    from_seq: int = 0
+    upto_seq: int = 0
+    records: int = 0
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
+    kind: ClassVar[str] = "replica_shipped"
+
+
+@dataclass(slots=True)
+class ReplicaApplied(Event):
+    """A standby applied a full epoch and checked its digest.
+
+    ``digest_ok`` False means divergence: the standby's replayed bytes
+    hash differently from the primary's — the standby must be rebuilt.
+    """
+
+    seq: int = 0
+    epoch: int = 0
+    digest_ok: bool = True
+    kind: ClassVar[str] = "replica_applied"
+
+
+@dataclass(slots=True)
+class FailoverPromoted(Event):
+    """A replica directory was promoted to a serving primary."""
+
+    checkpoint_seq: int = 0
+    wal_last_seq: int = 0
+    replayed_buckets: int = 0
+    truncated_records: int = 0
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
+    kind: ClassVar[str] = "failover_promoted"
 
 
 @dataclass(slots=True)

@@ -122,6 +122,29 @@ EVENT_FIELDS: Dict[str, Dict[str, str]] = {
         "latency_ns": _NUMBER,
         "phases": _DICT,
     },
+    "checkpoint_sealed": {
+        "seq": _INT,
+        "epoch": _INT,
+        "size_bytes": _INT,
+        "released": _INT,
+    },
+    "replica_shipped": {
+        "peer": _STR,
+        "from_seq": _INT,
+        "upto_seq": _INT,
+        "records": _INT,
+    },
+    "replica_applied": {
+        "seq": _INT,
+        "epoch": _INT,
+        "digest_ok": _BOOL,
+    },
+    "failover_promoted": {
+        "checkpoint_seq": _INT,
+        "wal_last_seq": _INT,
+        "replayed_buckets": _INT,
+        "truncated_records": _INT,
+    },
 }
 
 #: kind -> {field: type tag} for fields an emitter MAY include. The
@@ -132,6 +155,9 @@ OPTIONAL_EVENT_FIELDS: Dict[str, Dict[str, str]] = {
     "service_admitted": {"shard_id": _INT},
     "backend_retry": {"shard_id": _INT},
     "service_completed": {"shard_id": _INT},
+    "checkpoint_sealed": {"shard_id": _INT},
+    "replica_shipped": {"shard_id": _INT},
+    "failover_promoted": {"shard_id": _INT},
 }
 
 #: The phase keys a ``request_completed`` breakdown must consist of.
@@ -144,6 +170,15 @@ SERVICE_PHASE_KEYS = ("admission_ns", "sched_wait_ns", "service_ns")
 PHASE_KEYS_BY_KIND = {
     "request_completed": PHASE_KEYS,
     "service_completed": SERVICE_PHASE_KEYS,
+}
+
+#: Phase keys an emitter MAY add to a breakdown; when present they take
+#: part in the exact phase-sum check. ``durability_ns`` appears on
+#: ``service_completed`` only when the response was held for a sealed
+#: checkpoint (``replica.ack_mode="checkpoint"``) — pre-replication
+#: traces omit it and stay valid.
+OPTIONAL_PHASE_KEYS_BY_KIND = {
+    "service_completed": ("durability_ns",),
 }
 
 
@@ -208,14 +243,16 @@ def _check_phases(event: Dict[str, object], prefix: str, kind: str) -> List[str]
     phases = event["phases"]
     assert isinstance(phases, dict)
     latency = float(event["latency_ns"])  # type: ignore[arg-type]
-    if set(phases) != set(phase_keys):
+    optional_keys = OPTIONAL_PHASE_KEYS_BY_KIND.get(kind, ())
+    present_optional = tuple(k for k in optional_keys if k in phases)
+    if set(phases) != set(phase_keys) | set(present_optional):
         errors.append(
             f"{prefix}{kind}: phases keys {sorted(phases)} != "
-            f"{sorted(phase_keys)}"
+            f"{sorted(phase_keys)} (+ optional {sorted(optional_keys)})"
         )
         return errors
     total = 0.0
-    for key in phase_keys:
+    for key in phase_keys + present_optional:
         value = phases[key]
         if not _type_ok(value, _NUMBER):
             errors.append(

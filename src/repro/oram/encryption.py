@@ -41,6 +41,20 @@ class BucketCipher:
     def open(self, sealed: object, capacity: int) -> Bucket:
         raise NotImplementedError
 
+    # Counter state capture, for sealed client-state checkpoints
+    # (repro.replica): restoring an engine must also restore its
+    # cipher's write counter — a replayed counter would break the
+    # fresh-ciphertext guarantee (CounterModeCipher) and the
+    # recovered-trace equivalence tests (NullCipher).
+
+    def state(self) -> object:
+        return self._counter  # type: ignore[attr-defined]
+
+    def restore(self, state: object) -> None:
+        if not isinstance(state, int) or state < 0:
+            raise ConfigError(f"invalid cipher counter state {state!r}")
+        self._counter = state  # type: ignore[attr-defined]
+
     def open_blocks(self, sealed: object, capacity: int) -> List[Block]:
         """Decrypt straight to the real blocks, skipping the bucket
         wrapper — the controller hot path, where the bucket would be
@@ -205,6 +219,86 @@ class CounterModeCipher(BucketCipher):
             payload = chunk[_HEADER.size :]
             bucket.add(Block(addr, leaf, payload))
         return bucket
+
+
+#: Sealed-state framing: magic, format version, nonce length.
+_STATE_MAGIC = b"RPSL"
+_STATE_HEADER = struct.Struct("<4sBB")
+_STATE_NONCE_BYTES = 16
+
+
+def _state_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream over ``key || nonce || index``."""
+    out = bytearray()
+    chunk_index = 0
+    prefix = key + nonce
+    while len(out) < length:
+        out.extend(
+            hashlib.sha256(prefix + chunk_index.to_bytes(8, "little")).digest()
+        )
+        chunk_index += 1
+    return bytes(out[:length])
+
+
+def seal_state(key: bytes, plaintext: bytes, nonce: bytes) -> bytes:
+    """Seal an opaque client-state blob (checkpoints, ``repro.replica``).
+
+    Same counter-mode construction as :class:`CounterModeCipher`, but
+    over arbitrary bytes with an explicit caller-supplied ``nonce``
+    (which must never repeat under one key — checkpoint writers use the
+    monotone access sequence number). A SHA-256 digest of the plaintext
+    rides inside the sealed envelope, so :func:`open_state` detects
+    truncation, corruption and wrong-key opens.
+
+    Layout: ``magic(4) version(1) nonce_len(1) nonce ||
+    E(digest(32) || plaintext)``.
+    """
+    if not key:
+        raise ConfigError("state key must be non-empty")
+    if len(nonce) != _STATE_NONCE_BYTES:
+        raise ConfigError(
+            f"nonce must be {_STATE_NONCE_BYTES} bytes, got {len(nonce)}"
+        )
+    body = hashlib.sha256(plaintext).digest() + plaintext
+    pad = _state_keystream(key, nonce, len(body))
+    sealed_body = bytes(a ^ b for a, b in zip(body, pad))
+    header = _STATE_HEADER.pack(_STATE_MAGIC, 1, len(nonce))
+    return header + nonce + sealed_body
+
+
+def open_state(key: bytes, sealed: bytes) -> bytes:
+    """Open a blob sealed by :func:`seal_state`; raises
+    :class:`DecryptionError` on any corruption or key mismatch."""
+    if len(sealed) < _STATE_HEADER.size:
+        raise DecryptionError("sealed state too short for header")
+    magic, version, nonce_len = _STATE_HEADER.unpack_from(sealed)
+    if magic != _STATE_MAGIC or version != 1:
+        raise DecryptionError("not a sealed state blob (bad magic/version)")
+    if nonce_len != _STATE_NONCE_BYTES:
+        raise DecryptionError(f"unexpected nonce length {nonce_len}")
+    offset = _STATE_HEADER.size
+    nonce = sealed[offset : offset + nonce_len]
+    body = sealed[offset + nonce_len :]
+    if len(body) < 32:
+        raise DecryptionError("sealed state truncated")
+    pad = _state_keystream(key, nonce, len(body))
+    image = bytes(a ^ b for a, b in zip(body, pad))
+    digest, plaintext = image[:32], image[32:]
+    if hashlib.sha256(plaintext).digest() != digest:
+        raise DecryptionError("sealed state digest mismatch (corrupt or wrong key)")
+    return plaintext
+
+
+def state_nonce(seq: int, salt: bytes = b"") -> bytes:
+    """Derive the checkpoint nonce for access sequence number ``seq``.
+
+    Sequence numbers are monotone per replica directory, so the nonce
+    never repeats under one key; ``salt`` separates independent streams
+    (e.g. cluster shards) sharing a key.
+    """
+    return hashlib.sha256(
+        b"ckpt-nonce" + salt + seq.to_bytes(16, "little")
+    ).digest()[:_STATE_NONCE_BYTES]
 
 
 def make_cipher(

@@ -1,0 +1,63 @@
+"""Durability and replication for the oblivious service (``repro.replica``).
+
+Three cooperating pieces, all riding on data the adversary model
+already grants the storage server:
+
+* :mod:`repro.replica.wal` — a write-ahead log of **public** access
+  records (sequence number, scheduled label, sealed bucket writes)
+  appended by the engine *before* the backend write, with torn-tail
+  recovery; plus the per-epoch digests both ends of a replication
+  stream compare for divergence detection.
+* :mod:`repro.replica.checkpoint` — **sealed** client-state
+  checkpoints (stash, position map, label queue, fork state, RNG and
+  cipher counters), encrypted with :mod:`repro.oram.encryption` and
+  written atomically.
+* :mod:`repro.replica.replicator` / :mod:`repro.replica.standby` /
+  :mod:`repro.replica.recovery` — the primary-side coordinator, the
+  warm standby that tails the WAL over the service protocol, and
+  point-in-time promotion with zero acknowledged-write loss.
+"""
+
+from repro.replica.checkpoint import CheckpointStore, checkpoint_filename
+from repro.replica.replicator import Replicator
+from repro.replica.wal import (
+    WAL_FILENAME,
+    EpochDigester,
+    WalRecord,
+    WriteAheadLog,
+    fsync_directory,
+)
+
+# The standby and recovery modules import from repro.serve, which in turn
+# imports repro.replica.wal — resolve their exports lazily (PEP 562) so
+# either package can be imported first without a cycle.
+_LAZY = {
+    "ReplicaService": "repro.replica.standby",
+    "RecoveryReport": "repro.replica.recovery",
+    "recover_engine": "repro.replica.recovery",
+    "promote_service": "repro.replica.recovery",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+__all__ = [
+    "WAL_FILENAME",
+    "WalRecord",
+    "WriteAheadLog",
+    "EpochDigester",
+    "fsync_directory",
+    "CheckpointStore",
+    "checkpoint_filename",
+    "Replicator",
+    "ReplicaService",
+    "RecoveryReport",
+    "recover_engine",
+    "promote_service",
+]

@@ -1,0 +1,163 @@
+"""Sealed client-state checkpoints (``repro.replica``).
+
+A checkpoint is the ORAM client's secret state — stash, position map,
+label queue (including queued-but-unrevealed dummies), fork residency,
+RNG and cipher counters — pickled, encrypted with the sealed-state
+construction of :mod:`repro.oram.encryption`, and written atomically:
+temp file, fsync, rename, directory fsync. Each file carries the access
+sequence number it was taken at (its *watermark*); recovery pairs the
+newest openable checkpoint with the WAL prefix up to that watermark.
+
+Everything in a checkpoint is secret (the stash and position map *are*
+the data the ORAM hides), which is why the blob is sealed before it
+touches disk and why a standby can store shipped checkpoints without
+being trusted: to the standby they are opaque bytes of a fixed-rate,
+data-independent cadence.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, DecryptionError
+from repro.oram.encryption import open_state, seal_state, state_nonce
+from repro.replica.wal import fsync_directory
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{16})\.bin$")
+
+
+def checkpoint_filename(seq: int) -> str:
+    return f"ckpt-{seq:016d}.bin"
+
+
+class CheckpointStore:
+    """Directory of sealed checkpoints, newest-wins, pruned to a budget.
+
+    ``salt`` separates nonce streams of independent checkpoint
+    sequences that share a key (cluster shards); it must match between
+    the sealing primary and the promoting replica.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        key: bytes,
+        *,
+        salt: bytes = b"",
+        keep: int = 2,
+    ) -> None:
+        if not directory:
+            raise ConfigError("CheckpointStore requires a directory")
+        if not key:
+            raise ConfigError("CheckpointStore requires a non-empty key")
+        if keep < 1:
+            raise ConfigError(f"keep must be >= 1, got {keep}")
+        self.directory = str(directory)
+        self.key = bytes(key)
+        self.salt = bytes(salt)
+        self.keep = keep
+        os.makedirs(self.directory, exist_ok=True)
+
+    # --------------------------------------------------------------- listing
+
+    def sequence_numbers(self) -> List[int]:
+        """Watermarks of all checkpoint files present, ascending."""
+        seqs = []
+        for name in os.listdir(self.directory):
+            match = _CKPT_RE.match(name)
+            if match:
+                seqs.append(int(match.group(1)))
+        return sorted(seqs)
+
+    def path_for(self, seq: int) -> str:
+        return os.path.join(self.directory, checkpoint_filename(seq))
+
+    # --------------------------------------------------------------- sealing
+
+    def seal(self, seq: int, state: Dict[str, object]) -> str:
+        """Seal ``state`` as the checkpoint at watermark ``seq``.
+
+        Atomic: the blob lands under a temp name, is fsynced, renamed
+        into place, and the directory is fsynced — a crash at any point
+        leaves either the previous checkpoint set or the new one, never
+        a torn file under a valid name.
+        """
+        plaintext = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        # Entropy in the nonce derivation: the same watermark can be
+        # sealed more than once (idle flushes, re-seal after a recovery
+        # at the same seq), and a repeated nonce under one key would
+        # leak the XOR of two state plaintexts. The nonce travels in
+        # the blob header, so uniqueness is all that matters.
+        nonce = state_nonce(seq, self.salt + os.urandom(16))
+        sealed = seal_state(self.key, plaintext, nonce)
+        return self.save_blob(seq, sealed)
+
+    def save_blob(self, seq: int, sealed: bytes) -> str:
+        """Atomically store an already-sealed blob (standby side: blobs
+        arrive opaque over the replication stream)."""
+        final_path = self.path_for(seq)
+        tmp_path = final_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(sealed)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, final_path)
+        # Satellite fix class: os.replace alone does not survive power
+        # loss until the parent directory entry is durable.
+        fsync_directory(final_path)
+        self.prune()
+        return final_path
+
+    def prune(self) -> None:
+        """Delete all but the ``keep`` newest checkpoints."""
+        seqs = self.sequence_numbers()
+        for seq in seqs[: -self.keep]:
+            try:
+                os.unlink(self.path_for(seq))
+            except OSError:
+                pass
+
+    # --------------------------------------------------------------- opening
+
+    def load(self, seq: int) -> Dict[str, object]:
+        """Open and deserialise the checkpoint at ``seq`` (raises
+        :class:`DecryptionError` on corruption or key mismatch)."""
+        with open(self.path_for(seq), "rb") as handle:
+            sealed = handle.read()
+        plaintext = open_state(self.key, sealed)
+        state = pickle.loads(plaintext)
+        if not isinstance(state, dict):
+            raise DecryptionError("checkpoint payload is not a state dict")
+        return state
+
+    def read_blob(self, seq: int) -> bytes:
+        """Raw sealed bytes of checkpoint ``seq`` (for shipping)."""
+        with open(self.path_for(seq), "rb") as handle:
+            return handle.read()
+
+    def latest(self) -> Optional[Tuple[int, Dict[str, object]]]:
+        """Newest checkpoint that opens cleanly, as ``(seq, state)``.
+
+        A corrupt or truncated newest file (crash during an OS-level
+        failure mode the atomic rename cannot rule out, e.g. media
+        errors) falls back to the next-newest — that is why ``keep``
+        defaults to 2.
+        """
+        for seq in reversed(self.sequence_numbers()):
+            try:
+                return seq, self.load(seq)
+            except (OSError, DecryptionError, pickle.UnpicklingError, EOFError):
+                continue
+        return None
+
+    def latest_seq(self) -> int:
+        """Watermark of the newest file present (0 if none) — presence
+        only, without opening (used by standbys storing opaque blobs)."""
+        seqs = self.sequence_numbers()
+        return seqs[-1] if seqs else 0
+
+
+__all__ = ["CheckpointStore", "checkpoint_filename"]

@@ -1,0 +1,218 @@
+"""Primary-side replication coordinator (``repro.replica``).
+
+One :class:`Replicator` per engine owns the replica directory: the
+public WAL, the sealed checkpoint store, the per-epoch digest stream,
+and — when ``ack_mode="checkpoint"`` — the queue of acknowledgments
+deferred until client state is durably sealed.
+
+Interplay with the engine, in order, per access:
+
+1. the engine pre-seals the access's write-back buckets and calls
+   :meth:`log_access` *before* any of them reaches the backend — after
+   a crash the WAL is therefore always a superset of the backend;
+2. mutating requests completed under checkpoint gating register a
+   release callback via :meth:`defer_ack` instead of resolving their
+   futures;
+3. after the access the engine calls :meth:`maybe_checkpoint`; on the
+   configured cadence this fsyncs the WAL (a sealed checkpoint never
+   references a non-durable WAL prefix), seals the captured client
+   state, and releases every acknowledgment deferred before the
+   capture.
+
+The release rule needs no watermark arithmetic: a completion that
+happened before the state capture is *in* the captured state, so the
+checkpoint that sealed it makes the completion durable — callbacks are
+released in registration order up to the capture point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.config import ReplicaConfig
+from repro.errors import ConfigError
+from repro.obs.events import CheckpointSealed
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.replica.checkpoint import CheckpointStore
+from repro.replica.wal import (
+    WAL_FILENAME,
+    EpochDigester,
+    WalRecord,
+    WriteAheadLog,
+)
+
+
+class Replicator:
+    """Durability/replication state of one primary engine."""
+
+    def __init__(
+        self,
+        config: ReplicaConfig,
+        *,
+        directory: Optional[str] = None,
+        salt: bytes = b"",
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+        shard_id: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        directory = directory if directory is not None else config.dir
+        if not directory:
+            raise ConfigError("Replicator requires a replica directory")
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.shard_id = shard_id
+        self.wal = WriteAheadLog(os.path.join(self.directory, WAL_FILENAME))
+        self.checkpoints = CheckpointStore(
+            self.directory,
+            config.key_bytes,
+            salt=salt,
+            keep=config.keep_checkpoints,
+        )
+        self.digester = EpochDigester(config.effective_epoch_accesses)
+        # Resume the epoch digest stream over whatever the WAL already
+        # holds (promotion / restart over an existing directory) —
+        # encode() of a decoded record is byte-identical to what was
+        # appended, so digests continue seamlessly.
+        for record in self.wal.read_from(self.wal.first_seq or 1):
+            self.digester.feed(record.seq, record.encode())
+        self.gating = config.ack_mode == "checkpoint"
+        #: Watermark of the newest sealed checkpoint (0 = none yet).
+        self.last_checkpoint_seq = self.checkpoints.latest_seq()
+        #: Deferred acknowledgment release callbacks, oldest first.
+        self._deferred: Deque[Callable[[], None]] = deque()
+        #: Streamer tasks parked until the next append or checkpoint.
+        self._wakeups: List[asyncio.Event] = []
+        self.checkpoints_sealed = 0
+        self.acks_deferred = 0
+        self.acks_released = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------- WAL
+
+    @property
+    def next_seq(self) -> int:
+        return self.wal.last_seq + 1
+
+    def log_access(self, leaf: int, writes: List[Tuple[int, object]]) -> int:
+        """Append one access's public record; returns its seq number."""
+        seq = self.next_seq
+        encoded = self.wal.append(WalRecord(seq=seq, leaf=leaf, writes=writes))
+        self.digester.feed(seq, encoded)
+        self._notify()
+        return seq
+
+    # ------------------------------------------------------------ ack gating
+
+    @property
+    def pending_acks(self) -> int:
+        return len(self._deferred)
+
+    def defer_ack(self, release: Callable[[], None]) -> None:
+        """Hold one acknowledgment until the next sealed checkpoint."""
+        self.acks_deferred += 1
+        self._deferred.append(release)
+
+    def release_all(self) -> int:
+        """Release every deferred acknowledgment unconditionally.
+
+        Shutdown-only escape hatch for when no checkpoint can be taken
+        (callers prefer a final forced checkpoint, which releases via
+        the normal path).
+        """
+        released = 0
+        while self._deferred:
+            self._deferred.popleft()()
+            released += 1
+        self.acks_released += released
+        return released
+
+    # ----------------------------------------------------------- checkpoints
+
+    def checkpoint_due(self) -> bool:
+        return (
+            self.wal.last_seq - self.last_checkpoint_seq
+            >= self.config.checkpoint_every_accesses
+        )
+
+    def maybe_checkpoint(
+        self,
+        capture: Callable[[], Dict[str, object]],
+        *,
+        force: bool = False,
+    ) -> Optional[int]:
+        """Seal a checkpoint if the cadence (or ``force``) says so.
+
+        Returns the sealed watermark, or None when nothing was done.
+        ``capture`` must return the engine's client-state dict; it is
+        invoked synchronously, so the state cannot move under it.
+        """
+        seq = self.wal.last_seq
+        if not force and not self.checkpoint_due():
+            return None
+        if seq == self.last_checkpoint_seq and not self._deferred:
+            return None  # nothing new to cover
+        # WAL first: the checkpoint claims "WAL prefix <= seq is the
+        # backend image" — that claim must be durable before the seal.
+        self.wal.sync()
+        to_release = len(self._deferred)
+        state = capture()
+        state["seq"] = seq
+        state["epoch"] = self.digester.epoch
+        path = self.checkpoints.seal(seq, state)
+        self.last_checkpoint_seq = seq
+        self.checkpoints_sealed += 1
+        for _ in range(to_release):
+            self._deferred.popleft()()
+        self.acks_released += to_release
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CheckpointSealed(
+                    ts_ns=self.clock(),
+                    seq=seq,
+                    epoch=self.digester.epoch,
+                    size_bytes=os.path.getsize(path),
+                    released=to_release,
+                    shard_id=self.shard_id,
+                )
+            )
+            self.tracer.counters.inc("replica.checkpoints_sealed")
+        self._notify()
+        return seq
+
+    # ------------------------------------------------------------- streaming
+
+    def _notify(self) -> None:
+        if self._wakeups:
+            waiters, self._wakeups = self._wakeups, []
+            for event in waiters:
+                event.set()
+
+    async def wait_for_progress(self, timeout: Optional[float] = None) -> bool:
+        """Park until the next append/checkpoint/close; False = timeout."""
+        if self.closed:
+            return True
+        event = asyncio.Event()
+        self._wakeups.append(event)
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            self._wakeups = [e for e in self._wakeups if e is not event]
+            return False
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.wal.close()
+            self._notify()
+
+
+__all__ = ["Replicator"]

@@ -1,0 +1,257 @@
+"""Warm standby: tail a primary's replication stream (``repro.replica``).
+
+:class:`ReplicaService` is a client of the ordinary service protocol —
+it opens a session with ``{"op": "replicate", "from_seq": N}`` and then
+consumes the stream of frames the primary ships:
+
+* ``wal`` frames are appended to the standby's own WAL and their bucket
+  writes replayed into the standby's backend, so the standby converges
+  on the primary's store with only shipping lag;
+* ``checkpoint`` frames (sealed, opaque) are stored atomically — the
+  standby never opens them; only a promoting operator holding the key
+  does;
+* ``digest`` frames are compared against the standby's own per-epoch
+  digest of the *same* record bytes; a mismatch is divergence (bit rot,
+  a missed record, a software bug) and stops the standby hard rather
+  than let it promote a corrupt replica.
+
+Everything received is already public or opaque, so a standby placement
+decision never interacts with the security argument — the stream *is*
+the trace the adversary model already grants the storage server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Callable, Optional
+
+from repro.config import ReplicaConfig
+from repro.errors import ConfigError, ProtocolError, ReplicationError
+from repro.obs.events import ReplicaApplied
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.replica.checkpoint import CheckpointStore
+from repro.replica.wal import (
+    WAL_FILENAME,
+    EpochDigester,
+    WalRecord,
+    WriteAheadLog,
+)
+from repro.serve import protocol
+from repro.serve.backends import StorageBackend
+
+
+class ReplicaService:
+    """Tails one primary into a local replica directory + backend."""
+
+    def __init__(
+        self,
+        config: ReplicaConfig,
+        *,
+        directory: Optional[str] = None,
+        backend: Optional[StorageBackend] = None,
+        salt: bytes = b"",
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config
+        directory = directory if directory is not None else config.dir
+        if not directory:
+            raise ConfigError("ReplicaService requires a replica directory")
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.wal = WriteAheadLog(os.path.join(self.directory, WAL_FILENAME))
+        self.checkpoints = CheckpointStore(
+            self.directory,
+            config.key_bytes,
+            salt=salt,
+            keep=config.keep_checkpoints,
+        )
+        #: Local warm copy of the primary's bucket store (optional —
+        #: promotion rebuilds authoritatively from the WAL either way).
+        self.backend = backend
+        self.digester = EpochDigester(config.effective_epoch_accesses)
+        for record in self.wal.read_from(self.wal.first_seq or 1):
+            self.digester.feed(record.seq, record.encode())
+            if self.backend is not None:
+                for node_id, sealed in record.writes:
+                    self.backend[node_id] = sealed
+        self.applied_seq = self.wal.last_seq
+        self.records_applied = 0
+        self.checkpoints_received = 0
+        self.digests_verified = 0
+        #: Human-readable divergence description (None = healthy).
+        self.divergence: Optional[str] = None
+
+    @property
+    def checkpoint_seq(self) -> int:
+        """Newest sealed checkpoint watermark stored locally."""
+        return self.checkpoints.latest_seq()
+
+    # ----------------------------------------------------------------- frames
+
+    def _apply_wal(self, seq: int, raw: bytes) -> None:
+        if seq <= self.wal.last_seq:
+            return  # duplicate after reconnect; already applied
+        record = WalRecord.decode(raw)
+        if record.seq != seq:
+            raise ReplicationError(
+                f"frame seq {seq} does not match record seq {record.seq}"
+            )
+        self.wal.append(record)
+        self.digester.feed(record.seq, raw)
+        if self.backend is not None:
+            for node_id, sealed in record.writes:
+                self.backend[node_id] = sealed
+        self.applied_seq = record.seq
+        self.records_applied += 1
+
+    def _adopt_epoch_cadence(self, advertised: object) -> None:
+        """Align the local digester with the primary's epoch cadence.
+
+        The hello frame advertises the primary's ``epoch_accesses``.
+        Digests arrive on the *primary's* cadence, so a digester on any
+        other cadence verifies nothing; and the digester is pure derived
+        data over the local WAL, so switching cadence just means
+        re-feeding the log. Adopting here makes ``repro replicate`` work
+        without hand-matching ``--set replica.epoch_accesses`` flags.
+        """
+        if (
+            not isinstance(advertised, int)
+            or isinstance(advertised, bool)
+            or advertised < 1
+        ):
+            return
+        if advertised == self.digester.epoch_accesses:
+            return
+        digester = EpochDigester(advertised)
+        for record in self.wal.read_from(self.wal.first_seq or 1):
+            digester.feed(record.seq, record.encode())
+        self.digester = digester
+
+    def _verify_digest(self, epoch: int, upto_seq: int, digest: str) -> None:
+        # Only epochs this standby has fully replayed are comparable —
+        # a digest for records we have not (yet) received is deferred to
+        # the next digest frame after catch-up.
+        if upto_seq > self.applied_seq:
+            return
+        local = next(
+            (entry for entry in self.digester.completed if entry[0] == epoch),
+            None,
+        )
+        if local is None:
+            return
+        ok = local[1] == upto_seq and local[2] == digest
+        self.digests_verified += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ReplicaApplied(
+                    ts_ns=self.clock(),
+                    seq=upto_seq,
+                    epoch=epoch,
+                    digest_ok=ok,
+                )
+            )
+        if not ok:
+            self.divergence = (
+                f"epoch {epoch} digest mismatch: primary {digest} at seq "
+                f"{upto_seq}, local {local[2]} at seq {local[1]}"
+            )
+            raise ReplicationError(self.divergence)
+
+    # ------------------------------------------------------------------- tail
+
+    async def tail(
+        self,
+        host: str,
+        port: int,
+        *,
+        shard: Optional[int] = None,
+        until_seq: Optional[int] = None,
+        until_checkpoint_seq: Optional[int] = None,
+        stop: Optional[asyncio.Event] = None,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        """Stream from the primary until EOF / the targets / ``stop``.
+
+        ``until_seq`` returns once the WAL watermark reaches it;
+        ``until_checkpoint_seq`` additionally waits for a sealed
+        checkpoint blob at least that new (both, if both are given —
+        tests and controlled failover drills use them). EOF means the
+        primary went away — the standby keeps everything it has and the
+        caller decides whether to reconnect or promote.
+        """
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            request = {"op": protocol.REPLICATE_OP,
+                       "from_seq": self.wal.last_seq + 1}
+            if shard is not None:
+                request["shard"] = shard
+            await protocol.write_message(writer, request)
+            while True:
+                if stop is not None and stop.is_set():
+                    return
+                try:
+                    frame = await protocol.read_message(reader, max_frame_bytes)
+                except ProtocolError:
+                    return  # primary died mid-frame: keep what we have
+                if frame is None:
+                    return  # clean EOF
+                kind = frame.get("kind")
+                if kind == "wal":
+                    seq = frame.get("seq")
+                    if not isinstance(seq, int) or isinstance(seq, bool):
+                        raise ReplicationError("wal frame without seq")
+                    self._apply_wal(seq, protocol.frame_bytes(frame))
+                elif kind == "checkpoint":
+                    seq = frame.get("seq")
+                    if not isinstance(seq, int) or isinstance(seq, bool):
+                        raise ReplicationError("checkpoint frame without seq")
+                    self.checkpoints.save_blob(seq, protocol.frame_bytes(frame))
+                    self.checkpoints_received += 1
+                    # Checkpoint receipt is the durability boundary the
+                    # primary paid an fsync for — match it locally.
+                    self.wal.sync()
+                elif kind == "digest":
+                    self._verify_digest(
+                        int(frame.get("epoch", 0)),
+                        int(frame.get("upto_seq", 0)),
+                        str(frame.get("digest", "")),
+                    )
+                elif kind == "hello":
+                    self._adopt_epoch_cadence(frame.get("epoch_accesses"))
+                elif frame.get("ok") is False:
+                    raise ReplicationError(
+                        f"primary rejected replication: {frame.get('error')}"
+                    )
+                else:
+                    raise ReplicationError(
+                        f"unknown replication frame kind {kind!r}"
+                    )
+                if until_seq is not None or until_checkpoint_seq is not None:
+                    seq_ok = (
+                        until_seq is None or self.applied_seq >= until_seq
+                    )
+                    ckpt_ok = (
+                        until_checkpoint_seq is None
+                        or self.checkpoint_seq >= until_checkpoint_seq
+                    )
+                    if seq_ok and ckpt_ok:
+                        return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            self.wal.sync()
+
+    def close(self) -> None:
+        self.wal.close()
+        if self.backend is not None:
+            self.backend.close()
+
+
+__all__ = ["ReplicaService"]

@@ -18,6 +18,11 @@ from repro.security.indistinguishability import (
     shape_distribution_pvalue,
     adversary_advantage,
 )
+from repro.security.replication import (
+    wal_public_trace,
+    expected_write_trace,
+    verify_replication_stream,
+)
 from repro.security.cluster import (
     InterleavedTraceRecorder,
     verify_visit_schedule,
@@ -39,6 +44,9 @@ __all__ = [
     "leaf_distribution_pvalue",
     "shape_distribution_pvalue",
     "adversary_advantage",
+    "wal_public_trace",
+    "expected_write_trace",
+    "verify_replication_stream",
     "InterleavedTraceRecorder",
     "verify_visit_schedule",
     "verify_shard_balance",

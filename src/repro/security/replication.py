@@ -1,0 +1,135 @@
+"""Replication leaks nothing: the WAL *is* the public trace.
+
+The durability layer (``repro.replica``) writes, ships and replays a
+write-ahead log. This module proves the central claim of its security
+argument — that every byte of that log is information the untrusted
+storage server already observes:
+
+* each WAL record carries the access's **scheduled leaf label**, which
+  the fork-path controller reveals by construction (the path it
+  touches is a public function of the label sequence);
+* each record's **write set** is exactly the refill phase of that
+  access — the same ``(WRITE, node_id)`` events, in the same leaf-first
+  order, that :func:`repro.security.adversary.expected_fork_trace`
+  reconstructs from the labels alone;
+* the bucket payloads are the **sealed** ciphertexts the backend
+  stores — the storage server's own view of the data.
+
+:func:`verify_replication_stream` checks all three against a WAL, and
+optionally that the last-writer-wins replay of the log reproduces a
+backend byte-for-byte (the recovery invariant). A standby or an
+auditor holding only the WAL therefore learns exactly what the storage
+server does: nothing beyond the access pattern the ORAM already pads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReplicationError
+from repro.oram.memory import MemoryOp
+from repro.oram.tree import TreeGeometry
+from repro.replica.wal import WalRecord
+from repro.security.adversary import expected_fork_trace
+
+
+def wal_public_trace(
+    records: Sequence[WalRecord],
+) -> List[Tuple[MemoryOp, int]]:
+    """Flatten a WAL into its adversary-visible write-event sequence."""
+    trace: List[Tuple[MemoryOp, int]] = []
+    for record in records:
+        for node_id, _sealed in record.writes:
+            trace.append((MemoryOp.WRITE, node_id))
+    return trace
+
+
+def expected_write_trace(
+    geometry: TreeGeometry,
+    leaves: Sequence[int],
+    merging: bool = True,
+) -> List[Tuple[MemoryOp, int]]:
+    """The write-phase subsequence of the label reconstruction."""
+    return [
+        event
+        for event in expected_fork_trace(geometry, leaves, merging)
+        if event[0] is MemoryOp.WRITE
+    ]
+
+
+def verify_replication_stream(
+    geometry: TreeGeometry,
+    records: Sequence[WalRecord],
+    *,
+    merging: bool = True,
+    backend: Optional[object] = None,
+) -> None:
+    """Raise unless the WAL equals the public trace (and the backend).
+
+    Record by record: access ``i``'s write set must be the refill of
+    path-``leaf_i`` down to the fork with ``leaf_{i+1}``, leaf first —
+    the exact events :func:`expected_fork_trace` derives from the
+    (public) labels. The final record's fork level depends on a
+    successor label the log has not seen yet, so its writes need only
+    be a leaf-first prefix of its full path refill.
+
+    With ``backend`` given, additionally require that replaying the log
+    (last writer wins) reproduces the backend exactly: every node the
+    log wrote holds the log's final sealed bytes, and the backend holds
+    no node the log never wrote — a backend write outside the WAL would
+    be an unlogged (hence unreplicated, hence unrecoverable) access.
+    """
+    for index, record in enumerate(records):
+        path = geometry.path_nodes(record.leaf)
+        last = index + 1 == len(records)
+        if merging and not last:
+            retain = geometry.divergence_level(
+                record.leaf, records[index + 1].leaf
+            )
+        else:
+            retain = 0
+        expected = [
+            path[level]
+            for level in range(geometry.levels, retain - 1, -1)
+        ]
+        observed = [node_id for node_id, _sealed in record.writes]
+        if merging and last:
+            expected = expected[: len(observed)]
+        if observed != expected:
+            raise ReplicationError(
+                f"WAL record seq {record.seq} (leaf {record.leaf}) is not "
+                f"the public refill of its access: expected writes "
+                f"{expected}, logged {observed}"
+            )
+    if backend is not None:
+        _verify_backend_matches(records, backend)
+
+
+def _verify_backend_matches(
+    records: Iterable[WalRecord], backend: object
+) -> None:
+    image: dict = {}
+    for record in records:
+        for node_id, sealed in record.writes:
+            image[node_id] = sealed
+    for node_id, sealed in image.items():
+        stored = backend.get(node_id)  # type: ignore[attr-defined]
+        if stored != sealed:
+            raise ReplicationError(
+                f"backend bucket {node_id} differs from the WAL's final "
+                f"write for that node (last-writer-wins replay mismatch)"
+            )
+    extra = sorted(set(iter(backend)) - set(image))  # type: ignore[call-overload]
+    if extra:
+        raise ReplicationError(
+            f"backend holds buckets the WAL never wrote (unlogged, "
+            f"unrecoverable writes): nodes {extra[:8]}"
+            + ("..." if len(extra) > 8 else "")
+        )
+
+
+__all__ = [
+    "wal_public_trace",
+    "expected_write_trace",
+    "verify_replication_stream",
+]

@@ -44,6 +44,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.config import ServiceConfig
 from repro.errors import BackendError, ConfigError, TransientBackendError
 from repro.oram.memory import MemoryOp, TraceRecorder
+from repro.replica.wal import fsync_directory
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -281,6 +282,10 @@ class FileBackend(StorageBackend):
             os.fsync(handle.fileno())
         self._file.close()
         os.replace(tmp, self.path)
+        # The rename itself is not durable until the parent directory
+        # entry is — without this, power loss after compact() could
+        # resurface the old (already-deleted) log or neither file.
+        fsync_directory(self.path)
         self._file = open(self.path, "ab")
         self.records_appended = len(self._index)
 

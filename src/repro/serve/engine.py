@@ -51,7 +51,7 @@ from repro.config import ServiceConfig, SystemConfig
 from repro.core.merging import ForkState
 from repro.core.requests import LabelEntry
 from repro.core.scheduling import LabelQueue
-from repro.errors import BackendError, TransientBackendError
+from repro.errors import BackendError, ConfigError, TransientBackendError
 from repro.obs.events import BackendRetry, ServiceAdmitted, ServiceCompleted
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.blocks import Block
@@ -59,6 +59,7 @@ from repro.oram.encryption import BucketCipher, NullCipher
 from repro.oram.posmap import PositionMap
 from repro.oram.stash import Stash
 from repro.oram.tree import TreeGeometry
+from repro.replica.replicator import Replicator
 from repro.serve.backends import StorageBackend
 
 _serve_request_ids = itertools.count()
@@ -116,6 +117,9 @@ class ServeRequest:
     arrival_ns: float = 0.0
     admitted_ns: float = 0.0
     scheduled_ns: float = 0.0
+    #: When the engine finished serving the op (== ``completed_ns``
+    #: unless the acknowledgment was held for a sealed checkpoint).
+    served_ns: float = 0.0
     completed_ns: float = 0.0
     #: "stash" (on-chip hit), "oram" (own tree access), "coalesced"
     #: (served as a waiter of an in-flight same-address access), or
@@ -124,14 +128,24 @@ class ServeRequest:
     found: bool = False
     result: Optional[str] = None
     error: Optional[str] = None
+    #: Checkpoint wait under ``replica.ack_mode="checkpoint"``; None
+    #: when the response was not gated (the phase key is then omitted).
+    durability_ns: Optional[float] = None
     future: Optional["asyncio.Future[ServeRequest]"] = None
 
     def phases(self) -> Dict[str, float]:
-        return {
+        if self.durability_ns is None:
+            service_end = self.completed_ns
+        else:
+            service_end = self.served_ns
+        phases = {
             "admission_ns": self.admitted_ns - self.arrival_ns,
             "sched_wait_ns": self.scheduled_ns - self.admitted_ns,
-            "service_ns": self.completed_ns - self.scheduled_ns,
+            "service_ns": service_end - self.scheduled_ns,
         }
+        if self.durability_ns is not None:
+            phases["durability_ns"] = self.durability_ns
+        return phases
 
     @property
     def latency_ns(self) -> float:
@@ -177,6 +191,11 @@ class AsyncBucketStore:
 
     async def write_blocks(self, node_id: int, blocks: List[Block]) -> None:
         sealed = self.cipher.seal_blocks(blocks, self.bucket_slots)
+        await self._attempt("write", node_id, lambda: self.backend.aput(node_id, sealed))
+
+    async def write_sealed(self, node_id: int, sealed: object) -> None:
+        """Write an already-sealed bucket (the replication path seals
+        before WAL logging, so the logged and stored bytes coincide)."""
         await self._attempt("write", node_id, lambda: self.backend.aput(node_id, sealed))
 
     async def _attempt(
@@ -239,6 +258,7 @@ class ObliviousEngine:
         tracer: Optional[Tracer] = None,
         clock: Optional[Callable[[], float]] = None,
         shard_id: Optional[int] = None,
+        replicator: Optional[Replicator] = None,
     ) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -267,6 +287,9 @@ class ObliviousEngine:
             clock=self.clock,
             shard_id=shard_id,
         )
+        #: Durability/replication coordinator (None = no WAL, no
+        #: checkpoints — the pre-replication behaviour, bit for bit).
+        self._replicator = replicator
         #: Address -> the request whose tree access is in flight.
         self._inflight: Dict[int, ServeRequest] = {}
         #: Address -> later same-address requests awaiting that access.
@@ -293,6 +316,11 @@ class ObliviousEngine:
         #: so the tracer's histogram table stays bounded however many
         #: sessions a long-lived server accumulates.
         self._histogram_sessions: set = set()
+
+    @property
+    def replicator(self) -> Optional[Replicator]:
+        """The attached durability coordinator (None when disabled)."""
+        return self._replicator
 
     # -------------------------------------------------------------- admission
 
@@ -400,22 +428,57 @@ class ObliviousEngine:
             path = self.geometry.path_tuple(leaf)
             z = self.bucket_slots
             written = 0
-            for level in range(self.geometry.levels, retain - 1, -1):
-                blocks = self.stash.collect_for_node(leaf, level, z)
+            replicator = self._replicator
+            if replicator is None:
+                for level in range(self.geometry.levels, retain - 1, -1):
+                    blocks = self.stash.collect_for_node(leaf, level, z)
+                    try:
+                        await self.store.write_blocks(path[level], blocks)
+                    except BackendError:
+                        # The collected blocks are not in the tree; put
+                        # them back so no address's data is silently
+                        # lost.
+                        self.stash.add_all(blocks)
+                        raise
+                    written += 1
+            else:
+                # Pre-seal the whole write set and append it to the WAL
+                # before any bucket reaches the backend: after a crash
+                # the log is therefore a superset of the store, and
+                # replaying it reconstructs the backend at any access
+                # boundary. The WAL holds exactly the public trace (the
+                # scheduled leaf + the sealed bytes the server stores).
+                staged: List[tuple] = []
+                cipher = self.store.cipher
+                for level in range(self.geometry.levels, retain - 1, -1):
+                    blocks = self.stash.collect_for_node(leaf, level, z)
+                    staged.append(
+                        (path[level], blocks, cipher.seal_blocks(blocks, z))
+                    )
+                replicator.log_access(
+                    leaf, [(node, sealed) for node, _b, sealed in staged]
+                )
                 try:
-                    await self.store.write_blocks(path[level], blocks)
+                    for node, _blocks, sealed in staged:
+                        await self.store.write_sealed(node, sealed)
+                        written += 1
                 except BackendError:
-                    # The collected blocks are not in the tree; put them
-                    # back so no address's data is silently lost.
-                    self.stash.add_all(blocks)
+                    # Unwritten levels' blocks are not in the tree; put
+                    # them back so no address's data is silently lost.
+                    # (The WAL already logged them — harmless: recovery
+                    # treats the checkpointed stash as authoritative
+                    # over stale tree copies, exactly as live reads do.)
+                    for _node, blocks, _sealed in staged[written:]:
+                        self.stash.add_all(blocks)
                     raise
-                written += 1
             self.fork.commit_write(leaf, retain)
             self.stash.check_persistent_occupancy(slack=z * retain)
             self._next_entry = next_entry
             self.accesses += 1
             self.records.append((leaf, entry.is_dummy, len(read_nodes), written))
             self._maybe_compact()
+            if replicator is not None:
+                replicator.maybe_checkpoint(self.capture_state)
         except BackendError as exc:
             # The backend gave up past the retry budget. Drop the
             # resident prefix so the next access re-reads a full path;
@@ -482,6 +545,14 @@ class ObliviousEngine:
         if request is not None:
             self._apply(request, stash_leaf=entry.new_leaf)
             self._complete(request, "oram")
+        else:
+            # Orphaned entry: no in-flight request for this address —
+            # e.g. an entry restored from a checkpoint whose client is
+            # gone after failover. The position map already points at
+            # ``new_leaf`` (installed at admission), so the block must
+            # adopt it anyway or it is stranded under a stale label and
+            # unreachable to every later access.
+            self.stash.relabel(addr, entry.new_leaf)
         # Serve queued same-address requests from the stash, in order.
         waiters = self._waiters.pop(addr, None)
         if waiters:
@@ -514,8 +585,34 @@ class ObliviousEngine:
 
     def _complete(self, request: ServeRequest, status: str) -> None:
         request.status = status
-        request.completed_ns = self.clock()
+        now = self.clock()
+        request.served_ns = now
+        request.completed_ns = now
         self.completed_requests += 1
+        replicator = self._replicator
+        if (
+            replicator is not None
+            and replicator.gating
+            and status != "failed"
+            and request.op in ("put", "delete")
+        ):
+            # Checkpoint-gated acknowledgment: the mutation is applied,
+            # but the response waits until a sealed checkpoint makes it
+            # durable — the zero-acknowledged-write-loss guarantee.
+            # Failed requests release immediately (nothing to lose).
+            replicator.defer_ack(lambda: self._release(request))
+            return
+        self._finalize(request)
+
+    def _release(self, request: ServeRequest) -> None:
+        """Finish a checkpoint-gated request once its state is sealed."""
+        now = self.clock()
+        request.durability_ns = now - request.served_ns
+        request.completed_ns = now
+        self._finalize(request)
+
+    def _finalize(self, request: ServeRequest) -> None:
+        status = request.status
         if self._trace:
             self.tracer.emit(
                 ServiceCompleted(
@@ -561,9 +658,118 @@ class ObliviousEngine:
             request.error = error
             self._complete(request, "failed")
 
+    # ----------------------------------------------------- durability state
+
+    def capture_state(self) -> Dict[str, object]:
+        """Snapshot the ORAM client state for a sealed checkpoint.
+
+        Everything needed to resume the *exact* access stream is here:
+        stash blocks, the position map, the full label queue — dummies
+        included, because queued labels are secret until revealed and
+        the recovered schedule must keep drawing from the same RNG
+        stream — the revealed next entry, fork residency, and the RNG
+        and cipher-counter states. In-flight request futures are *not*
+        state: after failover their clients are gone; their queue
+        entries are served as orphans (see :meth:`_serve_real`).
+        """
+        queue = self.label_queue
+        entry = self._next_entry
+        return {
+            "format": 1,
+            "stash": [
+                (b.addr, b.leaf, b.payload) for b in self.stash.blocks()
+            ],
+            "posmap": dict(self.posmap.items()),
+            "queue": [
+                (e.leaf, e.target_addr, e.new_leaf, e.age, e.enqueue_ns)
+                for e in queue.entries
+            ],
+            "queue_age_bound": queue._age_bound,
+            "queue_counters": (
+                queue.dummies_created,
+                queue.reals_inserted,
+                queue.dummies_taken_over,
+            ),
+            "next_entry": (
+                None
+                if entry is None
+                else (
+                    entry.leaf,
+                    entry.target_addr,
+                    entry.new_leaf,
+                    entry.age,
+                    entry.enqueue_ns,
+                )
+            ),
+            "fork_resident": list(self.fork.resident),
+            "rng_state": self.rng.getstate(),
+            "cipher_state": self.store.cipher.state(),
+            "accesses": self.accesses,
+            "real_accesses": self.real_accesses,
+            "failed_accesses": self.failed_accesses,
+            "completed_requests": self.completed_requests,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Load a checkpoint snapshot into a freshly built engine."""
+        if state.get("format") != 1:
+            raise ConfigError(
+                f"unsupported checkpoint format {state.get('format')!r}"
+            )
+        if len(self.stash) or len(self.posmap):
+            raise ConfigError("restore_state requires a fresh engine")
+        self.stash.add_all(
+            Block(addr, leaf, payload)
+            for addr, leaf, payload in state["stash"]  # type: ignore[union-attr]
+        )
+        for addr, leaf in state["posmap"].items():  # type: ignore[union-attr]
+            self.posmap.assign(addr, leaf)
+        queue = self.label_queue
+
+        def _entry(fields: tuple) -> LabelEntry:
+            leaf, target_addr, new_leaf, age, enqueue_ns = fields
+            return LabelEntry(
+                leaf=leaf,
+                target_addr=target_addr,
+                new_leaf=new_leaf,
+                age=age,
+                enqueue_ns=enqueue_ns,
+            )
+
+        queue.entries = [_entry(f) for f in state["queue"]]  # type: ignore[union-attr]
+        queue._real_count = sum(1 for e in queue.entries if e.is_real)
+        queue._age_bound = state["queue_age_bound"]  # type: ignore[assignment]
+        (
+            queue.dummies_created,
+            queue.reals_inserted,
+            queue.dummies_taken_over,
+        ) = state["queue_counters"]  # type: ignore[misc]
+        next_entry = state["next_entry"]
+        self._next_entry = None if next_entry is None else _entry(next_entry)  # type: ignore[arg-type]
+        self.fork.resident = list(state["fork_resident"])  # type: ignore[arg-type]
+        self.fork._resident_tuple = tuple(self.fork.resident)
+        self.rng.setstate(state["rng_state"])  # type: ignore[arg-type]
+        self.store.cipher.restore(state["cipher_state"])
+        self.accesses = state["accesses"]  # type: ignore[assignment]
+        self.real_accesses = state["real_accesses"]  # type: ignore[assignment]
+        self.failed_accesses = state["failed_accesses"]  # type: ignore[assignment]
+        self.completed_requests = state["completed_requests"]  # type: ignore[assignment]
+
+    def flush_durability(self) -> None:
+        """Seal a checkpoint if acknowledgments are waiting (or the
+        cadence is due) — the service's idle/shutdown hook, so a gated
+        response can never hang on a quiet service."""
+        replicator = self._replicator
+        if replicator is None:
+            return
+        if replicator.pending_acks or replicator.checkpoint_due():
+            replicator.maybe_checkpoint(self.capture_state, force=True)
+
     # -------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
+        if self._replicator is not None:
+            self._replicator.close()
         self.store.backend.close()
 
 

@@ -15,7 +15,10 @@ tests assert on:
 * ``failed`` — ``ok: false`` responses (0 unless the fault plan is
   configured to exhaust the retry budget).
 
-Per-request latencies are kept so callers can report p50/p99.
+Per-request latencies accumulate into the observability layer's
+log2-bucketed :class:`~repro.obs.tracer.LatencyHistogram` — bounded
+memory at any request count — so callers report p50/p95/p99 from the
+same histogram shape the tracer uses everywhere else.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.tracer import LatencyHistogram
 from repro.serve import protocol
 
 
@@ -38,18 +42,16 @@ class LoadgenResult:
     lost: int = 0
     mismatches: int = 0
     elapsed_s: float = 0.0
-    latencies_ns: List[float] = field(default_factory=list)
+    latency: LatencyHistogram = field(
+        default_factory=lambda: LatencyHistogram("loadgen.latency")
+    )
 
     @property
     def requests_per_s(self) -> float:
         return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def latency_percentile_ns(self, fraction: float) -> float:
-        if not self.latencies_ns:
-            return 0.0
-        ordered = sorted(self.latencies_ns)
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
-        return ordered[index]
+        return self.latency.percentile(fraction)
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -61,8 +63,10 @@ class LoadgenResult:
             "mismatches": float(self.mismatches),
             "elapsed_s": self.elapsed_s,
             "requests_per_s": self.requests_per_s,
-            "p50_ns": self.latency_percentile_ns(0.50),
-            "p99_ns": self.latency_percentile_ns(0.99),
+            "mean_ns": self.latency.mean,
+            "p50_ns": self.latency.percentile(0.50),
+            "p95_ns": self.latency.percentile(0.95),
+            "p99_ns": self.latency.percentile(0.99),
         }
 
 
@@ -134,7 +138,8 @@ async def _run_client(
         result.completed += completed
         result.failed += failed
         result.mismatches += mismatches
-        result.latencies_ns.extend(latencies)
+        for latency_ns in latencies:
+            result.latency.record(latency_ns)
 
 
 async def run_loadgen(

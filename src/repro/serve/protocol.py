@@ -32,6 +32,7 @@ buffer unbounded data. All framing errors raise
 from __future__ import annotations
 
 import asyncio
+import base64
 import json
 import struct
 from typing import Dict, Optional, Tuple
@@ -42,6 +43,10 @@ from repro.errors import ProtocolError
 _LEN = struct.Struct(">I")
 
 OPS: Tuple[str, ...] = ("get", "put", "delete")
+
+#: A session that opens with ``{"op": "replicate", "from_seq": N}``
+#: switches to the replication stream instead of the KV request loop.
+REPLICATE_OP = "replicate"
 
 #: Default cap on one frame's body (also in ``ServiceConfig``).
 DEFAULT_MAX_FRAME_BYTES = 1 << 20
@@ -103,6 +108,74 @@ def make_response(
     }
 
 
+def is_replicate_request(obj: Dict[str, object]) -> bool:
+    """Whether a decoded first frame asks for the replication stream."""
+    return obj.get("op") == REPLICATE_OP
+
+
+def validate_replicate_request(obj: Dict[str, object]) -> int:
+    """Check a replicate request; returns the ``from_seq`` watermark
+    (first WAL sequence number the standby still needs)."""
+    from_seq = obj.get("from_seq", 1)
+    if not isinstance(from_seq, int) or isinstance(from_seq, bool) or from_seq < 1:
+        raise ProtocolError("from_seq must be a positive integer")
+    return from_seq
+
+
+# --------------------------------------------------------------------------
+# Replication stream frames (server -> standby). All binary payloads ride
+# as base64 inside the same length-prefixed JSON framing, so a standby is
+# just another client of the one wire protocol.
+
+def make_hello_frame(
+    last_seq: int, epoch_accesses: int, checkpoint_seq: int
+) -> Dict[str, object]:
+    """Stream opener: where the primary's WAL and checkpoints stand."""
+    return {
+        "kind": "hello",
+        "last_seq": last_seq,
+        "epoch_accesses": epoch_accesses,
+        "checkpoint_seq": checkpoint_seq,
+    }
+
+
+def make_wal_frame(seq: int, record_bytes: bytes) -> Dict[str, object]:
+    """One encoded WAL record (already public: label + sealed writes)."""
+    return {
+        "kind": "wal",
+        "seq": seq,
+        "data": base64.b64encode(record_bytes).decode("ascii"),
+    }
+
+
+def make_digest_frame(
+    epoch: int, upto_seq: int, digest: str
+) -> Dict[str, object]:
+    """Per-epoch divergence-detection digest over WAL record bytes."""
+    return {"kind": "digest", "epoch": epoch, "upto_seq": upto_seq,
+            "digest": digest}
+
+
+def make_checkpoint_frame(seq: int, sealed: bytes) -> Dict[str, object]:
+    """A sealed (opaque to the standby) client-state checkpoint blob."""
+    return {
+        "kind": "checkpoint",
+        "seq": seq,
+        "data": base64.b64encode(sealed).decode("ascii"),
+    }
+
+
+def frame_bytes(obj: Dict[str, object]) -> bytes:
+    """Decode the base64 payload of a ``wal``/``checkpoint`` frame."""
+    data = obj.get("data")
+    if not isinstance(data, str):
+        raise ProtocolError("replication frame carries no data payload")
+    try:
+        return base64.b64decode(data.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ProtocolError(f"malformed replication payload: {exc}") from exc
+
+
 async def read_message(
     reader: asyncio.StreamReader,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
@@ -136,11 +209,19 @@ async def write_message(
 
 __all__ = [
     "OPS",
+    "REPLICATE_OP",
     "DEFAULT_MAX_FRAME_BYTES",
     "encode_frame",
     "decode_body",
     "validate_request",
     "make_response",
+    "is_replicate_request",
+    "validate_replicate_request",
+    "make_hello_frame",
+    "make_wal_frame",
+    "make_digest_frame",
+    "make_checkpoint_frame",
+    "frame_bytes",
     "read_message",
     "write_message",
 ]

@@ -38,9 +38,10 @@ from typing import Optional, Set, Tuple
 
 from repro.config import SystemConfig
 from repro.errors import ProtocolError
-from repro.obs.events import SessionClosed, SessionOpened
+from repro.obs.events import ReplicaShipped, SessionClosed, SessionOpened
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.encryption import BucketCipher
+from repro.replica.replicator import Replicator
 from repro.serve import protocol
 from repro.serve.backends import StorageBackend, make_backend
 from repro.serve.engine import ObliviousEngine, ServeRequest
@@ -104,6 +105,14 @@ class ServiceFrontEnd:
     def _shutdown(self) -> None:
         """Release storage resources (engines, backends)."""
         raise NotImplementedError
+
+    def _replicator_for(
+        self, message: dict
+    ) -> Optional[Replicator]:
+        """Resolve a ``replicate`` request to a WAL source (None =
+        replication not enabled here; the session gets an error)."""
+        del message
+        return None
 
     # -------------------------------------------------------------- lifecycle
 
@@ -172,6 +181,35 @@ class ServiceFrontEnd:
                 self.frames_received += 1
                 arrival = self._clock()
                 client_id = message.get("id")
+                if protocol.is_replicate_request(message):
+                    # The session becomes a replication stream: ship
+                    # checkpoints, WAL records and epoch digests until
+                    # the standby disconnects or the service stops.
+                    replicator = self._replicator_for(message)
+                    if replicator is None:
+                        async with write_lock:
+                            await protocol.write_message(
+                                writer,
+                                protocol.make_response(
+                                    client_id,
+                                    ok=False,
+                                    error="replication is not enabled",
+                                ),
+                            )
+                        continue
+                    try:
+                        from_seq = protocol.validate_replicate_request(message)
+                    except ProtocolError as exc:
+                        async with write_lock:
+                            await protocol.write_message(
+                                writer,
+                                protocol.make_response(
+                                    client_id, ok=False, error=str(exc)
+                                ),
+                            )
+                        continue
+                    await self._stream_replication(writer, replicator, from_seq)
+                    break
                 try:
                     addr, op, value = protocol.validate_request(
                         message, self.num_blocks
@@ -222,6 +260,86 @@ class ServiceFrontEnd:
                     )
                 )
 
+    async def _stream_replication(
+        self,
+        writer: asyncio.StreamWriter,
+        replicator: Replicator,
+        from_seq: int,
+    ) -> None:
+        """Ship the replication stream to one tailing standby.
+
+        Everything shipped is either already public (WAL records are
+        the labels + sealed bucket bytes the storage server observes,
+        digests hash those bytes) or opaque (sealed checkpoint blobs),
+        so the stream leaks nothing beyond the access trace — which
+        :mod:`repro.security.replication` verifies end to end.
+        """
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        await protocol.write_message(
+            writer,
+            protocol.make_hello_frame(
+                replicator.wal.last_seq,
+                replicator.digester.epoch_accesses,
+                replicator.last_checkpoint_seq,
+            ),
+        )
+        cursor = from_seq
+        shipped_checkpoint = 0
+        digests_sent = 0
+        while not self._stopping and not writer.is_closing():
+            latest_ckpt = replicator.checkpoints.latest_seq()
+            if latest_ckpt > shipped_checkpoint:
+                await protocol.write_message(
+                    writer,
+                    protocol.make_checkpoint_frame(
+                        latest_ckpt, replicator.checkpoints.read_blob(latest_ckpt)
+                    ),
+                )
+                shipped_checkpoint = latest_ckpt
+            batch_start = cursor
+            completed = replicator.digester.completed
+            if cursor <= replicator.wal.last_seq:
+                for record in replicator.wal.read_from(cursor):
+                    await protocol.write_message(
+                        writer,
+                        protocol.make_wal_frame(record.seq, record.encode()),
+                    )
+                    cursor = record.seq + 1
+                    # Interleave epoch digests at their boundaries, so
+                    # the standby can verify each epoch the moment it
+                    # has replayed it (prompt divergence detection).
+                    while (
+                        digests_sent < len(completed)
+                        and completed[digests_sent][1] <= record.seq
+                    ):
+                        epoch, upto_seq, digest = completed[digests_sent]
+                        await protocol.write_message(
+                            writer,
+                            protocol.make_digest_frame(epoch, upto_seq, digest),
+                        )
+                        digests_sent += 1
+            while digests_sent < len(completed):
+                epoch, upto_seq, digest = completed[digests_sent]
+                await protocol.write_message(
+                    writer, protocol.make_digest_frame(epoch, upto_seq, digest)
+                )
+                digests_sent += 1
+            if cursor > batch_start and self._trace:
+                self.tracer.emit(
+                    ReplicaShipped(
+                        ts_ns=self._clock(),
+                        peer=peer,
+                        from_seq=batch_start,
+                        upto_seq=cursor - 1,
+                        records=cursor - batch_start,
+                        shard_id=replicator.shard_id,
+                    )
+                )
+            if replicator.closed:
+                break
+            await replicator.wait_for_progress(timeout=0.25)
+
     async def _respond(
         self,
         request: ServeRequest,
@@ -253,17 +371,35 @@ class OramService(ServiceFrontEnd):
         backend: Optional[StorageBackend] = None,
         cipher: Optional[BucketCipher] = None,
         tracer: Optional[Tracer] = None,
+        engine: Optional[ObliviousEngine] = None,
     ) -> None:
         super().__init__(config, tracer)
         service = self.service_config
-        self.backend = backend if backend is not None else make_backend(service)
-        self.engine = ObliviousEngine(
-            self.config,
-            self.backend,
-            cipher=cipher,
-            tracer=self.tracer,
-            clock=self._clock,
-        )
+        if engine is not None:
+            # Adopt a prebuilt engine (failover promotion hands over an
+            # engine already restored from a checkpoint + WAL suffix).
+            self.engine = engine
+            self.backend = engine.store.backend
+            engine.clock = self._clock
+            engine.store._clock = self._clock
+        else:
+            self.backend = (
+                backend if backend is not None else make_backend(service)
+            )
+            replica = self.config.replica
+            replicator = (
+                Replicator(replica, tracer=self.tracer, clock=self._clock)
+                if replica.enabled
+                else None
+            )
+            self.engine = ObliviousEngine(
+                self.config,
+                self.backend,
+                cipher=cipher,
+                tracer=self.tracer,
+                clock=self._clock,
+                replicator=replicator,
+            )
         self.engine.admit_hook = self._drain_ready
         self._admission: "asyncio.Queue[ServeRequest]" = asyncio.Queue(
             maxsize=service.admission_capacity
@@ -281,7 +417,14 @@ class OramService(ServiceFrontEnd):
         await self._admission.put(request)
 
     def _shutdown(self) -> None:
+        # Final checkpoint: releases any still-deferred acknowledgments
+        # and persists the closing client state for the next start.
+        self.engine.flush_durability()
         self.engine.close()
+
+    def _replicator_for(self, message: dict) -> Optional[Replicator]:
+        del message
+        return self.engine.replicator
 
     # ------------------------------------------------------------ engine loop
 
@@ -319,6 +462,10 @@ class OramService(ServiceFrontEnd):
                     # out, so session handlers keep making progress.
                     await asyncio.sleep(0)
             else:
+                # Idle: no real work queued. Seal a checkpoint first if
+                # acknowledgments are deferred, so no gated response can
+                # wait longer than one quiet moment.
+                self.engine.flush_durability()
                 self._wake.clear()
                 if self._pending():
                     continue
