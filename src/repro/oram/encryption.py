@@ -23,6 +23,7 @@ Two implementations share the :class:`BucketCipher` interface:
 from __future__ import annotations
 
 import hashlib
+import os
 import struct
 from typing import List, Optional, Tuple
 
@@ -287,6 +288,28 @@ def open_state(key: bytes, sealed: bytes) -> bytes:
     if hashlib.sha256(plaintext).digest() != digest:
         raise DecryptionError("sealed state digest mismatch (corrupt or wrong key)")
     return plaintext
+
+
+def promotion_counter(floor: int) -> int:
+    """Cipher counter for a promoted (recovered) engine.
+
+    A recovered engine must never re-seal under a ``(key, counter)``
+    pair that ever produced observable ciphertext — reusing a
+    counter-mode keystream is a two-time pad leaking the XOR of the two
+    bucket plaintexts. ``floor`` is the largest counter the promoting
+    node can *see* was consumed (checkpoint state plus a scan of the
+    local WAL, torn tail included); the returned value is strictly
+    greater, so every locally observed counter is deterministically
+    retired. The high 64 bits additionally take a fresh random epoch,
+    covering counters the crashed primary consumed past the locally
+    visible horizon (sealed buckets it wrote or shipped that never
+    reached this replica): a promoted engine lands in a counter range
+    disjoint from every earlier run except with negligible probability.
+    """
+    if not isinstance(floor, int) or isinstance(floor, bool) or floor < 0:
+        raise ConfigError(f"invalid cipher counter floor {floor!r}")
+    epoch = int.from_bytes(os.urandom(8), "little") << 64
+    return max(floor + 1, epoch)
 
 
 def state_nonce(seq: int, salt: bytes = b"") -> bytes:

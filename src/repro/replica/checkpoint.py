@@ -159,5 +159,12 @@ class CheckpointStore:
         seqs = self.sequence_numbers()
         return seqs[-1] if seqs else 0
 
+    def oldest_seq(self) -> int:
+        """Watermark of the oldest retained file (0 if none) — the
+        horizon below which per-epoch digests may be pruned: nothing
+        older than the oldest promotable state can need verifying."""
+        seqs = self.sequence_numbers()
+        return seqs[0] if seqs else 0
+
 
 __all__ = ["CheckpointStore", "checkpoint_filename"]

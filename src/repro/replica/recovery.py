@@ -18,7 +18,11 @@ is strictly point-in-time at the checkpoint watermark:
    rolled-back values through the read path;
 3. truncate WAL records ``> C`` (their accesses are rolled back, and
    the promoted primary's own accesses must continue the sequence);
-4. restore the engine from the checkpoint and resume serving.
+4. restore the engine from the checkpoint, retire every cipher counter
+   the dropped records ever exposed (plus a fresh random counter epoch
+   for writes the crashed primary made past this replica's horizon — a
+   reused counter-mode keystream would leak plaintext XORs), and resume
+   serving.
 
 Accesses past ``C`` are lost — which is why *zero acknowledged-write
 loss* is a statement about acknowledgments, not accesses: under
@@ -39,9 +43,10 @@ from repro.obs.events import FailoverPromoted
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.encryption import BucketCipher
 from repro.oram.memory import TraceRecorder
+from repro.oram.encryption import promotion_counter
 from repro.replica.checkpoint import CheckpointStore
 from repro.replica.replicator import Replicator
-from repro.replica.wal import WAL_FILENAME, WriteAheadLog
+from repro.replica.wal import WAL_FILENAME, WriteAheadLog, max_sealed_counter
 from repro.serve.backends import StorageBackend, make_backend
 from repro.serve.engine import ObliviousEngine
 
@@ -99,6 +104,12 @@ def recover_engine(
     # Truncate before the Replicator opens the log, so its epoch-digest
     # resume never absorbs the rolled-back suffix.
     wal_path = os.path.join(directory, WAL_FILENAME)
+    # Harvest burned cipher counters from the *raw* file first: opening
+    # the log truncates the torn tail, and truncating records > C drops
+    # the rolled-back suffix — but both held ciphertexts the storage
+    # server (and any standby) already observed, so their counters must
+    # never be reissued for different plaintexts (two-time pad).
+    counter_floor = max_sealed_counter(wal_path)
     pruning_wal = WriteAheadLog(wal_path)
     wal_last_seq = pruning_wal.last_seq
     # The checkpoint state is only meaningful over the backend image of
@@ -162,6 +173,16 @@ def recover_engine(
     )
     if state is not None:
         engine.restore_state(state)
+    # Retire every cipher counter this promotion can see was consumed
+    # (checkpoint state, plus everything scanned from the raw WAL above)
+    # and jump to a fresh random epoch for the ones it cannot — the
+    # crashed primary may have sealed buckets past this replica's
+    # horizon. See :func:`promotion_counter` for the security argument.
+    restored = engine.store.cipher.state()
+    if isinstance(restored, int) and not isinstance(restored, bool):
+        engine.store.cipher.restore(
+            promotion_counter(max(counter_floor, restored))
+        )
 
     report = RecoveryReport(
         checkpoint_seq=checkpoint_seq,
@@ -192,13 +213,17 @@ def promote_service(
     cipher: Optional[BucketCipher] = None,
     trace: Optional[TraceRecorder] = None,
     tracer: Optional[Tracer] = None,
+    shard_id: Optional[int] = None,
     salt: bytes = b"",
 ) -> "tuple[object, RecoveryReport]":
     """Recover and wrap the engine in a serving :class:`OramService`.
 
-    Returns ``(service, report)``; the caller starts the service. The
-    import is local to keep ``repro.replica`` free of a hard dependency
-    on the asyncio front end for library users who only need recovery.
+    Returns ``(service, report)``; the caller starts the service.
+    ``salt`` and ``shard_id`` must match what the sealing primary used
+    (:class:`CheckpointStore` nonce streams are salt-separated, and a
+    promoted cluster shard must keep tagging its events). The import is
+    local to keep ``repro.replica`` free of a hard dependency on the
+    asyncio front end for library users who only need recovery.
     """
     from repro.serve.service import OramService
 
@@ -209,6 +234,8 @@ def promote_service(
         cipher=cipher,
         trace=trace,
         tracer=tracer,
+        shard_id=shard_id,
+        salt=salt,
     )
     service = OramService(config, tracer=tracer, engine=engine)
     return service, report

@@ -81,6 +81,7 @@ class Replicator:
         # appended, so digests continue seamlessly.
         for record in self.wal.read_from(self.wal.first_seq or 1):
             self.digester.feed(record.seq, record.encode())
+        self.digester.prune_completed(self.checkpoints.oldest_seq())
         self.gating = config.ack_mode == "checkpoint"
         #: Watermark of the newest sealed checkpoint (0 = none yet).
         self.last_checkpoint_seq = self.checkpoints.latest_seq()
@@ -167,6 +168,10 @@ class Replicator:
         path = self.checkpoints.seal(seq, state)
         self.last_checkpoint_seq = seq
         self.checkpoints_sealed += 1
+        # Sealing also pruned old checkpoint files; digests covering
+        # only records below the oldest retained watermark can no
+        # longer matter to anyone and are dropped (bounded memory).
+        self.digester.prune_completed(self.checkpoints.oldest_seq())
         for _ in range(to_release):
             self._deferred.popleft()()
         self.acks_released += to_release

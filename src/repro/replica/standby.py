@@ -78,10 +78,14 @@ class ReplicaService:
             if self.backend is not None:
                 for node_id, sealed in record.writes:
                     self.backend[node_id] = sealed
+        self.digester.prune_completed(self.checkpoints.oldest_seq())
         self.applied_seq = self.wal.last_seq
         self.records_applied = 0
         self.checkpoints_received = 0
         self.digests_verified = 0
+        #: History regressions survived (primary failed over while this
+        #: standby had replayed past the promoted checkpoint).
+        self.rewinds = 0
         #: Human-readable divergence description (None = healthy).
         self.divergence: Optional[str] = None
 
@@ -94,7 +98,21 @@ class ReplicaService:
 
     def _apply_wal(self, seq: int, raw: bytes) -> None:
         if seq <= self.wal.last_seq:
-            return  # duplicate after reconnect; already applied
+            # Re-shipped after a reconnect. A true duplicate is
+            # byte-identical to the record already applied; the same
+            # seq with different bytes means the primary is on a
+            # different timeline than this standby (a promotion this
+            # standby had replayed past) — keeping the local version
+            # would silently diverge the WAL and backend.
+            local = self.wal.record_bytes(seq)
+            if local is not None and local != raw:
+                self.divergence = (
+                    f"record seq {seq} differs from the primary's copy: "
+                    f"local history is not a prefix of the primary's "
+                    f"timeline (stale pre-failover suffix?)"
+                )
+                raise ReplicationError(self.divergence)
+            return
         record = WalRecord.decode(raw)
         if record.seq != seq:
             raise ReplicationError(
@@ -126,10 +144,66 @@ class ReplicaService:
             return
         if advertised == self.digester.epoch_accesses:
             return
-        digester = EpochDigester(advertised)
+        self._refeed_digester(advertised)
+
+    def _refeed_digester(self, epoch_accesses: int) -> None:
+        """Rebuild the digest stream over the current local WAL (pure
+        derived data — cadence changes and rewinds both re-derive it)."""
+        digester = EpochDigester(epoch_accesses)
         for record in self.wal.read_from(self.wal.first_seq or 1):
             digester.feed(record.seq, record.encode())
         self.digester = digester
+
+    def _handle_hello(self, frame: dict) -> Optional[int]:
+        """Process the stream opener; non-None = rewind happened and the
+        stream must restart from the returned sequence number.
+
+        The hello advertises where the primary's WAL ends. If that is
+        *behind* this standby's WAL, the primary's history regressed —
+        a failover promoted a checkpoint older than what this standby
+        had replayed, and every local record past the promotion point is
+        rolled-back (never-acknowledged) history. Keeping it and
+        appending the new timeline after it would silently diverge the
+        WAL and backend, so: truncate back to the primary's checkpoint
+        watermark, then re-tail from the start of the retained prefix —
+        the primary re-ships it and :meth:`_apply_wal` byte-compares
+        every retained record, so a retained record not on the new
+        timeline stops the standby hard instead of festering.
+        """
+        self._adopt_epoch_cadence(frame.get("epoch_accesses"))
+        last_seq = frame.get("last_seq")
+        if (
+            not isinstance(last_seq, int)
+            or isinstance(last_seq, bool)
+            or last_seq >= self.wal.last_seq
+        ):
+            return None
+        checkpoint_seq = frame.get("checkpoint_seq")
+        if (
+            not isinstance(checkpoint_seq, int)
+            or isinstance(checkpoint_seq, bool)
+            or checkpoint_seq < 0
+            or checkpoint_seq > last_seq
+        ):
+            raise ReplicationError(
+                f"primary WAL regressed to seq {last_seq} behind local "
+                f"seq {self.wal.last_seq} without a usable checkpoint "
+                f"watermark — cannot rewind safely"
+            )
+        self.wal.truncate_after(checkpoint_seq)
+        self._refeed_digester(self.digester.epoch_accesses)
+        self.applied_seq = self.wal.last_seq
+        if self.backend is not None:
+            # Roll the warm copy back to the retained prefix's image.
+            # Buckets only the dropped suffix wrote cannot be deleted
+            # through the backend interface (buckets are only ever
+            # overwritten) and stay stale until the new timeline
+            # overwrites them — harmless: promotion rebuilds its store
+            # from the WAL, never from this warm copy.
+            for node_id, sealed in self.wal.replay_buckets().items():
+                self.backend[node_id] = sealed
+        self.rewinds += 1
+        return self.wal.first_seq or 1
 
     def _verify_digest(self, epoch: int, upto_seq: int, digest: str) -> None:
         # Only epochs this standby has fully replayed are comparable —
@@ -182,11 +256,47 @@ class ReplicaService:
         tests and controlled failover drills use them). EOF means the
         primary went away — the standby keeps everything it has and the
         caller decides whether to reconnect or promote.
+
+        If the hello frame reveals a history regression (the primary
+        failed over to a checkpoint behind this standby's WAL), the
+        rolled-back suffix is truncated and the stream restarts from
+        the start of the retained prefix so every retained record is
+        byte-verified against the new timeline (see
+        :meth:`_handle_hello`); the restart is internal — the caller
+        sees one ``tail`` call either way.
         """
+        from_seq = self.wal.last_seq + 1
+        while True:
+            resume = await self._tail_once(
+                host,
+                port,
+                from_seq,
+                shard=shard,
+                until_seq=until_seq,
+                until_checkpoint_seq=until_checkpoint_seq,
+                stop=stop,
+                max_frame_bytes=max_frame_bytes,
+            )
+            if resume is None:
+                return
+            from_seq = resume
+
+    async def _tail_once(
+        self,
+        host: str,
+        port: int,
+        from_seq: int,
+        *,
+        shard: Optional[int],
+        until_seq: Optional[int],
+        until_checkpoint_seq: Optional[int],
+        stop: Optional[asyncio.Event],
+        max_frame_bytes: int,
+    ) -> Optional[int]:
+        """One replication connection; non-None = reconnect from there."""
         reader, writer = await asyncio.open_connection(host, port)
         try:
-            request = {"op": protocol.REPLICATE_OP,
-                       "from_seq": self.wal.last_seq + 1}
+            request = {"op": protocol.REPLICATE_OP, "from_seq": from_seq}
             if shard is not None:
                 request["shard"] = shard
             await protocol.write_message(writer, request)
@@ -212,8 +322,12 @@ class ReplicaService:
                     self.checkpoints.save_blob(seq, protocol.frame_bytes(frame))
                     self.checkpoints_received += 1
                     # Checkpoint receipt is the durability boundary the
-                    # primary paid an fsync for — match it locally.
+                    # primary paid an fsync for — match it locally, and
+                    # retire digests below the oldest checkpoint still
+                    # worth promoting from (bounded memory, mirroring
+                    # the primary's pruning).
                     self.wal.sync()
+                    self.digester.prune_completed(self.checkpoints.oldest_seq())
                 elif kind == "digest":
                     self._verify_digest(
                         int(frame.get("epoch", 0)),
@@ -221,7 +335,9 @@ class ReplicaService:
                         str(frame.get("digest", "")),
                     )
                 elif kind == "hello":
-                    self._adopt_epoch_cadence(frame.get("epoch_accesses"))
+                    resume = self._handle_hello(frame)
+                    if resume is not None:
+                        return resume  # rewound: reconnect and re-verify
                 elif frame.get("ok") is False:
                     raise ReplicationError(
                         f"primary rejected replication: {frame.get('error')}"

@@ -112,6 +112,80 @@ class WalRecord:
         return cls(seq=seq, leaf=leaf, writes=writes), cursor
 
 
+def _sealed_counter(sealed: object) -> Optional[int]:
+    """Best-effort cipher write counter carried by a sealed bucket.
+
+    :class:`~repro.oram.encryption.CounterModeCipher` ciphertexts carry
+    the counter as a clear 16-byte little-endian prefix;
+    :class:`~repro.oram.encryption.NullCipher` sealed values are
+    ``(counter, slots)`` tuples. Anything else yields None.
+    """
+    if isinstance(sealed, (bytes, bytearray)) and len(sealed) >= 16:
+        return int.from_bytes(sealed[:16], "little")
+    if (
+        isinstance(sealed, tuple)
+        and sealed
+        and isinstance(sealed[0], int)
+        and not isinstance(sealed[0], bool)
+    ):
+        return sealed[0]
+    return None
+
+
+def max_sealed_counter(path: str) -> int:
+    """Greatest cipher counter visible anywhere in the WAL file at
+    ``path`` — *including* a torn or corrupt tail (0 if none found).
+
+    Recovery must never let a promoted engine reuse a ``(key, counter)``
+    pair that ever produced observable ciphertext: every counter in the
+    log — even inside a record that will be truncated as torn, whose
+    partially written sealed buckets still sit on disk — is burned. The
+    walk is deliberately lenient: it keeps parsing past CRC failures
+    using the length fields alone, harvests a counter from any bytes
+    payload whose 16-byte prefix made it to disk, and stops only when
+    the framing itself gives out. Overshooting (reading garbage as a
+    huge counter) merely skips keystreams, which is always safe.
+    """
+    best = 0
+    if not os.path.exists(path):
+        return best
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    offset = 0
+    while offset + _RECORD.size <= len(raw):
+        _seq, _leaf, num_writes, _crc = _RECORD.unpack_from(raw, offset)
+        cursor = offset + _RECORD.size
+        parseable = True
+        for _ in range(num_writes):
+            if cursor + _WRITE.size > len(raw):
+                parseable = False
+                break
+            _node_id, tag, length = _WRITE.unpack_from(raw, cursor)
+            if tag not in (_TAG_BYTES, _TAG_PICKLE):
+                parseable = False
+                break
+            cursor += _WRITE.size
+            payload = raw[cursor : cursor + length]
+            counter: Optional[int] = None
+            if tag == _TAG_BYTES:
+                counter = _sealed_counter(payload)
+            elif len(payload) == length:  # complete pickle only
+                try:
+                    counter = _sealed_counter(pickle.loads(payload))
+                except Exception:
+                    counter = None
+            if counter is not None and counter > best:
+                best = counter
+            if len(payload) < length:
+                parseable = False
+                break
+            cursor += length
+        if not parseable:
+            break
+        offset = cursor
+    return best
+
+
 def fsync_directory(path: str) -> None:
     """fsync the directory containing ``path`` so a rename/create in it
     survives power loss (POSIX requires syncing the parent directory,
@@ -238,6 +312,26 @@ class WriteAheadLog:
             yield record
             cursor = end
 
+    def record_bytes(self, seq: int) -> Optional[bytes]:
+        """Encoded bytes of the record at ``seq`` (None if not held).
+
+        Lets a standby byte-compare a re-shipped "duplicate" frame
+        against what it already applied — a same-seq frame with
+        different bytes is timeline divergence, not a duplicate.
+        """
+        offset = self._offsets.get(seq)
+        if offset is None:
+            return None
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            raw = handle.read(self._valid_bytes - offset)
+        record, end = WalRecord.decode_from(raw, 0)
+        if record is None or record.seq != seq:
+            raise ReplicationError(
+                f"WAL {self.path} corrupt at offset {offset} (seq {seq})"
+            )
+        return raw[:end]
+
     def replay_buckets(self, upto_seq: Optional[int] = None) -> Dict[int, object]:
         """Last-wins bucket image of the log at ``upto_seq`` (None = all).
 
@@ -327,6 +421,31 @@ class EpochDigester:
         self._hash = hashlib.sha256()
         return result
 
+    def prune_completed(self, upto_seq: int, keep_newest: int = 16) -> int:
+        """Drop completed digests covering only records ``<= upto_seq``;
+        returns the number dropped.
+
+        Callers prune below the oldest *retained* checkpoint watermark:
+        no standby can need to verify records older than the oldest
+        state anyone can still promote from, so keeping those digests
+        forever would grow memory (and reconnect re-ship cost) without
+        bound on a long-lived primary. The ``keep_newest`` entries are
+        always retained regardless of the watermark — under
+        ``ack_mode="checkpoint"`` checkpoints seal far more often than
+        epochs complete, and pruning strictly below the checkpoint
+        horizon would then leave nothing for standbys to verify.
+        """
+        if keep_newest < 0:
+            raise ConfigError(f"keep_newest must be >= 0, got {keep_newest}")
+        droppable = (
+            self.completed[:-keep_newest] if keep_newest else self.completed
+        )
+        doomed = {e for e in droppable if e[1] <= upto_seq}
+        if not doomed:
+            return 0
+        self.completed = [e for e in self.completed if e not in doomed]
+        return len(doomed)
+
 
 __all__ = [
     "WAL_FILENAME",
@@ -334,4 +453,5 @@ __all__ = [
     "WriteAheadLog",
     "EpochDigester",
     "fsync_directory",
+    "max_sealed_counter",
 ]

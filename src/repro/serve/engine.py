@@ -600,6 +600,9 @@ class ObliviousEngine:
             # but the response waits until a sealed checkpoint makes it
             # durable — the zero-acknowledged-write-loss guarantee.
             # Failed requests release immediately (nothing to lose).
+            # Gets are never gated, so a read may observe a put whose
+            # ack is still deferred — and which a failover rolls back;
+            # see docs/REPLICATION.md ("Acknowledgment gating").
             replicator.defer_ack(lambda: self._release(request))
             return
         self._finalize(request)

@@ -286,7 +286,31 @@ class ServiceFrontEnd:
         )
         cursor = from_seq
         shipped_checkpoint = 0
-        digests_sent = 0
+        # Digest cursor, by epoch number rather than list index: the
+        # digester prunes old entries as checkpoints retire them, so
+        # positions shift under a long-lived stream. Epochs that ended
+        # before the standby's request are skipped outright — the
+        # standby computed those digests from its own WAL (or rebuilt
+        # them on resync), and re-shipping every digest since epoch 1
+        # on each reconnect grows without bound on an old primary.
+        epoch_accesses = replicator.digester.epoch_accesses
+        next_epoch = (from_seq + epoch_accesses - 1) // epoch_accesses
+
+        async def ship_digests(upto: Optional[int]) -> None:
+            """Ship unsent completed digests (``upto`` bounds their end
+            seq, so digests interleave at their epoch boundaries and the
+            standby verifies each epoch the moment it has replayed it)."""
+            nonlocal next_epoch
+            for epoch, upto_seq, digest in replicator.digester.completed:
+                if epoch < next_epoch:
+                    continue
+                if upto is not None and upto_seq > upto:
+                    break
+                await protocol.write_message(
+                    writer, protocol.make_digest_frame(epoch, upto_seq, digest)
+                )
+                next_epoch = epoch + 1
+
         while not self._stopping and not writer.is_closing():
             latest_ckpt = replicator.checkpoints.latest_seq()
             if latest_ckpt > shipped_checkpoint:
@@ -298,7 +322,6 @@ class ServiceFrontEnd:
                 )
                 shipped_checkpoint = latest_ckpt
             batch_start = cursor
-            completed = replicator.digester.completed
             if cursor <= replicator.wal.last_seq:
                 for record in replicator.wal.read_from(cursor):
                     await protocol.write_message(
@@ -306,25 +329,8 @@ class ServiceFrontEnd:
                         protocol.make_wal_frame(record.seq, record.encode()),
                     )
                     cursor = record.seq + 1
-                    # Interleave epoch digests at their boundaries, so
-                    # the standby can verify each epoch the moment it
-                    # has replayed it (prompt divergence detection).
-                    while (
-                        digests_sent < len(completed)
-                        and completed[digests_sent][1] <= record.seq
-                    ):
-                        epoch, upto_seq, digest = completed[digests_sent]
-                        await protocol.write_message(
-                            writer,
-                            protocol.make_digest_frame(epoch, upto_seq, digest),
-                        )
-                        digests_sent += 1
-            while digests_sent < len(completed):
-                epoch, upto_seq, digest = completed[digests_sent]
-                await protocol.write_message(
-                    writer, protocol.make_digest_frame(epoch, upto_seq, digest)
-                )
-                digests_sent += 1
+                    await ship_digests(record.seq)
+            await ship_digests(None)
             if cursor > batch_start and self._trace:
                 self.tracer.emit(
                     ReplicaShipped(

@@ -53,6 +53,7 @@ from repro.replica.wal import (
     EpochDigester,
     WalRecord,
     WriteAheadLog,
+    max_sealed_counter,
 )
 from repro.security.replication import (
     verify_replication_stream,
@@ -156,6 +157,36 @@ def test_wal_replay_buckets_last_wins_and_truncate(tmp_path):
     wal.close()
 
 
+def test_max_sealed_counter_scans_suffix_and_torn_tail(tmp_path):
+    """Recovery's counter floor must see every counter the log ever
+    exposed: complete records (bytes and pickled-tuple sealed forms)
+    *and* a torn tail whose partially written ciphertext still carries
+    its clear 16-byte counter prefix."""
+    path = str(tmp_path / WAL_FILENAME)
+    wal = WriteAheadLog(path)
+    # NullCipher tuple form (pickled) and CounterModeCipher bytes form.
+    wal.append(WalRecord(seq=1, leaf=0, writes=[(5, (7, ()))]))
+    wal.append(
+        WalRecord(
+            seq=2, leaf=1,
+            writes=[(6, (1 << 16).to_bytes(16, "little") + b"ciphertext")],
+        )
+    )
+    wal.close()
+    assert max_sealed_counter(path) == 1 << 16
+    torn = WalRecord(
+        seq=3, leaf=2,
+        writes=[(7, (99_999).to_bytes(16, "little") + b"torn-ciphertext")],
+    ).encode()
+    with open(path, "ab") as handle:
+        handle.write(torn[:-5])  # payload cut short, counter prefix intact
+    assert max_sealed_counter(path) == 99_999
+    # The torn tail is still truncated on open, exactly as before.
+    reopened = WriteAheadLog(path)
+    assert reopened.torn_tail and reopened.last_seq == 2
+    reopened.close()
+
+
 def test_epoch_digester_boundaries_and_resume_equivalence():
     digester = EpochDigester(2)
     raw = [_record(seq).encode() for seq in range(1, 6)]
@@ -169,6 +200,20 @@ def test_epoch_digester_boundaries_and_resume_equivalence():
     for seq in range(1, 6):
         resumed.feed(seq, raw[seq - 1])
     assert resumed.completed == digester.completed
+
+
+def test_epoch_digester_prune_completed_bounds_memory():
+    digester = EpochDigester(2)
+    for seq in range(1, 21):
+        digester.feed(seq, _record(seq).encode())
+    assert len(digester.completed) == 10
+    # Prune below a watermark past everything: the newest entries stay
+    # (digest coverage must survive checkpoint-heavy gating modes).
+    assert digester.prune_completed(20, keep_newest=4) == 6
+    assert [entry[0] for entry in digester.completed] == [7, 8, 9, 10]
+    # Watermark below everything remaining: no-op.
+    assert digester.prune_completed(0, keep_newest=4) == 0
+    assert len(digester.completed) == 4
 
 
 # ------------------------------------------------------------ checkpoints
@@ -244,9 +289,26 @@ def test_crash_between_wal_append_and_backend_write_recovers_exactly(tmp_path):
         recovered, report = recover_engine(config, backend=InMemoryBackend())
         assert report.checkpoint_seq == sealed_seq
         assert report.truncated_records == len(records_before) - sealed_seq
-        # Same client state: stash, posmap, queue, RNG and cipher
-        # streams — the recovered engine is the uninterrupted engine.
-        assert recovered.capture_state() == reference
+        # Same client state: stash, posmap, queue and RNG streams — the
+        # recovered engine is the uninterrupted engine. The cipher
+        # counter is the one deliberate exception: it must NOT rewind
+        # to the checkpoint value, because the rolled-back suffix
+        # already exposed ciphertexts under the counters past it.
+        recovered_state = recovered.capture_state()
+        droppable = ("cipher_state",)
+        assert {
+            k: v for k, v in recovered_state.items() if k not in droppable
+        } == {k: v for k, v in reference.items() if k not in droppable}
+        # Every counter the logged-but-rolled-back suffix exposed is
+        # burned: the promoted cipher continues strictly past all of
+        # them (reuse would be a two-time pad under CounterModeCipher).
+        burned = max(
+            sealed[0]
+            for record in records_before
+            for _node, sealed in record.writes
+        )
+        assert recovered_state["cipher_state"] > burned
+        assert recovered_state["cipher_state"] > reference["cipher_state"]
         # Same public trace: the recovered WAL is exactly the
         # uninterrupted prefix, and its backend is the WAL's image.
         records_after = list(recovered.replicator.wal.read_from(1))
@@ -469,6 +531,97 @@ def test_standby_detects_divergence(tmp_path):
         standby._verify_digest(epoch, upto_seq, "0" * 64)
     assert standby.divergence is not None
     standby.close()
+
+
+def test_standby_duplicate_frames_are_byte_compared(tmp_path):
+    """A re-shipped frame with a known seq must be byte-identical to the
+    local record — same seq with different bytes is timeline divergence
+    (a stale pre-failover suffix), never a skippable duplicate."""
+    config = replica_system(tmp_path)
+    standby = ReplicaService(config.replica, directory=str(tmp_path / "dup"))
+    for seq in (1, 2, 3):
+        standby._apply_wal(seq, _record(seq).encode())
+    # A byte-identical duplicate is idempotent.
+    standby._apply_wal(2, _record(2).encode())
+    assert standby.wal.last_seq == 3 and standby.divergence is None
+    # Same seq, different contents: hard stop.
+    with pytest.raises(ReplicationError, match="timeline"):
+        standby._apply_wal(2, _record(2, leaf=9).encode())
+    assert standby.divergence is not None
+    standby.close()
+
+
+def test_standby_rewinds_after_failover_history_regression(tmp_path):
+    """A standby that replayed past the checkpoint a failover promoted
+    must drop the rolled-back suffix and re-verify the retained prefix
+    against the new primary — not keep the stale records and append the
+    new timeline after them."""
+    config = replica_system(
+        tmp_path, checkpoint_every_accesses=1000, epoch_accesses=4
+    )
+    standby_dir = str(tmp_path / "standby")
+
+    async def scenario():
+        engine = ObliviousEngine(
+            config, make_backend(config.service), replicator=Replicator(config.replica)
+        )
+        for index in range(8):
+            await drive(
+                engine, ServeRequest(op="put", addr=index % 4, value=f"v{index}")
+            )
+        checkpoint_seq = engine.replicator.maybe_checkpoint(
+            engine.capture_state, force=True
+        )
+        # Keep serving well past the checkpoint: these records ship to
+        # the standby but the failover will roll them back. Fresh
+        # addresses — puts to stash-resident blocks complete on-chip
+        # without a tree access, so they would not extend the WAL.
+        for index in range(8):
+            await drive(
+                engine, ServeRequest(op="put", addr=8 + index, value=f"post-{index}")
+            )
+        old_records = list(engine.replicator.wal.read_from(1))
+        assert old_records[-1].seq > checkpoint_seq
+        engine.close()
+
+        standby = ReplicaService(config.replica, directory=standby_dir)
+        for record in old_records:
+            standby._apply_wal(record.seq, record.encode())
+        assert standby.wal.last_seq == old_records[-1].seq
+
+        # Failover: promote from the primary's own directory (truncates
+        # to the checkpoint, new cipher epoch) and serve a new timeline
+        # shorter than the stale suffix the standby holds.
+        promoted, report = recover_engine(config, backend=InMemoryBackend())
+        assert report.checkpoint_seq == checkpoint_seq
+        service = OramService(config, engine=promoted)
+        host, port = await service.start()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                await protocol.write_message(
+                    writer, {"id": 0, "op": "put", "addr": 6, "value": "new"}
+                )
+                response = await protocol.read_message(reader)
+                assert response is not None and response["ok"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            primary = promoted.replicator
+            assert primary.wal.last_seq < standby.wal.last_seq  # regression
+            await standby.tail(host, port, until_seq=primary.wal.last_seq)
+            assert standby.rewinds == 1
+            assert standby.divergence is None
+            # The stale suffix is gone; the local WAL is byte-identical
+            # to the new primary's timeline.
+            local = [r.encode() for r in standby.wal.read_from(1)]
+            remote = [r.encode() for r in primary.wal.read_from(1)]
+            assert local == remote
+            standby.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
 
 
 def test_standby_adopts_primary_epoch_cadence(tmp_path):
