@@ -15,10 +15,14 @@ Commands
     Run the oblivious key-value service (``repro.serve``) until
     interrupted; configure with ``--set service.*`` overrides
     (``docs/SERVICE.md`` documents the wire protocol).
-``cluster --shards K``
+``cluster --shards K [--workers inline|process]``
     Run the sharded service (``repro.cluster``): K independent
     fork-path shards behind the oblivious round-robin dispatcher
-    (``docs/CLUSTER.md``).
+    (``docs/CLUSTER.md``). ``--workers process`` spawns one supervised
+    worker process per shard (true multi-core scaling).
+``worker --shard K --config-json JSON``
+    Internal: one shard worker process, spawned and supervised by
+    ``cluster --workers process``.
 ``loadgen --port P``
     Drive a running service with concurrent verifying clients
     (``--hot-span N`` skews each client onto a hot address range).
@@ -105,8 +109,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
 
     print("service backends: " + ", ".join(available_backends()))
     print(
-        "commands: info, figure, demo, mix, serve, cluster, loadgen, "
-        "compact, replicate, promote, validate-trace"
+        "commands: info, figure, demo, mix, serve, cluster, worker, "
+        "loadgen, compact, replicate, promote, validate-trace"
     )
     return 0
 
@@ -241,6 +245,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     overrides = _parse_overrides(args.set)
     if args.shards is not None:
         overrides.setdefault("cluster.shards", args.shards)
+    if args.workers is not None:
+        overrides.setdefault("cluster.workers", args.workers)
     base = SystemConfig(oram=_small_service_oram()) if args.small else SystemConfig()
     config = SystemConfig.from_overrides(overrides, base=base)
     tracer = _make_tracer(args.trace)
@@ -248,6 +254,40 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         asyncio.run(run_cluster(config, tracer=tracer))
     except KeyboardInterrupt:
         print("interrupted; cluster stopped")
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Internal: one shard worker process (spawned by the supervisor).
+
+    ``--config-json`` carries the supervisor's full configuration as a
+    flattened dotted-key JSON object (``repro.config.flatten_overrides``),
+    so the worker rebuilds byte-identical config through the same
+    validation path as every other source.
+    """
+    import asyncio
+    import json
+
+    from repro import SystemConfig
+    from repro.cluster.worker import run_worker
+
+    try:
+        overrides = json.loads(args.config_json)
+    except json.JSONDecodeError as exc:
+        print(f"--config-json is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(overrides, dict):
+        print("--config-json must be a JSON object", file=sys.stderr)
+        return 2
+    config = SystemConfig.from_overrides(overrides)
+    tracer = _make_tracer(args.trace, f"shard{args.shard}")
+    try:
+        asyncio.run(run_worker(config, args.shard, tracer=tracer))
+    except KeyboardInterrupt:
+        pass
     finally:
         if tracer is not None:
             tracer.close()
@@ -452,6 +492,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="use a small (L=10) tree instead of the paper-scale default",
     )
+    cluster.add_argument(
+        "--workers",
+        choices=["inline", "process"],
+        help="shard engine placement: in-process ('inline') or one OS "
+        "process per shard ('process'; shorthand for "
+        "--set cluster.workers=...)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run one shard worker process (internal: spawned by the "
+        "cluster supervisor)",
+    )
+    worker.add_argument("--shard", type=int, required=True, help="shard id")
+    worker.add_argument(
+        "--config-json",
+        required=True,
+        help="flattened dotted-key config JSON from the supervisor",
+    )
+    worker.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL event trace of this worker",
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen", help="drive a running service with verifying clients"
@@ -550,6 +614,7 @@ def main(argv: list[str] | None = None) -> int:
         "mix": _cmd_mix,
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
+        "worker": _cmd_worker,
         "loadgen": _cmd_loadgen,
         "compact": _cmd_compact,
         "replicate": _cmd_replicate,

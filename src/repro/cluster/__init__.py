@@ -10,6 +10,12 @@ oblivious *across* shards:
   :class:`ShardRouter`, whose fixed round-robin dispatch schedule and
   per-shard dummy padding make the interleaved shard-visit/bucket trace
   data-independent;
+* :mod:`repro.cluster.worker` — the shard worker *process* body
+  (``cluster.workers = "process"``): one engine behind the wire
+  protocol, plus the router-side :class:`WorkerHandle`;
+* :mod:`repro.cluster.supervisor` — the worker fleet's lifecycle
+  (spawn / health-check / restart-through-recovery) and the
+  :class:`ProcessShardRouter` that dispatches over it;
 * :mod:`repro.cluster.service` — the TCP front end
   (:class:`ClusterService`), sharing its session machinery with
   :class:`~repro.serve.service.OramService`.
@@ -25,6 +31,8 @@ from repro.cluster.partition import (
 )
 from repro.cluster.router import ShardRouter, ShardWorker
 from repro.cluster.service import ClusterService, run_cluster
+from repro.cluster.supervisor import ProcessShardRouter, WorkerFleet
+from repro.cluster.worker import ShardWorkerService, WorkerHandle, run_worker
 
 __all__ = [
     "AddressPartitioner",
@@ -32,6 +40,11 @@ __all__ = [
     "shard_system_config",
     "ShardRouter",
     "ShardWorker",
+    "ShardWorkerService",
+    "WorkerHandle",
+    "WorkerFleet",
+    "ProcessShardRouter",
+    "run_worker",
     "ClusterService",
     "run_cluster",
 ]

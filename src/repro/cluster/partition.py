@@ -91,9 +91,12 @@ def shard_system_config(
     ``ceil(M / K)``, so K shards together still hold ~M entries — with
     the monolithic M per shard, striping a fixed client population
     would dilute real entries among dummies K-fold and scheduling would
-    pick mostly dummies); and the RNG seed is offset by the shard id so
-    position-map labels and dummy choices are independent streams
-    across shards. All three derivations are public functions of the
+    pick mostly dummies); the admission bound is likewise divided
+    (``max(1, capacity // K)`` per shard, so K shards together admit at
+    most ~the configured cluster-wide ``service.admission_capacity``
+    rather than K times it); and the RNG seed is offset by the shard id
+    so position-map labels and dummy choices are independent streams
+    across shards. All four derivations are public functions of the
     config alone, so they reveal nothing about traffic.
     """
     blocks = partitioner.shard_capacity(shard_id)
@@ -109,8 +112,15 @@ def shard_system_config(
             1, -(-config.scheduler.label_queue_size // shards)
         ),
     )
+    service = dataclasses.replace(
+        config.service,
+        admission_capacity=max(1, config.service.admission_capacity // shards),
+    )
     return config.replace(
-        oram=oram, scheduler=scheduler, seed=config.seed + shard_id
+        oram=oram,
+        scheduler=scheduler,
+        service=service,
+        seed=config.seed + shard_id,
     )
 
 

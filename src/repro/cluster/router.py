@@ -77,40 +77,56 @@ class ShardWorker:
         tracer: Optional[Tracer] = None,
         clock: Optional[Callable[[], float]] = None,
         trace: Optional[TraceRecorder] = None,
+        engine: Optional[ObliviousEngine] = None,
     ) -> None:
         self.shard_id = shard_id
         self.config = shard_system_config(config, shard_id, partitioner)
-        self.backend = (
-            backend
-            if backend is not None
-            else make_backend(config.service, trace, shard_id=shard_id)
-        )
-        replica = self.config.replica
-        self.replicator: Optional[Replicator] = None
-        if replica.enabled:
-            # Each shard replicates independently: its own WAL +
-            # checkpoint subdirectory and a shard-derived checkpoint
-            # salt, mirroring how backend paths get a shard suffix.
-            self.replicator = Replicator(
-                replica,
-                directory=shard_replica_directory(replica.dir, shard_id),
-                salt=shard_replica_salt(shard_id),
+        if engine is not None:
+            # Adopt a prebuilt engine (worker restart hands over an
+            # engine already recovered from the shard's replica
+            # directory, replicator attached).
+            self.engine = engine
+            self.backend = engine.store.backend
+            self.replicator: Optional[Replicator] = engine.replicator
+            if clock is not None:
+                engine.clock = clock
+                engine.store._clock = clock
+        else:
+            self.backend = (
+                backend
+                if backend is not None
+                else make_backend(config.service, trace, shard_id=shard_id)
+            )
+            replica = self.config.replica
+            self.replicator = None
+            if replica.enabled:
+                # Each shard replicates independently: its own WAL +
+                # checkpoint subdirectory and a shard-derived checkpoint
+                # salt, mirroring how backend paths get a shard suffix.
+                self.replicator = Replicator(
+                    replica,
+                    directory=shard_replica_directory(replica.dir, shard_id),
+                    salt=shard_replica_salt(shard_id),
+                    tracer=tracer,
+                    clock=clock,
+                    shard_id=shard_id,
+                )
+            self.engine = ObliviousEngine(
+                self.config,
+                self.backend,
+                cipher=cipher,
                 tracer=tracer,
                 clock=clock,
                 shard_id=shard_id,
+                replicator=self.replicator,
             )
-        self.engine = ObliviousEngine(
-            self.config,
-            self.backend,
-            cipher=cipher,
-            tracer=tracer,
-            clock=clock,
-            shard_id=shard_id,
-            replicator=self.replicator,
-        )
         self.engine.admit_hook = self._drain_ready
+        # The *shard* config's admission bound: shard_system_config
+        # divides the cluster-wide capacity across the K shards, so the
+        # cluster as a whole admits what the one knob promises (with
+        # the global bound here, K shards would admit K times it).
         self._admission: "asyncio.Queue[ServeRequest]" = asyncio.Queue(
-            maxsize=config.service.admission_capacity
+            maxsize=self.config.service.admission_capacity
         )
         #: Head-of-line request the engine had no room for yet.
         self._held: Optional[ServeRequest] = None
@@ -211,20 +227,42 @@ class ShardRouter:
         await self.workers[shard].admit(request)
 
     async def run_round(self) -> None:
-        """One dispatch round: every shard, fixed order, one access each."""
+        """One dispatch round: every shard, fixed order, one access each.
+
+        A shard's failure must not falsify the public record of the
+        shards that *did* execute their access: completed visits are
+        logged and counted before any exception propagates, so
+        ``visit_log``/``rounds`` always describe the executed schedule
+        (the error re-raises afterwards for the caller to handle).
+        """
+        completed: List[int] = []
+        error: Optional[BaseException] = None
         if self.dispatch == "rr":
             for worker in self.workers:
-                await worker.run_turn()
-                self.visit_log.append(worker.shard_id)
+                try:
+                    await worker.run_turn()
+                except Exception as exc:  # noqa: BLE001 — re-raised below
+                    error = exc
+                    break
+                completed.append(worker.shard_id)
         else:  # "parallel": same schedule, rounds overlap in wall time
-            await asyncio.gather(
-                *(worker.run_turn() for worker in self.workers)
+            results = await asyncio.gather(
+                *(worker.run_turn() for worker in self.workers),
+                return_exceptions=True,
             )
-            self.visit_log.extend(worker.shard_id for worker in self.workers)
+            for worker, result in zip(self.workers, results):
+                if isinstance(result, BaseException):
+                    if error is None:
+                        error = result
+                else:
+                    completed.append(worker.shard_id)
+        self.visit_log.extend(completed)
         self.rounds += 1
         if self._trace:
             self.tracer.counters.inc("cluster.rounds")
-            self.tracer.counters.inc("cluster.accesses", len(self.workers))
+            self.tracer.counters.inc("cluster.accesses", len(completed))
+        if error is not None:
+            raise error
 
     # --------------------------------------------------------------- queries
 

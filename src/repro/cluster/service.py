@@ -20,9 +20,10 @@ invisible at the storage boundary.
 from __future__ import annotations
 
 import asyncio
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
+from repro.errors import ConfigError, ProtocolError
 from repro.obs.tracer import Tracer
 from repro.oram.encryption import BucketCipher
 from repro.oram.memory import TraceRecorder
@@ -31,10 +32,20 @@ from repro.serve.engine import ServeRequest
 from repro.serve.service import ServiceFrontEnd
 
 from repro.cluster.router import ShardRouter
+from repro.cluster.supervisor import ProcessShardRouter, WorkerFleet
 
 
 class ClusterService(ServiceFrontEnd):
-    """An oblivious key-value service sharded over K ORAM trees."""
+    """An oblivious key-value service sharded over K ORAM trees.
+
+    ``cluster.workers`` selects where those trees live: ``"inline"``
+    builds the K engines in this process behind a
+    :class:`~repro.cluster.router.ShardRouter`; ``"process"`` spawns a
+    supervised worker fleet (one subprocess per shard) and dispatches
+    through a :class:`~repro.cluster.supervisor.ProcessShardRouter`.
+    The wire protocol, the admission translation and the fixed visit
+    schedule are identical either way.
+    """
 
     def __init__(
         self,
@@ -45,15 +56,40 @@ class ClusterService(ServiceFrontEnd):
         traces: Optional[Sequence[Optional[TraceRecorder]]] = None,
     ) -> None:
         super().__init__(config, tracer)
-        self.router = ShardRouter(
-            self.config,
-            cipher=cipher,
-            tracer=self.tracer,
-            clock=self._clock,
-            backends=backends,
-            traces=traces,
-        )
         self.cluster_config = self.config.cluster
+        self.fleet: Optional[WorkerFleet] = None
+        self.router: Union[ShardRouter, ProcessShardRouter]
+        if self.cluster_config.workers == "process":
+            if backends is not None or traces is not None or cipher is not None:
+                raise ConfigError(
+                    "explicit backends/traces/cipher require inline "
+                    "workers (they cannot cross a process boundary)"
+                )
+            self.fleet = WorkerFleet(self.config, tracer=self.tracer)
+            self.router = ProcessShardRouter(
+                self.config, self.fleet, tracer=self.tracer
+            )
+        else:
+            self.router = ShardRouter(
+                self.config,
+                cipher=cipher,
+                tracer=self.tracer,
+                clock=self._clock,
+                backends=backends,
+                traces=traces,
+            )
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> Tuple[str, int]:
+        if self.fleet is not None:
+            await self.fleet.start()
+        return await super().start()
+
+    async def stop(self) -> None:
+        await super().stop()
+        if self.fleet is not None:
+            await self.fleet.stop()
 
     # ----------------------------------------------------------------- hooks
 
@@ -66,17 +102,34 @@ class ClusterService(ServiceFrontEnd):
 
     def _shutdown(self) -> None:
         # Final per-shard checkpoints: release deferred acknowledgments
-        # and persist each shard's closing client state.
+        # and persist each shard's closing client state. (In process
+        # mode the workers flush in their own stop path; the fleet is
+        # shut down after this, in :meth:`stop`.)
         self.router.flush_durability()
         self.router.close()
 
     def _replicator_for(self, message: dict):
         """Shards replicate independently: a standby names its shard in
         the replicate request (``{"op": "replicate", "shard": k}``;
-        default shard 0)."""
+        default shard 0). A malformed or out-of-range shard gets an
+        explicit error naming the valid range — not a generic failure
+        the standby cannot act on."""
         shard = message.get("shard", 0)
-        if not isinstance(shard, int) or isinstance(shard, bool):
-            return None
+        shards = self.cluster_config.shards
+        if (
+            not isinstance(shard, int)
+            or isinstance(shard, bool)
+            or not 0 <= shard < shards
+        ):
+            raise ProtocolError(
+                f"shard must be an integer in [0, {shards}), got {shard!r}"
+            )
+        if self.fleet is not None:
+            raise ProtocolError(
+                f"shard {shard} replicates from its worker process on "
+                f"{self.cluster_config.worker_host}:"
+                f"{self.fleet.processes[shard].port}; connect there"
+            )
         return self.router.replicator_for(shard)
 
     async def _work_loop(self) -> None:
@@ -108,24 +161,52 @@ class ClusterService(ServiceFrontEnd):
 
 
 async def run_cluster(config: SystemConfig, tracer: Optional[Tracer] = None) -> None:
-    """``python -m repro cluster`` body: serve until interrupted."""
+    """``python -m repro cluster`` body: serve until interrupted.
+
+    SIGTERM (and SIGINT) cancel the serve loop rather than killing the
+    process outright, so the fleet shutdown in :meth:`ClusterService.stop`
+    always runs — a terminated supervisor must never orphan its worker
+    processes.
+    """
+    import signal
+
+    from repro.cluster.partition import AddressPartitioner, shard_system_config
+
     service = ClusterService(config, tracer=tracer)
     host, port = await service.start()
+    partitioner = AddressPartitioner(
+        config.oram.num_blocks, config.cluster.shards
+    )
     depths = sorted(
-        {worker.config.oram.levels for worker in service.router.workers}
+        {
+            shard_system_config(config, shard, partitioner).oram.levels
+            for shard in range(config.cluster.shards)
+        }
     )
     print(
         f"serving sharded oblivious KV store on {host}:{port} "
         f"(shards={config.cluster.shards}, dispatch={config.cluster.dispatch}, "
+        f"workers={config.cluster.workers}, "
         f"backend={config.service.backend}, "
         f"shard L={'/'.join(str(d) for d in depths)})",
         flush=True,
     )
+    serving = asyncio.current_task()
+    loop = asyncio.get_running_loop()
+    handled = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, serving.cancel)
+        except NotImplementedError:  # pragma: no cover — non-POSIX loops
+            continue
+        handled.append(signum)
     try:
         await service.serve_forever()
     except asyncio.CancelledError:
         pass
     finally:
+        for signum in handled:
+            loop.remove_signal_handler(signum)
         await service.stop()
 
 

@@ -1,0 +1,523 @@
+"""One shard engine behind the wire protocol — the worker process body.
+
+``cluster.workers = "process"`` moves every shard engine out of the
+service process: each shard runs as a ``python -m repro worker``
+subprocess serving the standard length-prefixed protocol on a loopback
+socket, and the router becomes a protocol *client*. The split is what
+turns shard count into core count — K engines on K GILs instead of K
+coroutines on one.
+
+The supervisor's router opens **two** connections per worker:
+
+* a *data* connection carrying shard-local KV requests through the
+  ordinary front-end machinery (a full admission queue blocks the
+  worker's session handler, so per-shard backpressure still reaches the
+  router through TCP flow control);
+* a *control* connection for the dispatch backplane — ``turn`` (run one
+  dummy-padded access: the worker's slot in the router's fixed visit
+  schedule), ``stats``, ``flush``, ``ping``, ``verify`` and
+  ``shutdown``.
+
+Keeping the two apart means a saturated admission queue can never block
+the very command that drains it.
+
+Workers are a private backplane, not a public endpoint: they bind
+``cluster.worker_host`` (loopback by default) on an ephemeral port and
+announce it on stdout (:data:`READY_BANNER`) for the supervisor to
+parse. On startup with ``replica.enabled`` and a non-empty per-shard
+replica directory, the worker rebuilds its engine through
+:func:`repro.replica.recovery.recover_shard_engine` — the same
+point-in-time path a promoted standby uses — so a SIGKILL'd worker
+comes back with every acknowledged write intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import signal
+from typing import Dict, Optional, Set
+
+from repro.config import SystemConfig
+from repro.errors import ProtocolError
+from repro.obs.tracer import Tracer
+from repro.oram.memory import TraceRecorder
+from repro.replica.replicator import Replicator
+from repro.serve import protocol
+from repro.serve.engine import ObliviousEngine, ServeRequest
+from repro.serve.service import ServiceFrontEnd
+
+from repro.cluster.partition import AddressPartitioner
+from repro.cluster.router import ShardWorker
+
+#: stdout handshake line: ``SHARD_WORKER_READY shard=<k> port=<p>``.
+READY_BANNER = "SHARD_WORKER_READY"
+
+#: Control ops a worker session accepts alongside the KV ops.
+CONTROL_OPS = ("turn", "stats", "flush", "ping", "verify", "shutdown")
+
+#: How often a worker checks that its supervisor is still alive.
+ORPHAN_POLL_S = 2.0
+
+
+class ShardWorkerService(ServiceFrontEnd):
+    """A single :class:`ShardWorker` served over the wire protocol.
+
+    KV requests arrive with *shard-local* addresses (the router
+    translates before forwarding) and flow through the inherited
+    session/admission machinery; the supervisor clocks tree accesses
+    with ``turn`` control commands, so the fixed cross-shard visit
+    schedule stays owned by the router even though the engines live in
+    other processes.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        shard_id: int,
+        tracer: Optional[Tracer] = None,
+        engine: Optional[ObliviousEngine] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        bound = config.replace(
+            service=dataclasses.replace(
+                config.service, host=config.cluster.worker_host, port=0
+            )
+        )
+        super().__init__(bound, tracer)
+        self.shard_id = shard_id
+        if (
+            trace is None
+            and engine is None
+            and config.cluster.worker_record_trace
+        ):
+            trace = TraceRecorder()
+        partitioner = AddressPartitioner(
+            config.oram.num_blocks, config.cluster.shards
+        )
+        self.worker = ShardWorker(
+            shard_id,
+            bound,
+            partitioner,
+            tracer=self.tracer,
+            clock=self._clock,
+            trace=trace,
+            engine=engine,
+        )
+        #: Serialises turns (and the shutdown drain) — one access at a
+        #: time per shard, whatever the supervisor's session count.
+        self._turn_lock = asyncio.Lock()
+        #: Set by the ``shutdown`` control op (or SIGTERM): the process
+        #: body stops serving once this fires.
+        self.done = asyncio.Event()
+
+    # ----------------------------------------------------------------- hooks
+
+    @property
+    def num_blocks(self) -> int:
+        return self.worker.config.oram.num_blocks
+
+    async def _admit(self, request: ServeRequest) -> None:
+        await self.worker.admit(request)
+
+    def _pending(self) -> int:
+        return self.worker.pending()
+
+    def _shutdown(self) -> None:
+        self.worker.engine.flush_durability()
+        self.worker.close()
+
+    def _replicator_for(self, message: dict) -> Optional[Replicator]:
+        shard = message.get("shard", self.shard_id)
+        if shard != self.shard_id:
+            raise ProtocolError(
+                f"this worker serves shard {self.shard_id}, got {shard!r}"
+            )
+        return self.worker.replicator
+
+    async def _work_loop(self) -> None:
+        # Accesses are clocked by the supervisor's ``turn`` commands —
+        # the fixed cross-shard schedule lives in the router, so the
+        # worker owns no access loop. This task only parks until stop;
+        # the drain of still-admitted work happens in :meth:`stop`.
+        while not self._stopping:
+            self._wake.clear()
+            if self._stopping:
+                break
+            await self._wake.wait()
+
+    # --------------------------------------------------------------- control
+
+    async def _handle_control(self, message: dict) -> Optional[dict]:
+        op = message.get("op")
+        if op not in CONTROL_OPS:
+            return None
+        client_id = message.get("id")
+        if op == "turn":
+            async with self._turn_lock:
+                await self.worker.run_turn()
+                if self.worker.pending() == 0:
+                    # The round left this shard idle: seal due/gating
+                    # checkpoints now so no ack waits for the cadence
+                    # (mirrors the inline work loop's idle flush).
+                    self.worker.engine.flush_durability()
+            return {
+                "id": client_id,
+                "ok": True,
+                "pending": self.worker.pending(),
+                "accesses": self.worker.engine.accesses,
+            }
+        if op == "flush":
+            self.worker.engine.flush_durability()
+            return {"id": client_id, "ok": True}
+        if op == "ping":
+            return {"id": client_id, "ok": True, "shard": self.shard_id}
+        if op == "stats":
+            engine = self.worker.engine
+            return {
+                "id": client_id,
+                "ok": True,
+                "shard": self.shard_id,
+                "accesses": engine.accesses,
+                "completed_requests": engine.completed_requests,
+                "pending": self.worker.pending(),
+                "levels": self.worker.config.oram.levels,
+                "num_blocks": self.worker.config.oram.num_blocks,
+            }
+        if op == "verify":
+            return self._verify_response(client_id)
+        # "shutdown": acknowledge, then let the process body stop us —
+        # responding first keeps the supervisor's RPC from failing.
+        self.done.set()
+        return {"id": client_id, "ok": True}
+
+    def _verify_response(self, client_id: object) -> dict:
+        """Label-reconstruction check inside the worker process.
+
+        The cross-shard verifiers cannot observe another process's
+        backend, so the per-shard half of the security argument runs
+        where the backend lives: the recorded bucket trace must equal
+        the deterministic reconstruction from this shard's public leaf
+        labels (requires ``cluster.worker_record_trace``).
+        """
+        from repro.errors import ConfigError
+        from repro.security.adversary import verify_trace_matches_labels
+
+        trace = getattr(self.worker.backend, "trace", None)
+        if trace is None:
+            return {
+                "id": client_id,
+                "ok": False,
+                "error": "tracing disabled (set cluster.worker_record_trace)",
+            }
+        engine = self.worker.engine
+        leaves = [record[0] for record in engine.records]
+        if not leaves:
+            return {
+                "id": client_id,
+                "ok": True,
+                "accesses": 0,
+                "verified_accesses": 0,
+            }
+        if engine.accesses > len(leaves):
+            return {
+                "id": client_id,
+                "ok": False,
+                "error": (
+                    f"record window overflowed ({engine.accesses} accesses, "
+                    f"{len(leaves)} retained); verify earlier in the run"
+                ),
+            }
+        try:
+            verify_trace_matches_labels(engine.geometry, trace.events, leaves)
+        except ConfigError as exc:
+            return {"id": client_id, "ok": False, "error": str(exc)}
+        return {
+            "id": client_id,
+            "ok": True,
+            "accesses": engine.accesses,
+            "verified_accesses": len(leaves),
+        }
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def stop(self) -> None:
+        # Drain admitted-but-unserved work *before* the inherited stop
+        # cancels sessions: responders there wait on request futures,
+        # which resolve only through turns — running the turns first
+        # means every in-flight request is answered, not orphaned.
+        self._stopping = True
+        while self.worker.pending():
+            async with self._turn_lock:
+                await self.worker.run_turn()
+        self.worker.engine.flush_durability()
+        await super().stop()
+
+
+async def run_worker(
+    config: SystemConfig,
+    shard_id: int,
+    tracer: Optional[Tracer] = None,
+) -> None:
+    """``python -m repro worker`` body: serve one shard until told not to.
+
+    Recovery-on-start: with replication enabled and a non-empty
+    per-shard replica directory, the engine is rebuilt from the newest
+    sealed checkpoint + WAL prefix — the supervisor restarting a
+    crashed worker gets back every acknowledged write (under
+    ``ack_mode="checkpoint"``) without any extra coordination.
+    """
+    from repro.cluster.router import shard_replica_directory
+
+    if not 0 <= shard_id < config.cluster.shards:
+        raise ProtocolError(
+            f"shard must be in [0, {config.cluster.shards}), got {shard_id}"
+        )
+    trace = TraceRecorder() if config.cluster.worker_record_trace else None
+    engine = None
+    recovered = ""
+    if config.replica.enabled:
+        directory = shard_replica_directory(config.replica.dir, shard_id)
+        if os.path.isdir(directory) and os.listdir(directory):
+            from repro.replica.recovery import recover_shard_engine
+
+            engine, report = recover_shard_engine(
+                config, shard_id, trace=trace, tracer=tracer
+            )
+            recovered = f" recovered_seq={report.checkpoint_seq}"
+    service = ShardWorkerService(
+        config, shard_id, tracer=tracer, engine=engine, trace=trace
+    )
+    host, port = await service.start()
+    print(
+        f"{READY_BANNER} shard={shard_id} port={port} host={host}"
+        f"{recovered}",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, service.done.set)
+        except NotImplementedError:  # pragma: no cover — non-POSIX loops
+            pass
+
+    async def orphan_watchdog() -> None:
+        # A SIGKILLed supervisor can never run the fleet shutdown; the
+        # worker notices the reparenting (ppid changes, typically to
+        # init) and exits on its own instead of lingering forever.
+        parent = os.getppid()
+        while os.getppid() == parent:
+            await asyncio.sleep(ORPHAN_POLL_S)
+        service.done.set()
+
+    watchdog = asyncio.create_task(orphan_watchdog())
+    try:
+        await service.done.wait()
+    finally:
+        watchdog.cancel()
+        await service.stop()
+
+
+class WorkerHandle:
+    """The router's client half of one shard worker process.
+
+    Wraps the two :class:`~repro.serve.protocol.FrameClient`
+    connections with shard semantics: :meth:`admit` forwards one
+    translated KV request and resolves its future when the response
+    arrives; :meth:`turn` runs the shard's slot in the dispatch round.
+    A per-handle semaphore sized to the shard's *divided* admission
+    capacity bounds requests in flight — the cluster-wide admission
+    bound holds even though TCP buffers would happily hold more.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        host: str,
+        capacity: int,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.shard_id = shard_id
+        self.host = host
+        self.port = 0
+        self.capacity = capacity
+        self.max_frame_bytes = max_frame_bytes
+        self._data: Optional[protocol.FrameClient] = None
+        self._control: Optional[protocol.FrameClient] = None
+        self._slots = asyncio.Semaphore(capacity)
+        self._tasks: Set[asyncio.Task] = set()
+        #: Requests forwarded but not yet answered by the worker.
+        self.inflight = 0
+        #: The worker's own pending count from its last turn/stats
+        #: response (admission queue + held + engine real work).
+        self.reported_pending = 0
+        #: Engine access count from the last turn/stats response.
+        self.accesses = 0
+
+    @property
+    def connected(self) -> bool:
+        return (
+            self._data is not None
+            and self._data.connected
+            and self._control is not None
+            and self._control.connected
+        )
+
+    async def connect(self, port: int) -> None:
+        """(Re)bind to a worker at ``port`` and open both connections.
+
+        After a restart the previous connections' in-flight calls have
+        already failed; counters reset because the recovered worker's
+        admission state starts empty.
+        """
+        await self.close_clients()
+        self.port = port
+        self._data = protocol.FrameClient(
+            self.host, port, self.max_frame_bytes
+        )
+        self._control = protocol.FrameClient(
+            self.host, port, self.max_frame_bytes
+        )
+        await self._data.connect()
+        await self._control.connect()
+        self._slots = asyncio.Semaphore(self.capacity)
+        self.inflight = 0
+        self.reported_pending = 0
+
+    # ------------------------------------------------------------------- KV
+
+    async def admit(self, request: ServeRequest) -> None:
+        """Forward one shard-local request; resolves its future later.
+
+        Blocks while the shard's admission window is full — the same
+        backpressure point the inline worker's queue provides.
+        """
+        slots = self._slots
+        await slots.acquire()
+        if self._data is None or not self._data.connected:
+            slots.release()
+            self._resolve(request, ok=False, error=(
+                f"shard {self.shard_id} worker is unavailable"
+            ))
+            return
+        message: Dict[str, object] = {"op": request.op, "addr": request.addr}
+        if request.value is not None:
+            message["value"] = request.value
+        self.inflight += 1
+        task = asyncio.create_task(
+            self._finish(request, slots, self._data.call(message))
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _finish(
+        self,
+        request: ServeRequest,
+        slots: asyncio.Semaphore,
+        response_coro: "object",
+    ) -> None:
+        try:
+            response = await response_coro  # type: ignore[misc]
+        except ProtocolError as exc:
+            self._resolve(request, ok=False, error=str(exc))
+        else:
+            self._resolve(
+                request,
+                ok=bool(response.get("ok")),
+                found=bool(response.get("found")),
+                value=response.get("value"),
+                error=response.get("error"),
+            )
+        finally:
+            self.inflight -= 1
+            slots.release()
+
+    @staticmethod
+    def _resolve(
+        request: ServeRequest,
+        *,
+        ok: bool,
+        found: bool = False,
+        value: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        request.status = "proxied" if ok else "failed"
+        request.found = found
+        request.result = value if isinstance(value, str) else None
+        request.error = error if isinstance(error, str) else None
+        if request.future is not None and not request.future.done():
+            request.future.set_result(request)
+
+    # -------------------------------------------------------------- control
+
+    async def turn(self) -> Dict[str, object]:
+        """Run this shard's slot in the current dispatch round."""
+        if self._control is None or not self._control.connected:
+            raise ProtocolError(
+                f"shard {self.shard_id} worker is unavailable"
+            )
+        response = await self._control.call({"op": "turn"})
+        if not response.get("ok"):
+            raise ProtocolError(
+                f"shard {self.shard_id} turn failed: {response.get('error')}"
+            )
+        self.reported_pending = int(response.get("pending", 0) or 0)
+        self.accesses = int(response.get("accesses", 0) or 0)
+        return response
+
+    async def control(self, op: str, **extra: object) -> Dict[str, object]:
+        """One control RPC (``stats``/``flush``/``ping``/``verify``/…)."""
+        if self._control is None or not self._control.connected:
+            raise ProtocolError(
+                f"shard {self.shard_id} worker is unavailable"
+            )
+        message: Dict[str, object] = {"op": op}
+        message.update(extra)
+        return await self._control.call(message)
+
+    def schedule_flush(self) -> None:
+        """Fire-and-forget durability flush (the idle-moment seal)."""
+        if self._control is None or not self._control.connected:
+            return
+        task = asyncio.create_task(self._swallow(self._control.call({"op": "flush"})))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    @staticmethod
+    async def _swallow(coro: "object") -> None:
+        try:
+            await coro  # type: ignore[misc]
+        except ProtocolError:
+            pass
+
+    # ------------------------------------------------------------------ misc
+
+    def pending(self) -> int:
+        return self.inflight + self.reported_pending
+
+    def fail_inflight(self) -> None:
+        """Fail outstanding calls now (the worker process died)."""
+        if self._data is not None:
+            self._data.fail_pending()
+        if self._control is not None:
+            self._control.fail_pending()
+        self.reported_pending = 0
+
+    async def close_clients(self) -> None:
+        if self._data is not None:
+            await self._data.close()
+            self._data = None
+        if self._control is not None:
+            await self._control.close()
+            self._control = None
+        self.reported_pending = 0
+
+
+__all__ = [
+    "READY_BANNER",
+    "CONTROL_OPS",
+    "ShardWorkerService",
+    "WorkerHandle",
+    "run_worker",
+]

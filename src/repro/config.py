@@ -678,12 +678,39 @@ class ClusterConfig:
     min_shard_levels:
         Lower bound on a shard's tree depth when auto-scaling
         (degenerate one-bucket trees stress nothing interesting).
+    workers:
+        Where the shard engines run. ``"inline"`` (default) keeps every
+        shard in the service process — one asyncio loop, zero IPC, the
+        mode unit tests and the in-process security verifiers use.
+        ``"process"`` runs each shard in its own OS process (a
+        ``repro worker``) behind the wire protocol, so K shards use K
+        cores: the router becomes a protocol client and a supervisor
+        owns the worker fleet's lifecycle.
+    worker_host:
+        Bind/connect address for shard worker sockets. Workers are a
+        private backplane, not a public endpoint — keep this on
+        loopback unless every worker host is inside the trust boundary
+        (the worker protocol carries plaintext values).
+    max_worker_restarts:
+        Supervisor restart budget *per worker*: a worker that exits
+        uncleanly is restarted (through the replica recovery path when
+        ``replica.enabled``) at most this many times before the
+        cluster gives up and stops.
+    worker_record_trace:
+        Have each worker process keep an in-memory trace of its
+        backend accesses and expose the ``verify`` control command
+        (label-reconstruction check inside the worker). Off by default:
+        the trace grows with the access count.
     """
 
     shards: int = 1
     dispatch: str = "parallel"
     auto_scale_levels: bool = True
     min_shard_levels: int = 2
+    workers: str = "inline"
+    worker_host: str = "127.0.0.1"
+    max_worker_restarts: int = 3
+    worker_record_trace: bool = False
 
     def __post_init__(self) -> None:
         if not 1 <= self.shards <= 1024:
@@ -696,6 +723,18 @@ class ClusterConfig:
         if self.min_shard_levels < 0:
             raise ConfigError(
                 f"min_shard_levels must be >= 0, got {self.min_shard_levels}"
+            )
+        if self.workers not in ("inline", "process"):
+            raise ConfigError(
+                f"unknown workers mode {self.workers!r} "
+                f"(choose 'inline' or 'process')"
+            )
+        if not self.worker_host:
+            raise ConfigError("worker_host must be non-empty")
+        if self.max_worker_restarts < 0:
+            raise ConfigError(
+                f"max_worker_restarts must be >= 0, "
+                f"got {self.max_worker_restarts}"
             )
 
 
@@ -848,6 +887,31 @@ class SystemConfig:
                 raise ConfigError(f"conflicting overrides under {dotted!r}")
             node[parts[-1]] = value
         return _apply_override_tree(config, tree, "")  # type: ignore[return-value]
+
+
+def flatten_overrides(config: SystemConfig) -> "dict[str, object]":
+    """Flatten a config to the dotted-leaf map ``from_overrides`` takes.
+
+    Every leaf field appears under its dotted path with its live value
+    (plain str/int/float/bool — JSON-serialisable), so
+    ``SystemConfig.from_overrides(flatten_overrides(c)) == c``. This is
+    how a supervisor ships its exact configuration to shard worker
+    processes: one JSON object on the command line, rebuilt through the
+    same validation path as every other config source.
+    """
+    flat: "dict[str, object]" = {}
+
+    def walk(obj: object, prefix: str) -> None:
+        for spec in dataclasses.fields(obj):  # type: ignore[arg-type]
+            value = getattr(obj, spec.name)
+            dotted = f"{prefix}{spec.name}"
+            if dataclasses.is_dataclass(value):
+                walk(value, dotted + ".")
+            else:
+                flat[dotted] = value
+
+    walk(config, "")
+    return flat
 
 
 def table1_processor_config() -> ProcessorConfig:

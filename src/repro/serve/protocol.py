@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import base64
+import itertools
 import json
 import struct
 from typing import Dict, Optional, Tuple
@@ -207,6 +208,123 @@ async def write_message(
     await writer.drain()
 
 
+class FrameClient:
+    """An id-correlated request/response client over the framed protocol.
+
+    One connection carries many concurrent requests: :meth:`call` tags
+    each outgoing message with a fresh integer ``id`` and returns a
+    future resolved when the matching response frame (same echoed
+    ``id``) arrives — responses may come back in any order. A
+    background reader task demultiplexes; when the connection drops,
+    every in-flight call fails with :class:`ProtocolError` rather than
+    hanging. This is the client half the cluster router uses to speak
+    to shard worker processes, but it is protocol-generic: any peer
+    that echoes ``id`` works.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._read_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, "asyncio.Future[Dict[str, object]]"] = {}
+        self._ids = itertools.count(1)
+        self._closed = True
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._closed = False
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    @property
+    def connected(self) -> bool:
+        return (
+            not self._closed
+            and self._writer is not None
+            and not self._writer.is_closing()
+        )
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        cause: Optional[BaseException] = None
+        try:
+            while True:
+                message = await read_message(self._reader, self.max_frame_bytes)
+                if message is None:
+                    break
+                key = message.get("id")
+                future = (
+                    self._pending.pop(key, None) if isinstance(key, int) else None
+                )
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            cause = exc
+        finally:
+            self._closed = True
+            self.fail_pending(cause)
+
+    def fail_pending(self, cause: Optional[BaseException] = None) -> None:
+        """Fail every in-flight call (connection lost or peer died)."""
+        pending, self._pending = self._pending, {}
+        detail = f": {cause}" if cause is not None else ""
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    ProtocolError(
+                        f"connection to {self.host}:{self.port} lost{detail}"
+                    )
+                )
+
+    async def call(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one request; return the response with the same ``id``."""
+        if not self.connected or self._writer is None:
+            raise ProtocolError(f"not connected to {self.host}:{self.port}")
+        request_id = next(self._ids)
+        tagged = dict(message)
+        tagged["id"] = request_id
+        future: "asyncio.Future[Dict[str, object]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        try:
+            await write_message(self._writer, tagged)
+            return await future
+        except (ConnectionError, OSError) as exc:
+            raise ProtocolError(
+                f"connection to {self.host}:{self.port} lost: {exc}"
+            ) from exc
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except asyncio.CancelledError:
+                pass
+            self._read_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self.fail_pending()
+
+
 __all__ = [
     "OPS",
     "REPLICATE_OP",
@@ -224,4 +342,5 @@ __all__ = [
     "frame_bytes",
     "read_message",
     "write_message",
+    "FrameClient",
 ]

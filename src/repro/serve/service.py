@@ -110,7 +110,23 @@ class ServiceFrontEnd:
         self, message: dict
     ) -> Optional[Replicator]:
         """Resolve a ``replicate`` request to a WAL source (None =
-        replication not enabled here; the session gets an error)."""
+        replication not enabled here; the session gets an error). May
+        raise :class:`ProtocolError` for a client-safe diagnostic —
+        e.g. a shard id outside the cluster's valid range — which the
+        session echoes instead of the generic not-enabled message."""
+        del message
+        return None
+
+    async def _handle_control(
+        self, message: dict
+    ) -> Optional[dict]:
+        """Subclass hook for non-KV control operations.
+
+        Called for each decoded frame before KV validation; return a
+        response object to send (the frame was a control command) or
+        None to fall through to the normal request path. Shard worker
+        processes use this for their ``turn``/``stats``/``flush``
+        backplane commands."""
         del message
         return None
 
@@ -185,7 +201,17 @@ class ServiceFrontEnd:
                     # The session becomes a replication stream: ship
                     # checkpoints, WAL records and epoch digests until
                     # the standby disconnects or the service stops.
-                    replicator = self._replicator_for(message)
+                    try:
+                        replicator = self._replicator_for(message)
+                    except ProtocolError as exc:
+                        async with write_lock:
+                            await protocol.write_message(
+                                writer,
+                                protocol.make_response(
+                                    client_id, ok=False, error=str(exc)
+                                ),
+                            )
+                        continue
                     if replicator is None:
                         async with write_lock:
                             await protocol.write_message(
@@ -210,6 +236,11 @@ class ServiceFrontEnd:
                         continue
                     await self._stream_replication(writer, replicator, from_seq)
                     break
+                control_response = await self._handle_control(message)
+                if control_response is not None:
+                    async with write_lock:
+                        await protocol.write_message(writer, control_response)
+                    continue
                 try:
                     addr, op, value = protocol.validate_request(
                         message, self.num_blocks
