@@ -120,10 +120,23 @@ def main(argv=None) -> int:
         help="write a JSONL event trace (first repeat only; disables the "
         "untraced-throughput comparison)",
     )
+    parser.add_argument(
+        "--check-regression",
+        type=pathlib.Path,
+        nargs="?",
+        const=REPO_ROOT / "BENCH_perf.json",
+        default=None,
+        metavar="BASELINE",
+        help="fail (exit 1) if this run's best rate drops more than "
+        f"{int(REGRESSION_TOLERANCE * 100)}%% below the committed "
+        "baseline's median (default baseline: repo BENCH_perf.json)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.requests = 1200
-        args.repeats = 1
+        # The regression gate compares best-of-N, so give it a few
+        # repeats to see past scheduler noise on shared CI runners.
+        args.repeats = 3 if args.check_regression else 1
 
     runs = [
         one_run(args.requests, args.queue, args.trace if i == 0 else None)
@@ -162,6 +175,45 @@ def main(argv=None) -> int:
     if not args.smoke:
         args.output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.output}")
+    if args.check_regression is not None:
+        return check_regression(args.check_regression, report)
+    return 0
+
+
+#: Allowed throughput drop before the regression gate fails the run.
+REGRESSION_TOLERANCE = 0.30
+
+
+def check_regression(baseline_path: pathlib.Path, report: dict) -> int:
+    """CI gate: best rate of this run vs the committed baseline median.
+
+    Best-of-N (not median) is deliberately forgiving: shared CI runners
+    routinely slow individual repeats by 20-30%, but the *best* repeat
+    tracks the code's actual speed closely. A >30% drop of even the
+    best repeat means a real regression, not noise.
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"ERROR: unreadable baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 1
+    reference = baseline["median_accesses_per_s"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    measured = report["best_accesses_per_s"]
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"regression gate: best {measured:.1f} acc/s vs baseline median "
+        f"{reference:.1f} acc/s (floor {floor:.1f}): {verdict}"
+    )
+    if measured < floor:
+        print(
+            "ERROR: throughput regressed more than "
+            f"{int(REGRESSION_TOLERANCE * 100)}% below the committed "
+            "baseline; rerun to rule out noise or update BENCH_perf.json "
+            "with a justified regeneration",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

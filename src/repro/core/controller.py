@@ -174,6 +174,11 @@ class ForkPathController:
         if config.recursion.enabled and config.recursion.plb_entries > 0:
             self.plb = PosMapLookasideBuffer(config.recursion.plb_entries)
 
+        #: Use the batched data plane (one memory/DRAM call per path
+        #: segment). ``False`` selects the per-node reference loops —
+        #: same trace, counters and timing; equivalence tests toggle it.
+        self.batched = True
+
         # Per-access config scalars, resolved once — the config is not
         # mutated after construction.
         self._issue_period_ns = config.issue_period_ns
@@ -539,10 +544,15 @@ class ForkPathController:
             read_end = self.dram.access_many(dram_nodes, False, self.clock_ns)
             # Memory-side (adversary-visible) timestamps carry the DRAM
             # completion time of the burst, matching the timing model.
-            read_blocks = self.memory.read_blocks
-            add_all = self.stash.add_all
-            for node_id in dram_nodes:
-                add_all(read_blocks(node_id, read_end))
+            if self.batched:
+                self.stash.add_all(
+                    self.memory.read_many_blocks(dram_nodes, read_end)
+                )
+            else:
+                read_blocks = self.memory.read_blocks
+                add_all = self.stash.add_all
+                for node_id in dram_nodes:
+                    add_all(read_blocks(node_id, read_end))
         record.read_nodes = len(read_nodes)
         record.dram_read_nodes = len(dram_nodes)
         record.read_end_ns = read_end
@@ -604,6 +614,26 @@ class ForkPathController:
         written_nodes = 0
         dram_written_nodes = 0
         level = geometry.levels
+        if (
+            self.batched
+            and no_cache
+            and level >= retain
+            and not (allow_takeover and next_entry.target_addr is None)
+        ):
+            # Batched refill: when the next scheduled access is real, no
+            # dummy takeover can interrupt the countdown (the legacy
+            # loop's mid-refill _admit/_find_replacement only run when
+            # the next entry is a dummy), so the whole segment collapses
+            # into one eviction sweep, one chained DRAM walk and one
+            # memory write batch — identical events, times and counters.
+            nodes = path[retain : level + 1][::-1]
+            block_lists = stash.collect_path(leaf, retain, z)
+            issue_times, finish = self.dram.access_chain(nodes, finish)
+            self.memory.write_many_blocks(nodes, block_lists, issue_times)
+            written_nodes = len(nodes)
+            dram_written_nodes = written_nodes
+            lowest_written = retain
+            level = retain - 1
         while level >= retain:
             node_id = path[level]
             # collect_for_node honours the z cap, so the list can back

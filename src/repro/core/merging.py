@@ -55,7 +55,11 @@ class ForkState:
         if not self.enabled or not self.resident:
             return list(path)
         depth = len(self.resident)
-        if path[:depth] != self._resident_tuple:
+        # The resident set is an ancestor chain (a path prefix), and in
+        # a heap a node determines all its ancestors — so comparing the
+        # deepest resident node against the path is the full prefix
+        # check at the cost of one lookup.
+        if path[depth - 1] != self._resident_tuple[-1]:
             raise InvariantViolationError(
                 f"resident nodes {self.resident} are not a prefix of "
                 f"path-{leaf} {list(path[:depth])} — scheduler/merge desync"

@@ -209,22 +209,42 @@ class LabelQueue:
         return None
 
     def _overlap_choice(self, current_leaf: int) -> int:
-        """Highest overlap degree; real beats dummy on ties; then FIFO."""
-        levels = self.geometry.levels
+        """Highest overlap degree; real beats dummy on ties; then FIFO.
+
+        Overlap with ``current_leaf`` is monotone in ``x = current_leaf
+        XOR entry.leaf`` (smaller x ⇒ longer shared prefix ⇒ higher
+        overlap), so instead of computing each entry's overlap degree
+        the scan keeps two thresholds: ``win_bound`` (x below it beats
+        the incumbent outright — one fewer leading bit) and
+        ``tie_bound`` (x in [win_bound, tie_bound) has the *same*
+        overlap; only consulted while the incumbent is a dummy, since a
+        real beats a dummy on ties but nothing else does). The common
+        losing entry costs one xor and one compare.
+        """
+        entries = self.entries
         best_index = 0
-        best_overlap = -1
-        best_real = True
-        for index, entry in enumerate(self.entries):
-            # Inlined TreeGeometry.divergence_level — all queue leaves
-            # were minted by random_leaf, so no bounds check needed.
+        # win_bound starts above any leaf xor so entry 0 always wins
+        # the first comparison (matching best_overlap = -1).
+        win_bound = 1 << (self.geometry.levels + 2)
+        tie_bound = -1
+        for index, entry in enumerate(entries):
             x = current_leaf ^ entry.leaf
-            overlap = levels + 1 if x == 0 else levels - x.bit_length() + 1
-            if overlap > best_overlap or (
-                overlap == best_overlap
-                and not best_real
-                and entry.target_addr is not None
-            ):
-                best_overlap = overlap
-                best_real = entry.target_addr is not None
+            if x < win_bound:
                 best_index = index
+                if entry.target_addr is None:
+                    # Incumbent is a dummy: a later real with the same
+                    # overlap (same bit_length of x) may still take over.
+                    if x == 0:
+                        win_bound = 0
+                        tie_bound = 1
+                    else:
+                        win_bound = 1 << (x.bit_length() - 1)
+                        tie_bound = win_bound << 1
+                else:
+                    # Incumbent real: ties can never displace it.
+                    win_bound = 0 if x == 0 else 1 << (x.bit_length() - 1)
+                    tie_bound = -1
+            elif x < tie_bound and entry.target_addr is not None:
+                best_index = index
+                tie_bound = -1
         return best_index

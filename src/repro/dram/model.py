@@ -94,9 +94,16 @@ class DramModel:
         self._t_miss_rp_ns = self._t_miss_ns + timing.t_rp_ns
         # A bucket's physical placement never changes, so locate() is
         # memoised per node id (bounded — an access stream touching more
-        # distinct buckets than this simply re-resolves).
+        # distinct buckets than this simply re-resolves). Small trees
+        # use a flat list indexed by node id instead of a dict: one
+        # C-level index per lookup on the hottest line of the model.
         self._locate_cache: dict = {}
         self._locate_cache_max = 1 << 20
+        self._locate_list: Optional[list] = (
+            [None] * geometry.num_nodes
+            if geometry.num_nodes <= self._locate_cache_max
+            else None
+        )
         # Bound energy hooks — one attribute load instead of three on
         # every bucket transfer.
         self._energy_on_activate = self.energy.on_activate
@@ -105,12 +112,16 @@ class DramModel:
 
     # -------------------------------------------------------------- access
 
-    def access(self, node_id: int, is_write: bool, now_ns: float) -> float:
-        """Transfer one bucket; returns the completion time in ns.
-
-        ``now_ns`` is the earliest the command can issue; the actual
-        start also waits for the target channel's bus.
-        """
+    def _locate(self, node_id: int) -> tuple:
+        """Resolve (and memoise) a node's ``(channel, bank, row)``."""
+        locate_list = self._locate_list
+        if locate_list is not None:
+            loc = locate_list[node_id]
+            if loc is None:
+                location = self.layout.locate(node_id)
+                loc = (location.channel, location.bank, location.row)
+                locate_list[node_id] = loc
+            return loc
         loc = self._locate_cache.get(node_id)
         if loc is None:
             location = self.layout.locate(node_id)
@@ -118,6 +129,15 @@ class DramModel:
                 self._locate_cache.clear()
             loc = (location.channel, location.bank, location.row)
             self._locate_cache[node_id] = loc
+        return loc
+
+    def access(self, node_id: int, is_write: bool, now_ns: float) -> float:
+        """Transfer one bucket; returns the completion time in ns.
+
+        ``now_ns`` is the earliest the command can issue; the actual
+        start also waits for the target channel's bus.
+        """
+        loc = self._locate(node_id)
         channel, bank_index, row = loc
         bank = self._banks[channel][bank_index]
         stats = self.stats
@@ -164,14 +184,133 @@ class DramModel:
         self, node_ids: List[int], is_write: bool, now_ns: float
     ) -> float:
         """Transfer several buckets issued together at ``now_ns``;
-        channels overlap, returns the last completion time."""
-        finish = now_ns
-        access = self.access
+        channels overlap, returns the last completion time.
+
+        One fused loop over the whole batch — identical per-bucket
+        timing, stats and energy accounting to calling :meth:`access`
+        per node (the arithmetic runs in the same order on the same
+        running values), minus the per-node call overhead. Traced runs
+        fall back to per-node calls so ``DramBankBusy`` events are
+        still emitted at the right granularity.
+        """
+        if self._trace:
+            finish = now_ns
+            access = self.access
+            for node_id in node_ids:
+                done = access(node_id, is_write, now_ns)
+                if done > finish:
+                    finish = done
+            return finish
+        max_finish, _ = self._access_batch(node_ids, is_write, now_ns, False)
+        return max_finish
+
+    def access_chain(
+        self, node_ids: List[int], now_ns: float
+    ) -> "tuple[List[float], float]":
+        """Serially chained write transfers: bucket ``i`` issues at
+        bucket ``i-1``'s completion (the refill critical path).
+
+        Returns ``(issue_times, finish)`` where ``issue_times[i]`` is
+        the clock at which bucket ``i`` issued — the timestamp its
+        memory-bus WRITE event must carry — and ``finish`` the final
+        completion time.
+        """
+        if self._trace:
+            issues: List[float] = []
+            clock = now_ns
+            access = self.access
+            for node_id in node_ids:
+                issues.append(clock)
+                clock = access(node_id, True, clock)
+            return issues, clock
+        finish, issues = self._access_batch(node_ids, True, now_ns, True)
+        return issues, finish
+
+    def _access_batch(
+        self, node_ids: List[int], is_write: bool, now_ns: float, chained: bool
+    ) -> "tuple[float, List[float]]":
+        """Shared fused body: parallel issue (reads) or serial chaining
+        (the write refill). Returns ``(finish, issue_times)``."""
+        locate_list = self._locate_list
+        locate = self._locate
+        banks = self._banks
+        channel_free = self._channel_free_ns
+        t_hit = self._t_hit_ns
+        t_miss = self._t_miss_ns
+        t_miss_rp = self._t_miss_rp_ns
+        stats = self.stats
+        breakdown = self.energy.breakdown
+        params = self.energy.params
+        activate_nj = params.activate_nj
+        # Sequential adds on locals seeded from (and stored back to) the
+        # running totals: the same IEEE operation sequence as per-node
+        # access() calls, so batched and per-node runs stay bit-equal.
+        busy_ns = stats.busy_ns
+        activate_acc = breakdown.dram_activate_nj
+        crypto_acc = breakdown.crypto_nj
+        row_hits = 0
+        row_misses = 0
+        issues: List[float] = [] if chained else None  # type: ignore[assignment]
+        clock = now_ns
+        max_finish = now_ns
         for node_id in node_ids:
-            done = access(node_id, is_write, now_ns)
-            if done > finish:
-                finish = done
-        return finish
+            if locate_list is not None:
+                loc = locate_list[node_id]
+                if loc is None:
+                    loc = locate(node_id)
+            else:
+                loc = locate(node_id)
+            channel, bank_index, row = loc
+            bank = banks[channel][bank_index]
+            free = channel_free[channel]
+            start = clock if clock > free else free
+            open_row = bank.open_row
+            if open_row == row:
+                row_hits += 1
+                finish = start + t_hit
+            else:
+                row_misses += 1
+                activate_acc += activate_nj
+                if open_row is None:
+                    finish = start + t_miss
+                else:
+                    finish = start + t_miss_rp
+                bank.open_row = row
+            channel_free[channel] = finish
+            busy_ns += finish - start
+            if chained:
+                issues.append(clock)
+                clock = finish
+                max_finish = finish
+            elif finish > max_finish:
+                max_finish = finish
+        count = len(node_ids)
+        total_bytes = count * self.bucket_bytes
+        stats.row_hits += row_hits
+        stats.row_misses += row_misses
+        stats.busy_ns = busy_ns
+        crypto_per = params.crypto_nj_per_byte * self.bucket_bytes
+        if is_write:
+            stats.writes += count
+            stats.bytes_written += total_bytes
+            write_per = params.write_nj_per_byte * self.bucket_bytes
+            write_acc = breakdown.dram_write_nj
+            for _ in range(count):
+                write_acc += write_per
+                crypto_acc += crypto_per
+            breakdown.dram_write_nj = write_acc
+        else:
+            stats.reads += count
+            stats.bytes_read += total_bytes
+            read_per = params.read_nj_per_byte * self.bucket_bytes
+            read_acc = breakdown.dram_read_nj
+            for _ in range(count):
+                read_acc += read_per
+                crypto_acc += crypto_per
+            breakdown.dram_read_nj = read_acc
+        breakdown.dram_activate_nj = activate_acc
+        breakdown.crypto_nj = crypto_acc
+        return max_finish, issues
 
     # ------------------------------------------------------------- queries
 

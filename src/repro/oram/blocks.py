@@ -32,6 +32,11 @@ class Block:
     addr: int
     leaf: int
     payload: object = None
+    #: Stash insertion sequence number, maintained by
+    #: :class:`~repro.oram.stash.Stash` so eviction can reproduce dict
+    #: insertion order without enumerating the whole stash. Excluded
+    #: from equality/repr — it is bookkeeping, not block identity.
+    order: int = field(default=0, compare=False, repr=False)
 
     def is_dummy(self) -> bool:
         return self.addr == DUMMY_ADDR

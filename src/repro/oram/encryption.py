@@ -28,6 +28,7 @@ import struct
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError, DecryptionError
+from repro.oram import records
 from repro.oram.blocks import Block, Bucket, DUMMY_ADDR
 
 _HEADER = struct.Struct("<qq")  # (addr, leaf) per slot
@@ -69,40 +70,60 @@ class BucketCipher:
 
 
 class NullCipher(BucketCipher):
-    """Identity cipher with a write counter, for fast simulations.
+    """Identity (plaintext) cipher with a write counter, for fast
+    simulations.
 
-    The returned "ciphertext" is a ``(counter, slots)`` tuple — the
-    slots captured as immutable ``(addr, leaf, payload)`` triples so
-    later mutation of the sealed bucket cannot reach the store — and
-    the counter keeps every write-back fresh (no two sealed values
-    compare equal), which the adversary-trace tests rely on.
+    The sealed form is the flat data plane's packed-record byte string
+    (see :mod:`repro.oram.records`): ``counter (16B LE) || nblocks ||
+    records``. Packing by value preserves the old tuple form's mutation
+    isolation — later mutation of a sealed bucket's blocks cannot reach
+    the store — and the counter keeps every write-back fresh (no two
+    sealed values compare equal), which the adversary-trace tests rely
+    on. The 16-byte counter prefix matches
+    :class:`CounterModeCipher`'s layout, so counter harvesting (WAL
+    recovery, promotion) is format-agnostic.
+
+    The legacy ``(counter, ((addr, leaf, payload), ...))`` tuple form
+    is still *opened* transparently, so stores and WALs written before
+    the flat data plane replay cleanly.
     """
 
     def __init__(self) -> None:
         self._counter = 0
 
-    def seal(self, bucket: Bucket, capacity: int) -> object:
+    def seal(self, bucket: Bucket, capacity: int) -> bytes:
         self._counter += 1
-        return (
-            self._counter,
-            tuple([(b.addr, b.leaf, b.payload) for b in bucket.blocks]),
-        )
+        return records.pack(self._counter, bucket.blocks)
 
     def open(self, sealed: object, capacity: int) -> Bucket:
         bucket = Bucket.__new__(Bucket)
         bucket.capacity = capacity
-        bucket.blocks = [Block(a, l, p) for a, l, p in sealed[1]]
+        bucket.blocks = self.open_blocks(sealed, capacity)
         return bucket
 
     def open_blocks(self, sealed: object, capacity: int) -> List[Block]:
-        return [Block(a, l, p) for a, l, p in sealed[1]]
+        if type(sealed) is tuple:  # legacy sealed form
+            return [Block(a, l, p) for a, l, p in sealed[1]]
+        return records.unpack_from(sealed)
 
-    def seal_blocks(self, blocks: List[Block], capacity: int) -> object:
+    def seal_blocks(self, blocks: List[Block], capacity: int) -> bytes:
         self._counter += 1
-        return (
-            self._counter,
-            tuple([(b.addr, b.leaf, b.payload) for b in blocks]),
-        )
+        return records.pack(self._counter, blocks)
+
+    # Counter hand-out for callers that pack records themselves (the
+    # flat store's in-slab seal path): same freshness discipline, the
+    # serialisation just happens at the caller's buffer.
+
+    def next_counter(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def reserve_counters(self, count: int) -> int:
+        """Consume ``count`` counters; returns the first. The caller
+        must use them in ascending order, mirroring sequential seals."""
+        first = self._counter + 1
+        self._counter += count
+        return first
 
 
 class CounterModeCipher(BucketCipher):
@@ -124,6 +145,10 @@ class CounterModeCipher(BucketCipher):
         self._key = bytes(key)
         self._block_bytes = block_bytes
         self._counter = 0
+        #: Reusable plaintext-image scratch buffer: seal/open serialise
+        #: into this instead of allocating a fresh bytearray per bucket
+        #: (the flat data plane's allocation-free steady state).
+        self._scratch = bytearray()
 
     # ------------------------------------------------------------ keystream
 
@@ -180,45 +205,62 @@ class CounterModeCipher(BucketCipher):
             )
         self._counter += 1
         counter = self._counter
-        image = bytearray()
-        slots: List[Optional[Block]] = list(bucket.blocks)
-        slots += [None] * (capacity - len(slots))
-        for slot_index, block in enumerate(slots):
-            if block is None:
-                header = _HEADER.pack(DUMMY_ADDR, 0)
-                # Dummy padding derived from the counter: pseudo-random,
-                # but deterministic so tests can round-trip.
-                pad = self._keystream(counter ^ 0x5A5A5A5A, self._block_bytes)
-                image += header + pad
-            else:
-                image += _HEADER.pack(block.addr, block.leaf)
-                image += self._serialise_payload(block.payload)
-        pad = self._keystream(counter, len(image))
-        body = bytes(a ^ b for a, b in zip(image, pad))
+        slot = self._slot_bytes()
+        total = capacity * slot
+        image = self._scratch
+        if len(image) != total:
+            image = self._scratch = bytearray(total)
+        header_size = _HEADER.size
+        offset = 0
+        for block in bucket.blocks:
+            _HEADER.pack_into(image, offset, block.addr, block.leaf)
+            image[offset + header_size : offset + slot] = self._serialise_payload(
+                block.payload
+            )
+            offset += slot
+        if offset < total:
+            # Dummy padding derived from the counter: pseudo-random, but
+            # deterministic so tests can round-trip. Identical for every
+            # dummy slot of one seal, so derive it once.
+            dummy_pad = self._keystream(counter ^ 0x5A5A5A5A, self._block_bytes)
+            while offset < total:
+                _HEADER.pack_into(image, offset, DUMMY_ADDR, 0)
+                image[offset + header_size : offset + slot] = dummy_pad
+                offset += slot
+        pad = self._keystream(counter, total)
+        # Bytewise XOR via one big-int op (C speed) instead of a Python
+        # per-byte loop; byte-identical output.
+        body = (
+            int.from_bytes(image, "little") ^ int.from_bytes(pad, "little")
+        ).to_bytes(total, "little")
         return counter.to_bytes(16, "little") + body
 
     def open(self, sealed: object, capacity: int) -> Bucket:
         if not isinstance(sealed, (bytes, bytearray)):
             raise DecryptionError("ciphertext must be bytes")
-        sealed = bytes(sealed)
-        expected = 16 + capacity * self._slot_bytes()
+        slot = self._slot_bytes()
+        total = capacity * slot
+        expected = 16 + total
         if len(sealed) != expected:
             raise DecryptionError(
                 f"ciphertext length {len(sealed)} != expected {expected}"
             )
         counter = int.from_bytes(sealed[:16], "little")
-        body = sealed[16:]
-        pad = self._keystream(counter, len(body))
-        image = bytes(a ^ b for a, b in zip(body, pad))
+        pad = self._keystream(counter, total)
+        image = (
+            int.from_bytes(sealed[16:], "little") ^ int.from_bytes(pad, "little")
+        ).to_bytes(total, "little")
         bucket = Bucket(capacity)
-        slot = self._slot_bytes()
-        for slot_index in range(capacity):
-            chunk = image[slot_index * slot : (slot_index + 1) * slot]
-            addr, leaf = _HEADER.unpack(chunk[: _HEADER.size])
-            if addr == DUMMY_ADDR:
-                continue
-            payload = chunk[_HEADER.size :]
-            bucket.add(Block(addr, leaf, payload))
+        header_size = _HEADER.size
+        unpack_from = _HEADER.unpack_from
+        offset = 0
+        for _ in range(capacity):
+            addr, leaf = unpack_from(image, offset)
+            if addr != DUMMY_ADDR:
+                bucket.add(
+                    Block(addr, leaf, image[offset + header_size : offset + slot])
+                )
+            offset += slot
         return bucket
 
 
@@ -262,7 +304,9 @@ def seal_state(key: bytes, plaintext: bytes, nonce: bytes) -> bytes:
         )
     body = hashlib.sha256(plaintext).digest() + plaintext
     pad = _state_keystream(key, nonce, len(body))
-    sealed_body = bytes(a ^ b for a, b in zip(body, pad))
+    sealed_body = (
+        int.from_bytes(body, "little") ^ int.from_bytes(pad, "little")
+    ).to_bytes(len(body), "little")
     header = _STATE_HEADER.pack(_STATE_MAGIC, 1, len(nonce))
     return header + nonce + sealed_body
 
@@ -283,7 +327,9 @@ def open_state(key: bytes, sealed: bytes) -> bytes:
     if len(body) < 32:
         raise DecryptionError("sealed state truncated")
     pad = _state_keystream(key, nonce, len(body))
-    image = bytes(a ^ b for a, b in zip(body, pad))
+    image = (
+        int.from_bytes(body, "little") ^ int.from_bytes(pad, "little")
+    ).to_bytes(len(body), "little")
     digest, plaintext = image[:32], image[32:]
     if hashlib.sha256(plaintext).digest() != digest:
         raise DecryptionError("sealed state digest mismatch (corrupt or wrong key)")

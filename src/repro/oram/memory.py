@@ -15,9 +15,19 @@ timestamps — via :class:`TraceRecorder`.
 from __future__ import annotations
 
 import enum
-from typing import List, MutableMapping, NamedTuple, Optional
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    MutableMapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ConfigError
+from repro.oram import records
 from repro.oram.blocks import Block, Bucket
 from repro.oram.encryption import BucketCipher, NullCipher
 from repro.oram.tree import TreeGeometry
@@ -66,6 +76,156 @@ class TraceRecorder:
         return len(self.events)
 
 
+class FlatNodeStore(MutableMapping):
+    """Flat byte-buffer store of sealed buckets, addressed by node id.
+
+    The tree is carved into fixed-size *chunks* of ``2**CHUNK_BITS``
+    node slots; each touched chunk lazily allocates one contiguous
+    ``bytearray`` slab (``slots * slot_bytes``) plus a per-slot length
+    table. The heap node numbering is level-major, so a chunk spans at
+    most one partial level plus whole deeper levels — paths stay dense
+    in few chunks while an ``L = 24`` tree still costs nothing until
+    written. Sealed images larger than a slot overflow to a side map
+    (``lens`` entry ``-1``); empty slots are ``0``.
+
+    The mapping protocol (``store[node] = sealed_bytes`` / ``bytes``
+    out) keeps every existing ``_store`` consumer working; the sealed
+    value contract is **bytes** — anything else is a :class:`TypeError`
+    (the flat data plane's seal-boundary check). The packed-record hot
+    path (:meth:`pack_slot` / :meth:`blocks_at`) skips the intermediate
+    bytes object entirely, packing into / decoding out of the slab in
+    place.
+    """
+
+    CHUNK_BITS = 9
+
+    def __init__(self, bucket_slots: int, payload_hint: int = 64) -> None:
+        self.slot_bytes = records.slot_capacity(bucket_slots, payload_hint)
+        self._chunk_slots = 1 << self.CHUNK_BITS
+        self._mask = self._chunk_slots - 1
+        #: chunk id -> (slab, per-slot image lengths).
+        self._chunks: Dict[int, Tuple[bytearray, List[int]]] = {}
+        self._spill: Dict[int, bytes] = {}
+        self._count = 0
+
+    def _chunk(self, cid: int) -> Tuple[bytearray, List[int]]:
+        chunk = self._chunks.get(cid)
+        if chunk is None:
+            chunk = self._chunks[cid] = (
+                bytearray(self._chunk_slots * self.slot_bytes),
+                [0] * self._chunk_slots,
+            )
+        return chunk
+
+    # --------------------------------------------------- mapping protocol
+
+    def __getitem__(self, node_id: int) -> bytes:
+        chunk = self._chunks.get(node_id >> self.CHUNK_BITS)
+        if chunk is not None:
+            length = chunk[1][node_id & self._mask]
+            if length > 0:
+                base = (node_id & self._mask) * self.slot_bytes
+                return bytes(chunk[0][base : base + length])
+            if length < 0:
+                return self._spill[node_id]
+        raise KeyError(node_id)
+
+    def get(self, node_id: int, default: object = None) -> object:
+        chunk = self._chunks.get(node_id >> self.CHUNK_BITS)
+        if chunk is None:
+            return default
+        length = chunk[1][node_id & self._mask]
+        if length > 0:
+            base = (node_id & self._mask) * self.slot_bytes
+            return bytes(chunk[0][base : base + length])
+        if length < 0:
+            return self._spill[node_id]
+        return default
+
+    def __setitem__(self, node_id: int, sealed: object) -> None:
+        if type(sealed) is not bytes:
+            if isinstance(sealed, (bytearray, memoryview)):
+                sealed = bytes(sealed)
+            else:
+                raise TypeError(
+                    "sealed buckets must be bytes, got "
+                    f"{type(sealed).__name__}"
+                )
+        slab, lens = self._chunk(node_id >> self.CHUNK_BITS)
+        idx = node_id & self._mask
+        old = lens[idx]
+        if old == 0:
+            self._count += 1
+        elif old < 0:
+            del self._spill[node_id]
+        length = len(sealed)
+        if length <= self.slot_bytes:
+            base = idx * self.slot_bytes
+            slab[base : base + length] = sealed
+            lens[idx] = length
+        else:
+            self._spill[node_id] = sealed
+            lens[idx] = -1
+
+    def __delitem__(self, node_id: int) -> None:
+        chunk = self._chunks.get(node_id >> self.CHUNK_BITS)
+        if chunk is None or chunk[1][node_id & self._mask] == 0:
+            raise KeyError(node_id)
+        if chunk[1][node_id & self._mask] < 0:
+            del self._spill[node_id]
+        chunk[1][node_id & self._mask] = 0
+        self._count -= 1
+
+    def __contains__(self, node_id: int) -> bool:
+        chunk = self._chunks.get(node_id >> self.CHUNK_BITS)
+        return chunk is not None and chunk[1][node_id & self._mask] != 0
+
+    def __iter__(self) -> Iterator[int]:
+        for cid, (_slab, lens) in self._chunks.items():
+            base = cid << self.CHUNK_BITS
+            for idx, length in enumerate(lens):
+                if length != 0:
+                    yield base | idx
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ---------------------------------------------- packed-record access
+
+    def pack_slot(self, node_id: int, counter: int, blocks: List[Block]) -> None:
+        """Seal ``blocks`` straight into the node's slab slot (spilling
+        to the side map if the image outgrows the slot)."""
+        slab, lens = self._chunk(node_id >> self.CHUNK_BITS)
+        idx = node_id & self._mask
+        old = lens[idx]
+        if old == 0:
+            self._count += 1
+        elif old < 0:
+            del self._spill[node_id]
+        base = idx * self.slot_bytes
+        end = records.pack_into(slab, base, base + self.slot_bytes, counter, blocks)
+        if end >= 0:
+            lens[idx] = end - base
+        else:
+            self._spill[node_id] = records.pack(counter, blocks)
+            lens[idx] = -1
+
+    def blocks_at(self, node_id: int) -> Optional[List[Block]]:
+        """Decode the node's real blocks in place (``None`` if never
+        written). Only valid for slots written as packed records."""
+        chunk = self._chunks.get(node_id >> self.CHUNK_BITS)
+        if chunk is None:
+            return None
+        idx = node_id & self._mask
+        length = chunk[1][idx]
+        if length == 0:
+            return None
+        if length < 0:
+            return records.unpack_from(self._spill[node_id])
+        base = idx * self.slot_bytes
+        return records.unpack_from(chunk[0], base, base + length)
+
+
 class UntrustedMemory:
     """Sealed-bucket store addressed by tree node id.
 
@@ -87,8 +247,8 @@ class UntrustedMemory:
         Mapping-like sealed-bucket store keyed by node id (e.g. one of
         the :mod:`repro.serve.backends` implementations, duck-typed so
         this layer stays independent of the service layer). ``None``
-        (the default) keeps the plain in-process dict — the zero
-        overhead simulator hot path.
+        (the default) selects the in-process :class:`FlatNodeStore` —
+        preallocated byte slabs, the simulator hot path.
     """
 
     def __init__(
@@ -107,7 +267,13 @@ class UntrustedMemory:
         self.cipher = cipher if cipher is not None else NullCipher()
         self.trace = trace if trace is not None else TraceRecorder()
         self._store: MutableMapping[int, object] = (
-            backend if backend is not None else {}
+            backend if backend is not None else FlatNodeStore(bucket_slots)
+        )
+        #: Slab fast path: NullCipher's sealed form *is* the packed
+        #: record format, so seal/open collapse to pack_into/unpack_from
+        #: directly on the flat store's slabs — no intermediate bytes.
+        self._packed = isinstance(self._store, FlatNodeStore) and (
+            type(self.cipher) is NullCipher
         )
         self.reads = 0
         self.writes = 0
@@ -140,10 +306,48 @@ class UntrustedMemory:
         trace = self.trace
         if trace.enabled:
             trace.events.append(TraceEvent(MemoryOp.READ, node_id, time_ns))
+        if self._packed:
+            blocks = self._store.blocks_at(node_id)
+            return blocks if blocks is not None else []
         sealed = self._store.get(node_id)
         if sealed is None:
             return []
         return self.cipher.open_blocks(sealed, self.bucket_slots)
+
+    def read_many_blocks(
+        self, node_ids: Sequence[int], time_ns: float = 0.0
+    ) -> List[Block]:
+        """Batched :meth:`read_blocks`: one call for a whole path
+        segment, identical per-node bus events and counters, returning
+        the concatenated real blocks in node order."""
+        num_nodes = self._num_nodes
+        trace = self.trace
+        events = trace.events if trace.enabled else None
+        out: List[Block] = []
+        if self._packed:
+            blocks_at = self._store.blocks_at
+            for node_id in node_ids:
+                if not 0 <= node_id < num_nodes:
+                    self._check_node(node_id)
+                if events is not None:
+                    events.append(TraceEvent(MemoryOp.READ, node_id, time_ns))
+                blocks = blocks_at(node_id)
+                if blocks:
+                    out += blocks
+        else:
+            get = self._store.get
+            open_blocks = self.cipher.open_blocks
+            z = self.bucket_slots
+            for node_id in node_ids:
+                if not 0 <= node_id < num_nodes:
+                    self._check_node(node_id)
+                if events is not None:
+                    events.append(TraceEvent(MemoryOp.READ, node_id, time_ns))
+                sealed = get(node_id)
+                if sealed is not None:
+                    out += open_blocks(sealed, z)
+        self.reads += len(node_ids)
+        return out
 
     def write_bucket(self, node_id: int, bucket: Bucket, time_ns: float = 0.0) -> None:
         """Re-encrypt and store a bucket at ``node_id``."""
@@ -174,7 +378,44 @@ class UntrustedMemory:
         trace = self.trace
         if trace.enabled:
             trace.events.append(TraceEvent(MemoryOp.WRITE, node_id, time_ns))
-        self._store[node_id] = self.cipher.seal_blocks(blocks, self.bucket_slots)
+        if self._packed:
+            self._store.pack_slot(node_id, self.cipher.next_counter(), blocks)
+        else:
+            self._store[node_id] = self.cipher.seal_blocks(blocks, self.bucket_slots)
+
+    def write_many_blocks(
+        self,
+        node_ids: Sequence[int],
+        block_lists: Sequence[List[Block]],
+        times: Sequence[float],
+    ) -> None:
+        """Batched :meth:`write_blocks`: one call per path segment with
+        per-node timestamps (the refill chain's issue times), identical
+        bus events, counters and cipher counter order."""
+        num_nodes = self._num_nodes
+        trace = self.trace
+        events = trace.events if trace.enabled else None
+        if self._packed:
+            pack_slot = self._store.pack_slot
+            counter = self.cipher.reserve_counters(len(node_ids))
+            for node_id, blocks, time_ns in zip(node_ids, block_lists, times):
+                if not 0 <= node_id < num_nodes:
+                    self._check_node(node_id)
+                if events is not None:
+                    events.append(TraceEvent(MemoryOp.WRITE, node_id, time_ns))
+                pack_slot(node_id, counter, blocks)
+                counter += 1
+        else:
+            store = self._store
+            seal_blocks = self.cipher.seal_blocks
+            z = self.bucket_slots
+            for node_id, blocks, time_ns in zip(node_ids, block_lists, times):
+                if not 0 <= node_id < num_nodes:
+                    self._check_node(node_id)
+                if events is not None:
+                    events.append(TraceEvent(MemoryOp.WRITE, node_id, time_ns))
+                store[node_id] = seal_blocks(blocks, z)
+        self.writes += len(node_ids)
 
     # ------------------------------------------------------------ inspection
 

@@ -28,11 +28,15 @@ Two implementations of that rule coexist:
 from __future__ import annotations
 
 import heapq
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import StashOverflowError
 from repro.oram.blocks import Block
 from repro.oram.tree import TreeGeometry
+
+#: Sort key for restoring global insertion order in range-built bins.
+_ORDER_KEY = attrgetter("order")
 
 
 class Stash:
@@ -64,13 +68,22 @@ class Stash:
         #: Leaf-keyed secondary index: leaf label -> {addr: block}.
         #: Kept in sync by add/pop/relabel and by eviction itself.
         self._by_leaf: Dict[int, Dict[int, Block]] = {}
+        #: Monotone insertion sequence; each resident block's ``order``
+        #: mirrors its position in ``_blocks`` (replacement keeps the
+        #: old slot, so it keeps the old order), letting the eviction
+        #: snapshot merge bins by insertion order without enumerating.
+        self._seq = 0
         #: Bumped on any membership or label change; invalidates the
         #: per-access eviction snapshot.
         self._epoch = 0
         self._snap_leaf: Optional[int] = None
         self._snap_epoch = -1
-        self._snap_bins: List[List[Tuple[int, int]]] = []
+        self._snap_bins: List[List[Block]] = []
         self._snap_pos: List[int] = []
+        #: Shallowest level the current snapshot can serve: a snapshot
+        #: built with floor ``f`` only binned blocks with divergence
+        #: > ``f`` (all a refill of levels ``L .. f`` can ever take).
+        self._snap_floor = 0
         self.max_occupancy = 0
         self.occupancy_samples: List[int] = []
 
@@ -96,11 +109,16 @@ class Stash:
         addr = block.addr
         previous = self._blocks.get(addr)
         if previous is not None:
+            # Replacement keeps the dict slot, hence the old order.
+            block.order = previous.order
             old_group = self._by_leaf.get(previous.leaf)
             if old_group is not None:
                 old_group.pop(addr, None)
                 if not old_group:
                     del self._by_leaf[previous.leaf]
+        else:
+            self._seq += 1
+            block.order = self._seq
         self._blocks[addr] = block
         group = self._by_leaf.get(block.leaf)
         if group is None:
@@ -115,20 +133,26 @@ class Stash:
         whole path's worth of blocks (the read-phase hot path)."""
         _blocks = self._blocks
         by_leaf = self._by_leaf
+        seq = self._seq
         for block in blocks:
             addr = block.addr
             previous = _blocks.get(addr)
             if previous is not None:
+                block.order = previous.order
                 old_group = by_leaf.get(previous.leaf)
                 if old_group is not None:
                     old_group.pop(addr, None)
                     if not old_group:
                         del by_leaf[previous.leaf]
+            else:
+                seq += 1
+                block.order = seq
             _blocks[addr] = block
             group = by_leaf.get(block.leaf)
             if group is None:
                 group = by_leaf[block.leaf] = {}
             group[addr] = block
+        self._seq = seq
         self._epoch += 1
         if len(_blocks) > self.max_occupancy:
             self.max_occupancy = len(_blocks)
@@ -210,11 +234,14 @@ class Stash:
 
     def _collect_indexed(self, leaf: int, level: int, capacity: int) -> List[Block]:
         """Indexed implementation: serve from divergence-binned candidates."""
-        if self._snap_leaf != leaf or self._snap_epoch != self._epoch:
+        if (
+            self._snap_leaf != leaf
+            or self._snap_epoch != self._epoch
+            or level < self._snap_floor
+        ):
             self._build_snapshot(leaf)
         bins = self._snap_bins
         positions = self._snap_pos
-        blocks = self._blocks
         # Eligibility at ``level`` is divergence > level, so the
         # candidate pool is the union of bins level+1 .. L+1; a merge by
         # insertion order reproduces the scan path's selection exactly.
@@ -230,22 +257,82 @@ class Stash:
             bin_d = bins[d]
             pos = positions[d]
             end = min(pos + capacity, len(bin_d))
-            while pos < end:
-                chosen.append(blocks[bin_d[pos][1]])
-                pos += 1
-            positions[d] = pos
+            chosen = bin_d[pos:end]
+            positions[d] = end
         elif live:
-            heads = [(bins[d][positions[d]][0], d) for d in live]
+            heads = [(bins[d][positions[d]].order, d) for d in live]
             heapq.heapify(heads)
             while heads and len(chosen) < capacity:
                 _order, d = heapq.heappop(heads)
                 bin_d = bins[d]
                 pos = positions[d]
-                chosen.append(blocks[bin_d[pos][1]])
+                chosen.append(bin_d[pos])
                 pos += 1
                 positions[d] = pos
                 if pos < len(bin_d):
-                    heapq.heappush(heads, (bin_d[pos][0], d))
+                    heapq.heappush(heads, (bin_d[pos].order, d))
+        self._drop_collected(chosen)
+        return chosen
+
+    def collect_path(self, leaf: int, retain: int, z: int) -> List[List[Block]]:
+        """Batched greedy refill of path-``leaf``: one list of evicted
+        blocks per level, ordered leaf (``L``) down to ``retain``.
+
+        Exactly equivalent to calling :meth:`collect_for_node` per level
+        in that order — the per-level candidate pool (bins with
+        divergence > level) grows by one bin per step, so a single
+        persistent heap replaces ``L - retain + 1`` pool rebuilds.
+        """
+        levels = self.geometry.levels
+        if not self.indexed:
+            return [
+                self._collect_scan(leaf, level, z)
+                for level in range(levels, retain - 1, -1)
+            ]
+        if (
+            self._snap_leaf != leaf
+            or self._snap_epoch != self._epoch
+            or self._snap_floor > retain
+        ):
+            self._build_snapshot(leaf, retain)
+        bins = self._snap_bins
+        positions = self._snap_pos
+        out: List[List[Block]] = []
+        heads: List[Tuple[int, int]] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        next_bin = levels + 1  # deepest bin not yet in the pool
+        level = levels
+        while level >= retain:
+            while next_bin > level:
+                pos = positions[next_bin]
+                bin_d = bins[next_bin]
+                if pos < len(bin_d):
+                    push(heads, (bin_d[pos].order, next_bin))
+                next_bin -= 1
+            chosen: List[Block] = []
+            while heads and len(chosen) < z:
+                _order, d = pop(heads)
+                bin_d = bins[d]
+                pos = positions[d]
+                chosen.append(bin_d[pos])
+                pos += 1
+                positions[d] = pos
+                if pos < len(bin_d):
+                    push(heads, (bin_d[pos].order, d))
+            if chosen:
+                self._drop_collected(chosen)
+            out.append(chosen)
+            level -= 1
+        return out
+
+    def _drop_collected(self, chosen: List[Block]) -> None:
+        """Remove evicted blocks from the stash and the leaf index.
+
+        Removal is already reflected in the snapshot's bin positions,
+        so the snapshot stays valid — no epoch bump.
+        """
+        blocks = self._blocks
         by_leaf = self._by_leaf
         for block in chosen:
             addr = block.addr
@@ -255,34 +342,51 @@ class Stash:
                 group.pop(addr, None)
                 if not group:
                     del by_leaf[block.leaf]
-            # Removal is already reflected in the bin positions, so the
-            # snapshot stays valid — no epoch bump.
-        return chosen
 
-    def _build_snapshot(self, leaf: int) -> None:
-        """Bin every resident block by divergence level against
-        path-``leaf``; computed once per (path, stash-state) pair.
+    def _build_snapshot(self, leaf: int, floor: int = 0) -> None:
+        """Bin resident blocks by divergence level against path-``leaf``;
+        computed once per (path, stash-state) pair.
 
-        Bin entries are ``(order, addr)`` where ``order`` is the block's
-        position in ``_blocks`` — dict order is stable while the
-        snapshot is valid (any add/pop/relabel bumps the epoch), so it
-        doubles as the scan path's selection order.
+        With ``floor == 0`` every block is binned, in ``_blocks``
+        iteration order — dict order is stable while the snapshot is
+        valid (any add/pop/relabel bumps the epoch) and equals ascending
+        ``Block.order``, so each bin is pre-sorted by the scan path's
+        selection order and a cross-bin merge only needs ``Block.order``
+        as the key.
+
+        With ``floor > 0`` (a batched refill of levels ``L .. floor``)
+        only blocks with divergence > ``floor`` can ever be collected.
+        Their leaves form one contiguous range of ``2^(L - floor)``
+        labels around ``leaf``, so the build iterates the leaf index
+        instead, rejects each ineligible leaf group with a single
+        xor-and-compare, and restores global insertion order with a
+        per-bin sort on ``Block.order`` (group-internal dict order does
+        not track it — replacement re-appends to the group).
         """
         levels = self.geometry.levels
-        bins: List[List[Tuple[int, int]]] = [[] for _ in range(levels + 2)]
-        # Divergence is a function of the leaf label alone — resolve each
-        # distinct label to its bin's bound append once, via the index.
-        append_of: Dict[int, object] = {}
-        for block_leaf in self._by_leaf:
-            x = block_leaf ^ leaf
-            d = levels + 1 if x == 0 else levels - x.bit_length() + 1
-            append_of[block_leaf] = bins[d].append
-        for order, (addr, block) in enumerate(self._blocks.items()):
-            append_of[block.leaf]((order, addr))
+        top = levels + 1
+        shift = levels + 1
+        bins: List[List[Block]] = [[] for _ in range(levels + 2)]
+        if floor > 0:
+            span = 1 << (levels - floor) if floor <= levels else 0
+            for group_leaf, group in self._by_leaf.items():
+                x = group_leaf ^ leaf
+                if x < span:
+                    bins[top if x == 0 else shift - x.bit_length()].extend(
+                        group.values()
+                    )
+            for bin_d in bins:
+                if len(bin_d) > 1:
+                    bin_d.sort(key=_ORDER_KEY)
+        else:
+            for block in self._blocks.values():
+                x = block.leaf ^ leaf
+                bins[top if x == 0 else shift - x.bit_length()].append(block)
         self._snap_bins = bins
         self._snap_pos = [0] * (levels + 2)
         self._snap_leaf = leaf
         self._snap_epoch = self._epoch
+        self._snap_floor = floor
 
     # ----------------------------------------------------------- accounting
 

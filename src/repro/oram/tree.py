@@ -24,9 +24,11 @@ from typing import Iterator, List, Sequence
 from repro.errors import ConfigError
 
 
-#: Per-geometry bound on memoised paths; covers any realistic working
-#: set of hot leaves while keeping the cache a few MB at paper scale.
-_PATH_CACHE_MAX = 8192
+#: Per-geometry bound on memoised paths. Sized to hold every leaf of
+#: the evaluation geometries (up to 2**16 leaves) so a uniform access
+#: stream never thrashes the cache; larger trees fall back to
+#: clear-on-full, keeping the cache a few tens of MB at worst.
+_PATH_CACHE_MAX = 65536
 
 
 class TreeGeometry:

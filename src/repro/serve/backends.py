@@ -17,6 +17,15 @@ The contract is deliberately two-layered:
   where fault injection can express *time* (latency jitter, stalls that
   trip the operation timeout) as well as errors.
 
+On top of both sit the **batched hot-path ops** — ``get_many`` /
+``put_many`` and ``aget_many`` / ``aput_many`` — one call per path
+segment. The defaults loop the per-node ops (and deliberately fall
+back to a per-node loop whenever ``aget``/``aput`` are overridden, so
+fault injectors and instrumentation still see every node); bundled
+backends override them to genuinely coalesce I/O while recording the
+exact per-node trace events the loop would have. Sealed values must be
+``bytes`` — anything else is a ``TypeError`` at the storage boundary.
+
 Three implementations:
 
 * :class:`InMemoryBackend` — a plain dict; zero overhead.
@@ -106,9 +115,55 @@ class StorageBackend:
         return sealed
 
     def __setitem__(self, node_id: int, sealed: object) -> None:
+        if type(sealed) is not bytes:
+            raise TypeError(
+                "sealed buckets must be bytes at the storage boundary, "
+                f"got {type(sealed).__name__}"
+            )
         self.writes += 1
         self._record(MemoryOp.WRITE, node_id)
         self._save(node_id, sealed)
+
+    # -------------------------------------------------------------- batch API
+
+    def get_many(self, node_ids: List[int]) -> List[Optional[bytes]]:
+        """Read a batch of sealed buckets — the primary hot-path read.
+
+        One result per requested node, in request order; ``None`` where
+        the bucket has never been written. Semantically identical to
+        ``[self.get(n) for n in node_ids]`` — per-node READ trace
+        records in request order, per-node read counters — but a single
+        backend call, so implementations can coalesce the I/O. The base
+        implementation loops :meth:`_load`.
+        """
+        load = self._load
+        record = self._record
+        self.reads += len(node_ids)
+        out: List[Optional[bytes]] = []
+        for node_id in node_ids:
+            record(MemoryOp.READ, node_id)
+            out.append(load(node_id))
+        return out
+
+    def put_many(self, pairs: List[Tuple[int, bytes]]) -> None:
+        """Write a batch of sealed buckets — the primary hot-path write.
+
+        Semantically identical to ``for n, s in pairs: self[n] = s``
+        (per-node WRITE trace records in order, bytes-only contract)
+        with the I/O coalesced by implementations. The base
+        implementation loops :meth:`_save`.
+        """
+        record = self._record
+        save = self._save
+        self.writes += len(pairs)
+        for node_id, sealed in pairs:
+            if type(sealed) is not bytes:
+                raise TypeError(
+                    "sealed buckets must be bytes at the storage boundary, "
+                    f"got {type(sealed).__name__}"
+                )
+            record(MemoryOp.WRITE, node_id)
+            save(node_id, sealed)
 
     def __delitem__(self, node_id: int) -> None:
         raise BackendError("sealed buckets are only ever overwritten")
@@ -129,6 +184,26 @@ class StorageBackend:
 
     async def aput(self, node_id: int, sealed: object) -> None:
         self[node_id] = sealed
+
+    async def aget_many(self, node_ids: List[int]) -> List[Optional[bytes]]:
+        """Batched async read. Coalesces via :meth:`get_many` — unless
+        the backend customises per-node :meth:`aget` (fault injection,
+        instrumentation), in which case the batch loops the per-node
+        twin so a batch consumes the customised path exactly as the
+        equivalent per-node sequence would.
+        """
+        if type(self).aget is not StorageBackend.aget or "aget" in self.__dict__:
+            return [await self.aget(node_id) for node_id in node_ids]
+        return self.get_many(node_ids)
+
+    async def aput_many(self, pairs: List[Tuple[int, bytes]]) -> None:
+        """Batched async write; same per-node-customisation rule as
+        :meth:`aget_many`, keyed on :meth:`aput`."""
+        if type(self).aput is not StorageBackend.aput or "aput" in self.__dict__:
+            for node_id, sealed in pairs:
+                await self.aput(node_id, sealed)
+            return
+        self.put_many(pairs)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -159,6 +234,34 @@ class InMemoryBackend(StorageBackend):
 
     def _len(self) -> int:
         return len(self.data)
+
+    # Coalesced batch ops: one bound dict method for the whole batch
+    # instead of a _load/_save dispatch per node.
+
+    def get_many(self, node_ids: List[int]) -> List[Optional[bytes]]:
+        self.reads += len(node_ids)
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            record = trace.record
+            for node_id in node_ids:
+                record(MemoryOp.READ, node_id, 0.0)
+        data_get = self.data.get
+        return [data_get(node_id) for node_id in node_ids]
+
+    def put_many(self, pairs: List[Tuple[int, bytes]]) -> None:
+        for node_id, sealed in pairs:
+            if type(sealed) is not bytes:
+                raise TypeError(
+                    "sealed buckets must be bytes at the storage boundary, "
+                    f"got {type(sealed).__name__}"
+                )
+        self.writes += len(pairs)
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            record = trace.record
+            for node_id, _sealed in pairs:
+                record(MemoryOp.WRITE, node_id, 0.0)
+        self.data.update(pairs)
 
 
 #: FileBackend record header: node_id, payload length, payload CRC32, tag.
@@ -264,6 +367,32 @@ class FileBackend(StorageBackend):
 
     def _len(self) -> int:
         return len(self._index)
+
+    def put_many(self, pairs: List[Tuple[int, bytes]]) -> None:
+        """Coalesced append: the whole batch becomes one multi-record
+        framed write (one ``write`` + one ``flush`` instead of one per
+        bucket). Record framing is unchanged — recovery replay cannot
+        tell a batch from the equivalent sequence of single appends,
+        and a torn tail still loses only the record it tore.
+        """
+        record = self._record
+        encode = self._encode
+        index = self._index
+        self.writes += len(pairs)
+        chunks: List[bytes] = []
+        for node_id, sealed in pairs:
+            if type(sealed) is not bytes:
+                raise TypeError(
+                    "sealed buckets must be bytes at the storage boundary, "
+                    f"got {type(sealed).__name__}"
+                )
+            record(MemoryOp.WRITE, node_id)
+            chunks.append(encode(node_id, sealed))
+        self._file.write(b"".join(chunks))
+        self._file.flush()
+        for node_id, sealed in pairs:
+            index[node_id] = sealed
+        self.records_appended += len(pairs)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -400,10 +529,36 @@ class FaultyBackend(StorageBackend):
         return default if sealed is None else sealed
 
     def __setitem__(self, node_id: int, sealed: object) -> None:
+        if type(sealed) is not bytes:
+            raise TypeError(
+                "sealed buckets must be bytes at the storage boundary, "
+                f"got {type(sealed).__name__}"
+            )
         self.writes += 1
         self._record(MemoryOp.WRITE, node_id)
         self._fault_sync("write")
         self._save(node_id, sealed)
+
+    # Batch ops intentionally delegate to the per-node ops: every node
+    # in a batch is recorded in the trace and then draws its own fault,
+    # in request order, so a batch consumes the fault stream exactly as
+    # the equivalent per-node sequence would. The first injected error
+    # aborts the batch (nodes before it were served; nodes after it
+    # were never attempted — and never recorded).
+
+    def get_many(self, node_ids: List[int]) -> List[Optional[bytes]]:
+        return [self.get(node_id) for node_id in node_ids]
+
+    def put_many(self, pairs: List[Tuple[int, bytes]]) -> None:
+        for node_id, sealed in pairs:
+            self[node_id] = sealed
+
+    async def aget_many(self, node_ids: List[int]) -> List[Optional[bytes]]:
+        return [await self.aget(node_id) for node_id in node_ids]
+
+    async def aput_many(self, pairs: List[Tuple[int, bytes]]) -> None:
+        for node_id, sealed in pairs:
+            await self.aput(node_id, sealed)
 
     async def _fault_async(self, op: str) -> None:
         import asyncio
@@ -425,6 +580,11 @@ class FaultyBackend(StorageBackend):
         return self._load(node_id)
 
     async def aput(self, node_id: int, sealed: object) -> None:
+        if type(sealed) is not bytes:
+            raise TypeError(
+                "sealed buckets must be bytes at the storage boundary, "
+                f"got {type(sealed).__name__}"
+            )
         self.writes += 1
         self._record(MemoryOp.WRITE, node_id)
         await self._fault_async("write")

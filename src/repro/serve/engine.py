@@ -43,7 +43,7 @@ import itertools
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from collections import deque
 
@@ -191,12 +191,86 @@ class AsyncBucketStore:
 
     async def write_blocks(self, node_id: int, blocks: List[Block]) -> None:
         sealed = self.cipher.seal_blocks(blocks, self.bucket_slots)
+        if type(sealed) is not bytes:
+            raise TypeError(
+                f"cipher {type(self.cipher).__name__} sealed to "
+                f"{type(sealed).__name__}; the storage contract is bytes"
+            )
         await self._attempt("write", node_id, lambda: self.backend.aput(node_id, sealed))
 
     async def write_sealed(self, node_id: int, sealed: object) -> None:
         """Write an already-sealed bucket (the replication path seals
         before WAL logging, so the logged and stored bytes coincide)."""
         await self._attempt("write", node_id, lambda: self.backend.aput(node_id, sealed))
+
+    async def read_many_sealed(self, node_ids: List[int]) -> List[Optional[bytes]]:
+        """Batched path read: one backend round trip for the segment.
+
+        The whole batch is the retry unit — a transient failure or
+        timeout replays every node of the batch (harmless: reads are
+        idempotent and the trace records each replay, exactly as a real
+        storage server would log a retried batch request).
+        """
+        if not node_ids:
+            return []
+        return await self._attempt(
+            "read-batch",
+            node_ids[0],
+            lambda: self.backend.aget_many(node_ids),
+        )
+
+    async def write_many_blocks(
+        self, pairs: List[Tuple[int, List[Block]]]
+    ) -> None:
+        """Seal and write a whole refill segment in one backend call.
+
+        Sealing happens up front (trusted side), then the batch is one
+        ``aput_many`` with the batch as the retry unit. An ambiguous
+        mid-batch failure may leave a prefix of the buckets written;
+        the caller re-inserts every staged block into the stash, which
+        is the same ambiguity contract as the per-node path (stale tree
+        copies are superseded by stash copies on read).
+        """
+        if not pairs:
+            return
+        sealed_pairs: List[Tuple[int, bytes]] = []
+        cipher = self.cipher
+        z = self.bucket_slots
+        for node_id, blocks in pairs:
+            sealed = cipher.seal_blocks(blocks, z)
+            if type(sealed) is not bytes:
+                raise TypeError(
+                    f"cipher {type(cipher).__name__} sealed to "
+                    f"{type(sealed).__name__}; the storage contract is bytes"
+                )
+            sealed_pairs.append((node_id, sealed))
+        await self._attempt(
+            "write-batch",
+            pairs[0][0],
+            lambda: self.backend.aput_many(sealed_pairs),
+        )
+
+    async def write_many_sealed(self, pairs: List[Tuple[int, bytes]]) -> None:
+        """Batched twin of :meth:`write_sealed` (replication path).
+
+        If :meth:`write_sealed` itself has been customised (subclassed
+        or instance-patched — crash-injection tests do this), the batch
+        loops it per node so the customised path observes every write.
+        """
+        if not pairs:
+            return
+        if (
+            type(self).write_sealed is not AsyncBucketStore.write_sealed
+            or "write_sealed" in self.__dict__
+        ):
+            for node_id, sealed in pairs:
+                await self.write_sealed(node_id, sealed)
+            return
+        await self._attempt(
+            "write-batch",
+            pairs[0][0],
+            lambda: self.backend.aput_many(pairs),
+        )
 
     async def _attempt(
         self, op: str, node_id: int, thunk: Callable[[], "asyncio.Future"]
@@ -290,6 +364,11 @@ class ObliviousEngine:
         #: Durability/replication coordinator (None = no WAL, no
         #: checkpoints — the pre-replication behaviour, bit for bit).
         self._replicator = replicator
+        #: Batched data plane: path segments travel as one
+        #: ``aget_many``/``aput_many`` backend call per phase instead of
+        #: one call per bucket. Kept as a toggle so differential tests
+        #: can run the per-node reference loop against the same backend.
+        self.batched = True
         #: Address -> the request whose tree access is in flight.
         self._inflight: Dict[int, ServeRequest] = {}
         #: Address -> later same-address requests awaiting that access.
@@ -407,16 +486,29 @@ class ObliviousEngine:
         try:
             read_nodes = self.fork.read_set(leaf)
             stash = self.stash
-            for node in read_nodes:
-                # A tree node can hold a copy of a stash-resident block
-                # only after an ambiguous write failure (the write landed
-                # but reported failure, so the blocks were re-inserted
-                # into the stash) — the stash copy is the fresh one.
-                stash.add_all(
-                    block
-                    for block in await self.store.read_blocks(node)
-                    if block.addr not in stash
-                )
+            # A tree node can hold a copy of a stash-resident block
+            # only after an ambiguous write failure (the write landed
+            # but reported failure, so the blocks were re-inserted
+            # into the stash) — the stash copy is the fresh one.
+            if self.batched:
+                sealed_buckets = await self.store.read_many_sealed(read_nodes)
+                open_blocks = self.store.cipher.open_blocks
+                z = self.bucket_slots
+                for sealed in sealed_buckets:
+                    if sealed is None:
+                        continue
+                    stash.add_all(
+                        block
+                        for block in open_blocks(sealed, z)
+                        if block.addr not in stash
+                    )
+            else:
+                for node in read_nodes:
+                    stash.add_all(
+                        block
+                        for block in await self.store.read_blocks(node)
+                        if block.addr not in stash
+                    )
             if entry.is_real:
                 self._serve_real(entry)
                 served = True
@@ -429,7 +521,25 @@ class ObliviousEngine:
             z = self.bucket_slots
             written = 0
             replicator = self._replicator
-            if replicator is None:
+            if replicator is None and self.batched:
+                # Batched refill: collect the whole segment, then one
+                # aput_many. The batch is the retry unit; on a final
+                # failure every staged block is re-inserted (an
+                # ambiguous prefix may have landed — stale tree copies
+                # are superseded by stash copies on read, the same
+                # contract as an ambiguous per-node write failure).
+                staged_pairs: List[Tuple[int, List[Block]]] = [
+                    (path[level], self.stash.collect_for_node(leaf, level, z))
+                    for level in range(self.geometry.levels, retain - 1, -1)
+                ]
+                try:
+                    await self.store.write_many_blocks(staged_pairs)
+                except BackendError:
+                    for _node, blocks in staged_pairs:
+                        self.stash.add_all(blocks)
+                    raise
+                written = len(staged_pairs)
+            elif replicator is None:
                 for level in range(self.geometry.levels, retain - 1, -1):
                     blocks = self.stash.collect_for_node(leaf, level, z)
                     try:
@@ -459,15 +569,24 @@ class ObliviousEngine:
                     leaf, [(node, sealed) for node, _b, sealed in staged]
                 )
                 try:
-                    for node, _blocks, sealed in staged:
-                        await self.store.write_sealed(node, sealed)
-                        written += 1
+                    if self.batched:
+                        await self.store.write_many_sealed(
+                            [(node, sealed) for node, _b, sealed in staged]
+                        )
+                        written = len(staged)
+                    else:
+                        for node, _blocks, sealed in staged:
+                            await self.store.write_sealed(node, sealed)
+                            written += 1
                 except BackendError:
                     # Unwritten levels' blocks are not in the tree; put
                     # them back so no address's data is silently lost.
                     # (The WAL already logged them — harmless: recovery
                     # treats the checkpointed stash as authoritative
                     # over stale tree copies, exactly as live reads do.)
+                    # A failed batch may have landed an ambiguous
+                    # prefix, so with batching every staged level is
+                    # re-inserted (written stayed 0 until batch success).
                     for _node, blocks, _sealed in staged[written:]:
                         self.stash.add_all(blocks)
                     raise

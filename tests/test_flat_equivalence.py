@@ -1,0 +1,147 @@
+"""Differential equivalence: flat/batched data plane vs reference loops.
+
+The flat byte-buffer data plane ships three independent fast paths, each
+with a reference toggle kept alive for exactly this suite:
+
+* ``ForkPathController.batched`` — one ``read_many``/``write_many`` +
+  chained DRAM walk per path segment vs the legacy per-node loop;
+* ``Stash.indexed`` — snapshot/heap eviction vs the rescan oracle;
+* ``UntrustedMemory._packed`` — in-slab pack/unpack vs the generic
+  ``seal_blocks``/``open_blocks`` cipher boundary.
+
+All eight combinations must produce the *identical* public behaviour on
+the same seeds: the adversary-visible trace (op, node, timestamp), the
+values returned to the workload, the metrics summary, and the stash
+occupancy trajectory. The serve engine's ``batched`` toggle gets the
+same treatment against its per-node loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro import fork_path_scheduler, traditional_scheduler
+from repro.config import (
+    CacheConfig,
+    SchedulerConfig,
+    ServiceConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.core.controller import ForkPathController
+from repro.experiments.common import SMALL, base_config
+from repro.serve.backends import InMemoryBackend
+from repro.serve.engine import ObliviousEngine, ServeRequest
+from repro.workloads.synthetic import uniform_trace
+from repro.workloads.trace import TraceSource
+
+
+def _run(scheduler, *, batched: bool, indexed: bool, packed: bool,
+         requests: int = 300):
+    """One short saturating run; returns everything observable."""
+    config = base_config(SMALL, scheduler=scheduler)
+    trace = uniform_trace(
+        requests, 2048, 50.0, random.Random(11), write_fraction=0.3
+    )
+    controller = ForkPathController(
+        config, TraceSource(trace), rng=random.Random(12)
+    )
+    controller.batched = batched
+    controller.stash.indexed = indexed
+    if not packed:
+        controller.memory._packed = False
+    metrics = controller.run()
+    return {
+        "values": [request.value for request in trace],
+        "trace": controller.memory.trace.events,
+        "summary": metrics.summary(),
+        "occupancy": list(controller.stash.occupancy_samples),
+    }
+
+
+class TestControllerEquivalence:
+    def test_all_fast_paths_match_reference_fork(self):
+        reference = _run(
+            fork_path_scheduler(16), batched=False, indexed=False, packed=False
+        )
+        for batched in (False, True):
+            for indexed in (False, True):
+                for packed in (False, True):
+                    if not (batched or indexed or packed):
+                        continue
+                    candidate = _run(
+                        fork_path_scheduler(16),
+                        batched=batched,
+                        indexed=indexed,
+                        packed=packed,
+                    )
+                    label = f"batched={batched} indexed={indexed} packed={packed}"
+                    assert candidate["values"] == reference["values"], label
+                    assert candidate["trace"] == reference["trace"], label
+                    assert candidate["summary"] == reference["summary"], label
+                    assert candidate["occupancy"] == reference["occupancy"], label
+
+    def test_fast_paths_match_reference_traditional(self):
+        """Merging off (retain = 0): the batched write covers the whole
+        path — the deepest-possible batch — and must still match."""
+        reference = _run(
+            traditional_scheduler(), batched=False, indexed=False, packed=False
+        )
+        candidate = _run(
+            traditional_scheduler(), batched=True, indexed=True, packed=True
+        )
+        assert candidate["values"] == reference["values"]
+        assert candidate["trace"] == reference["trace"]
+        assert candidate["summary"] == reference["summary"]
+        assert candidate["occupancy"] == reference["occupancy"]
+
+
+def _serve_config(levels: int = 6) -> SystemConfig:
+    return SystemConfig(
+        oram=small_test_config(levels, block_bytes=64),
+        scheduler=SchedulerConfig(label_queue_size=8),
+        cache=CacheConfig(policy="none"),
+        service=ServiceConfig(),
+    )
+
+
+def _drive_engine(batched: bool):
+    engine = ObliviousEngine(_serve_config(), InMemoryBackend())
+    engine.batched = batched
+    results = []
+
+    async def scenario():
+        rng = random.Random(21)
+        for index in range(60):
+            addr = rng.randrange(24)
+            if rng.random() < 0.5:
+                request = ServeRequest(op="put", addr=addr, value=f"v{index}")
+            else:
+                request = ServeRequest(op="get", addr=addr)
+            assert engine.submit(request)
+            for _ in range(200):
+                if not engine.has_pending_real():
+                    break
+                await engine.run_access()
+            results.append((request.op, request.addr, request.found,
+                            request.result, request.status))
+
+    asyncio.run(scenario())
+    return engine, results
+
+
+class TestServeEngineEquivalence:
+    def test_batched_engine_matches_per_node_reference(self):
+        batched_engine, batched_results = _drive_engine(batched=True)
+        reference_engine, reference_results = _drive_engine(batched=False)
+        assert batched_results == reference_results
+        # Access log: (leaf, was_dummy, read_nodes, written) per access.
+        assert list(batched_engine.records) == list(reference_engine.records)
+        # The stored sealed buckets coincide node for node.
+        assert (
+            batched_engine.store.backend.data
+            == reference_engine.store.backend.data
+        )
+        assert batched_engine.accesses == reference_engine.accesses
+        assert batched_engine.real_accesses == reference_engine.real_accesses

@@ -1,0 +1,211 @@
+"""Property tests for the packed sealed-record codec and the flat
+store's allocation behaviour.
+
+The codec (:mod:`repro.oram.records`) is the storage format of the flat
+data plane: every sealed bucket a backend, WAL or slab ever holds is
+one of these images. The properties pinned here:
+
+* round-trip: ``pack``/``pack_into`` then ``unpack_from`` reproduces
+  every block — address, leaf, payload value *and* payload type
+  (``bool`` must not collapse to ``int``, huge ints must survive);
+* framing: ``pack_into`` writes byte-for-byte the same image as
+  ``pack``, at any slab offset;
+* rejection: every strict truncation and structural corruption (bad
+  tag, oversized length field) raises ``DecryptionError`` rather than
+  returning garbage;
+* the flat store runs allocation-free in steady state — a pinned
+  ``tracemalloc`` budget guards against object-graph regressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import random
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import fork_path_scheduler
+from repro.core.controller import ForkPathController
+from repro.errors import DecryptionError
+from repro.experiments.common import SMALL, base_config
+from repro.oram import records
+from repro.oram.blocks import Block
+from repro.oram.memory import FlatNodeStore
+from repro.workloads.synthetic import uniform_trace
+from repro.workloads.trace import TraceSource
+
+_I64 = st.integers(-(1 << 63), (1 << 63) - 1)
+
+#: Payloads covering every tag: None, machine ints, ints past the i64
+#: fast path, bytes, text, and pickle-only objects (bool is an int
+#: subclass — the codec must keep its exact type).
+_PAYLOADS = st.one_of(
+    st.none(),
+    _I64,
+    st.integers(1 << 64, 1 << 80),
+    st.integers(-(1 << 80), -(1 << 64)),
+    st.binary(max_size=200),
+    st.text(max_size=80),
+    st.booleans(),
+    st.tuples(st.integers(0, 9), st.text(max_size=8)),
+)
+
+_BLOCKS = st.lists(
+    st.builds(Block, addr=_I64, leaf=_I64, payload=_PAYLOADS), max_size=8
+)
+
+_COUNTERS = st.integers(0, (1 << 128) - 1)
+
+
+def _assert_blocks_equal(unpacked, blocks) -> None:
+    assert len(unpacked) == len(blocks)
+    for got, want in zip(unpacked, blocks):
+        assert got.addr == want.addr
+        assert got.leaf == want.leaf
+        assert got.payload == want.payload
+        assert type(got.payload) is type(want.payload)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(counter=_COUNTERS, blocks=_BLOCKS)
+    def test_pack_unpack_round_trip(self, counter, blocks):
+        sealed = records.pack(counter, blocks)
+        assert records.unpack_counter(sealed) == counter
+        _assert_blocks_equal(records.unpack_from(sealed), blocks)
+
+    @settings(max_examples=100, deadline=None)
+    @given(counter=_COUNTERS, blocks=_BLOCKS, base=st.integers(0, 64))
+    def test_pack_into_matches_pack_at_any_offset(self, counter, blocks, base):
+        sealed = records.pack(counter, blocks)
+        buf = bytearray(base + len(sealed) + 32)
+        end = records.pack_into(buf, base, len(buf), counter, blocks)
+        assert end == base + len(sealed)
+        assert bytes(buf[base:end]) == sealed
+        _assert_blocks_equal(records.unpack_from(buf, base, end), blocks)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        z=st.integers(1, 8),
+        hint=st.integers(16, 128),
+        seed=st.integers(0, 10_000),
+    )
+    def test_slot_capacity_always_fits_hinted_payloads(self, z, hint, seed):
+        """Any Z blocks whose raw payloads stay within the hint must
+        pack into a ``slot_capacity`` slot (no spill)."""
+        rng = random.Random(seed)
+        blocks = [
+            Block(
+                addr=rng.randrange(1 << 40),
+                leaf=rng.randrange(1 << 20),
+                payload=rng.choice(
+                    [None, rng.randrange(-(1 << 62), 1 << 62),
+                     bytes(rng.randrange(hint + 1))]
+                ),
+            )
+            for _ in range(z)
+        ]
+        cap = records.slot_capacity(z, hint)
+        buf = bytearray(cap)
+        end = records.pack_into(buf, 0, cap, 7, blocks)
+        assert end != -1 and end <= cap
+        _assert_blocks_equal(records.unpack_from(buf, 0, end), blocks)
+
+
+class TestRejection:
+    @settings(max_examples=150, deadline=None)
+    @given(counter=_COUNTERS, blocks=_BLOCKS, cut=st.integers(0, 1_000_000))
+    def test_any_truncation_is_rejected(self, counter, blocks, cut):
+        """Every strict prefix of a sealed image fails to decode (the
+        declared block count outruns the bytes)."""
+        sealed = records.pack(counter, blocks)
+        end = cut % len(sealed) if blocks else cut % records.HEADER_BYTES
+        with pytest.raises(DecryptionError):
+            records.unpack_from(sealed, 0, end)
+
+    @settings(max_examples=100, deadline=None)
+    @given(counter=_COUNTERS, blocks=_BLOCKS.filter(lambda b: len(b) > 0))
+    def test_unknown_tag_is_rejected(self, counter, blocks):
+        image = bytearray(records.pack(counter, blocks))
+        # Tag byte of record 0 sits right after addr|leaf.
+        image[records.HEADER_BYTES + 16] = 200
+        with pytest.raises(DecryptionError):
+            records.unpack_from(bytes(image))
+
+    @settings(max_examples=100, deadline=None)
+    @given(counter=_COUNTERS, blocks=_BLOCKS.filter(lambda b: len(b) > 0))
+    def test_oversized_length_field_is_rejected(self, counter, blocks):
+        image = bytearray(records.pack(counter, blocks))
+        # Length field of record 0 (u16 LE after addr|leaf|tag).
+        off = records.HEADER_BYTES + 17
+        image[off : off + 2] = b"\xff\xff"
+        with pytest.raises(DecryptionError):
+            records.unpack_from(bytes(image))
+
+    def test_header_too_short(self):
+        with pytest.raises(DecryptionError):
+            records.unpack_from(b"\x00" * (records.HEADER_BYTES - 1))
+        with pytest.raises(DecryptionError):
+            records.unpack_counter(b"\x00" * 15)
+
+    def test_oversized_payload_rejected_at_pack_time(self):
+        block = Block(1, 2, b"x" * 70_000)
+        with pytest.raises(DecryptionError):
+            records.pack(1, [block])
+
+
+class TestFlatNodeStore:
+    def test_bytes_only_contract(self):
+        store = FlatNodeStore(bucket_slots=4)
+        store[3] = records.pack(1, [])
+        assert isinstance(store[3], bytes)
+        with pytest.raises(TypeError):
+            store[4] = (1, ())  # legacy tuple sealed form
+        with pytest.raises(TypeError):
+            store[4] = "not-bytes"
+
+    def test_slab_and_spill_round_trip(self):
+        store = FlatNodeStore(bucket_slots=2, payload_hint=16)
+        small = [Block(1, 2, 7), Block(3, 4, None)]
+        big = [Block(5, 6, b"y" * 4096)]  # overruns the slot -> spill
+        store.pack_slot(10, 100, small)
+        store.pack_slot(11, 101, big)
+        _assert_blocks_equal(store.blocks_at(10), small)
+        _assert_blocks_equal(store.blocks_at(11), big)
+        assert records.unpack_counter(store[10]) == 100
+        assert records.unpack_counter(store[11]) == 101
+        assert sorted(store) == [10, 11]
+
+
+class TestSteadyStateAllocations:
+    def test_controller_allocation_budget(self):
+        """Steady-state heap growth per access stays under a pinned
+        budget: the data plane reuses slabs and scratch buffers, so
+        only bounded accounting (occupancy samples, metrics records)
+        may accumulate.
+        """
+        scale = dataclasses.replace(SMALL, trace_requests=900)
+        config = base_config(scale, scheduler=fork_path_scheduler(16))
+        trace = uniform_trace(900, 2048, 50.0, random.Random(3), write_fraction=0.3)
+        controller = ForkPathController(
+            config, TraceSource(trace), rng=random.Random(4)
+        )
+        controller.memory.trace.enabled = False
+        controller.run(max_requests=300)  # warm caches, slabs, stash
+        gc.collect()
+        tracemalloc.start()
+        baseline, _peak = tracemalloc.get_traced_memory()
+        controller.run(max_requests=500)
+        gc.collect()
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        growth = current - baseline
+        # Pinned budget: ~500 accesses of bounded accounting. Measured
+        # ~100-300B/access on CPython 3.11; 1 KiB/access of headroom
+        # still catches a return to per-access bucket/block graphs
+        # (which cost tens of KiB per access).
+        assert growth < 500 * 1024, f"steady-state heap grew {growth} bytes"

@@ -142,7 +142,7 @@ class TestBackends:
         path = str(tmp_path / "store.log")
         backend = FileBackend(path)
         backend[3] = b"sealed-three"
-        backend[7] = (1, ((5, 2, "payload"),))  # NullCipher tuple form
+        backend[7] = b"sealed-seven"
         backend[3] = b"sealed-three-v2"
         backend.close()
 
@@ -150,9 +150,44 @@ class TestBackends:
         assert reopened.recovered_records == 3  # last record per node wins
         assert not reopened.torn_tail
         assert reopened[3] == b"sealed-three-v2"
-        assert reopened[7] == (1, ((5, 2, "payload"),))
+        assert reopened[7] == b"sealed-seven"
         assert sorted(reopened) == [3, 7]
         reopened.close()
+
+    def test_backends_reject_non_bytes_sealed_values(self, tmp_path):
+        # The sealed-value contract is bytes-only at the storage
+        # boundary; the legacy NullCipher tuple form is rejected.
+        backends = [
+            InMemoryBackend(),
+            FileBackend(str(tmp_path / "store.log")),
+            FaultyBackend(InMemoryBackend()),
+        ]
+        for backend in backends:
+            with pytest.raises(TypeError):
+                backend[1] = (1, ((5, 2, "payload"),))
+            with pytest.raises(TypeError):
+                backend.put_many([(1, bytearray(b"x"))])
+            backend.close()
+
+    def test_file_backend_replays_legacy_pickled_records(self, tmp_path):
+        # Logs written before the bytes-only contract may contain
+        # pickled (tag=1) records; recovery must still read them.
+        import pickle
+        import struct
+        import zlib
+
+        path = str(tmp_path / "store.log")
+        legacy = (1, ((5, 2, "payload"),))
+        payload = pickle.dumps(legacy)
+        frame = struct.Struct("<qIIB").pack(
+            7, len(payload), zlib.crc32(payload), 1
+        )
+        with open(path, "wb") as handle:
+            handle.write(frame + payload)
+        backend = FileBackend(path)
+        assert backend.recovered_records == 1
+        assert backend[7] == legacy
+        backend.close()
 
     def test_file_backend_recovers_from_torn_tail(self, tmp_path):
         path = str(tmp_path / "store.log")
