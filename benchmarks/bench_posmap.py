@@ -1,0 +1,279 @@
+"""Recursive position-map benchmark: bounded client state, real service.
+
+Starts the oblivious KV service twice over the same 2^17-leaf tree —
+once with the flat O(N) position map, once with ``posmap.mode=
+recursive`` — drives each with the verifying load generator, and
+reports request throughput plus the two numbers the subsystem exists
+for:
+
+* ``resident_state_bytes`` — the client-side state a checkpoint must
+  carry (position map + stashes + engine counters), measured by
+  tracemalloc around a deep copy of ``engine.capture_state()``;
+* ``address_space_ratio`` — addressable bytes divided by resident
+  bytes. The acceptance bar for the recursive mode is **>= 100x**
+  (the served address space is two orders of magnitude larger than
+  everything the client keeps resident), enforced on every run.
+
+Flat-mode numbers are taken twice: once after the load (the map is
+lazy, so a short run leaves it almost empty) and once after priming a
+lookup of every address — the steady state of a long-lived service,
+and the growth the recursive mode removes. Results go to
+``BENCH_posmap.json`` at the repository root.
+
+Usage::
+
+    python benchmarks/bench_posmap.py            # full run, writes JSON
+    python benchmarks/bench_posmap.py --smoke    # quick CI sanity run
+    python benchmarks/bench_posmap.py --smoke --check-regression
+
+``--check-regression`` compares this run's best recursive throughput
+against the committed baseline median (best-of-N vs median, as in
+``bench_perf.py``) and always re-asserts the 100x ratio bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import copy
+import json
+import pathlib
+import pickle
+import statistics
+import sys
+import tracemalloc
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import (  # noqa: E402
+    CacheConfig,
+    PosmapConfig,
+    SchedulerConfig,
+    ServiceConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.posmap import plan_layout  # noqa: E402
+from repro.oram.tree import TreeGeometry  # noqa: E402
+from repro.serve.loadgen import run_loadgen  # noqa: E402
+from repro.serve.service import OramService  # noqa: E402
+
+LEVELS = 15  # 2^15 leaves -> 131070 addressable 64 B blocks (8 MiB)
+BUDGET_BYTES = 2048  # forces a depth-2 posmap hierarchy
+RATIO_FLOOR = 100.0  # acceptance bar: address space >= 100x resident
+
+#: Allowed throughput drop before the regression gate fails the run.
+#: Wider than the simulator gate: the serve path includes real TCP.
+REGRESSION_TOLERANCE = 0.50
+
+
+def service_config(mode: str, seed: int) -> SystemConfig:
+    return SystemConfig(
+        oram=small_test_config(LEVELS, block_bytes=64),
+        scheduler=SchedulerConfig(label_queue_size=8),
+        cache=CacheConfig(policy="none"),
+        posmap=PosmapConfig(mode=mode, client_budget_bytes=BUDGET_BYTES),
+        service=ServiceConfig(backend="memory"),
+        seed=seed,
+    )
+
+
+def resident_state_bytes(engine) -> int:
+    """Bytes of the client-resident engine state (tracemalloc around a
+    deep copy of the checkpointable state — position map included)."""
+    tracemalloc.start()
+    snapshot = copy.deepcopy(engine.capture_state())
+    resident, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del snapshot
+    return resident
+
+
+def checkpoint_bytes(engine) -> int:
+    """Plaintext size of a state checkpoint (sealing adds a constant)."""
+    state = engine.capture_state()
+    return len(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+async def one_run(mode: str, clients: int, requests: int, seed: int) -> dict:
+    service = OramService(service_config(mode, seed))
+    host, port = await service.start()
+    try:
+        result = await run_loadgen(
+            host,
+            port,
+            clients=clients,
+            requests=requests,
+            num_blocks=service.engine.num_blocks,
+            seed=seed,
+        )
+    finally:
+        await service.stop()
+    if result.lost or result.mismatches or result.failed:
+        raise RuntimeError(
+            f"benchmark run unhealthy ({mode}): lost={result.lost} "
+            f"failed={result.failed} mismatches={result.mismatches}"
+        )
+    engine = service.engine
+    summary = result.summary()
+    run = {
+        "requests_per_s": summary["requests_per_s"],
+        "p95_ms": summary["p95_ns"] / 1e6,
+        "accesses": engine.accesses,
+        "resident_state_bytes": resident_state_bytes(engine),
+        "checkpoint_bytes": checkpoint_bytes(engine),
+    }
+    if mode == "flat":
+        # Steady state of a long-lived flat service: every address has
+        # been looked up once, so the map holds all N labels.
+        for addr in range(engine.num_blocks):
+            engine.posmap.lookup(addr)
+        run["primed_resident_state_bytes"] = resident_state_bytes(engine)
+        run["primed_checkpoint_bytes"] = checkpoint_bytes(engine)
+    return run
+
+
+def describe_layout() -> dict:
+    config = service_config("recursive", seed=0)
+    geometry = TreeGeometry(config.oram.levels)
+    layout = plan_layout(config.oram, config.posmap, geometry)
+    return {
+        "depth": layout.depth,
+        "labels_per_block": layout.labels_per_block,
+        "root_entries": layout.root_entries,
+        "level_entries": [level.entries for level in layout.levels],
+        "posmap_tree_nodes": layout.total_nodes - geometry.num_nodes,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick sanity run (no JSON output)")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=40,
+                        help="requests per client")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_posmap.json")
+    parser.add_argument(
+        "--check-regression",
+        type=pathlib.Path,
+        nargs="?",
+        const=REPO_ROOT / "BENCH_posmap.json",
+        default=None,
+        metavar="BASELINE",
+        help="fail (exit 1) if the best recursive-mode rate drops more "
+        f"than {int(REGRESSION_TOLERANCE * 100)}%% below the committed "
+        "baseline median, or if the 100x state ratio bar is missed",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.clients, args.requests = 2, 12
+        args.repeats = 3 if args.check_regression else 1
+
+    address_space_bytes = None
+    report: dict = {
+        "benchmark": f"posmap flat-vs-recursive, L={LEVELS} 64 B blocks, "
+        f"budget {BUDGET_BYTES} B, {args.clients} clients x "
+        f"{args.requests} requests",
+        "layout": describe_layout(),
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+    }
+    num_blocks = small_test_config(LEVELS, block_bytes=64).num_blocks
+    address_space_bytes = num_blocks * 64
+    report["address_space_bytes"] = address_space_bytes
+
+    for mode in ("flat", "recursive"):
+        runs = [
+            asyncio.run(one_run(mode, args.clients, args.requests, 41 + i))
+            for i in range(args.repeats)
+        ]
+        med = lambda key: statistics.median(r[key] for r in runs)  # noqa: E731
+        entry = {
+            "median_requests_per_s": med("requests_per_s"),
+            "best_requests_per_s": max(r["requests_per_s"] for r in runs),
+            "median_p95_ms": med("p95_ms"),
+            "resident_state_bytes": max(r["resident_state_bytes"] for r in runs),
+            "checkpoint_bytes": max(r["checkpoint_bytes"] for r in runs),
+            "accesses": runs[0]["accesses"],
+        }
+        if mode == "flat":
+            entry["primed_resident_state_bytes"] = max(
+                r["primed_resident_state_bytes"] for r in runs
+            )
+            entry["primed_checkpoint_bytes"] = max(
+                r["primed_checkpoint_bytes"] for r in runs
+            )
+        entry["address_space_ratio"] = (
+            address_space_bytes / entry["resident_state_bytes"]
+        )
+        report[mode] = entry
+        print(
+            f"{mode:9s}: {entry['median_requests_per_s']:8.1f} req/s, "
+            f"p95 {entry['median_p95_ms']:7.2f} ms, resident "
+            f"{entry['resident_state_bytes']:>9d} B "
+            f"({entry['address_space_ratio']:.0f}x smaller than the "
+            f"address space)"
+        )
+    primed = report["flat"]["primed_resident_state_bytes"]
+    print(
+        f"flat primed: resident {primed} B after touching all "
+        f"{num_blocks} addresses "
+        f"({primed / report['recursive']['resident_state_bytes']:.1f}x "
+        f"the recursive resident state)"
+    )
+
+    status = 0
+    ratio = report["recursive"]["address_space_ratio"]
+    if ratio < RATIO_FLOOR:
+        print(
+            f"ERROR: recursive resident state too large — address space "
+            f"is only {ratio:.1f}x resident bytes (bar: {RATIO_FLOOR}x)",
+            file=sys.stderr,
+        )
+        status = 1
+    if not args.smoke and status == 0:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check_regression is not None and status == 0:
+        status = check_regression(args.check_regression, report)
+    return status
+
+
+def check_regression(baseline_path: pathlib.Path, report: dict) -> int:
+    """CI gate: best recursive rate of this run vs the baseline median
+    (best-of-N deliberately forgives shared-runner noise, as in
+    ``bench_perf.py``)."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"ERROR: unreadable baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 1
+    reference = baseline["recursive"]["median_requests_per_s"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    measured = report["recursive"]["best_requests_per_s"]
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"regression gate: best recursive {measured:.1f} req/s vs "
+        f"baseline median {reference:.1f} req/s (floor {floor:.1f}): "
+        f"{verdict}"
+    )
+    if measured < floor:
+        print(
+            "ERROR: recursive-mode throughput regressed more than "
+            f"{int(REGRESSION_TOLERANCE * 100)}% below the committed "
+            "baseline; rerun to rule out noise or update "
+            "BENCH_posmap.json with a justified regeneration",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ from repro.config import (
     DramConfig,
     DramTimingConfig,
     OramConfig,
+    PosmapConfig,
     ProcessorConfig,
     RecursionConfig,
     ReplicaConfig,
@@ -80,6 +81,7 @@ __all__ = [
     "DramConfig",
     "DramTimingConfig",
     "OramConfig",
+    "PosmapConfig",
     "ProcessorConfig",
     "RecursionConfig",
     "ReplicaConfig",

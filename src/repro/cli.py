@@ -104,6 +104,9 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"default label queue: {config.scheduler.label_queue_size}")
     print(f"default cache: {config.cache.policy} "
           f"{config.cache.capacity_bytes >> 10} KiB")
+    print(f"default posmap: {config.posmap.mode} "
+          f"(budget {config.posmap.client_budget_bytes >> 10} KiB "
+          f"in recursive mode)")
     print("figures: " + ", ".join(f"fig{n}" for n in range(10, 20)))
     from repro.serve import available_backends
 

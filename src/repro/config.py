@@ -440,6 +440,58 @@ class RecursionConfig:
 
 
 @dataclass(frozen=True)
+class PosmapConfig:
+    """Position-map storage mode for the live service engine.
+
+    ``flat`` (default) keeps the whole address → leaf map resident in
+    engine memory — simple, but client state and sealed checkpoints are
+    O(N) in the address space. ``recursive`` stores the map in a chain
+    of small ORAM trees over the same storage backend as the data tree
+    (the Path ORAM recursive construction), keeping only a root map and
+    per-level stashes resident; client state becomes O(stash + root).
+
+    Attributes
+    ----------
+    mode:
+        ``"flat"`` or ``"recursive"``.
+    client_budget_bytes:
+        Resident-label budget in *model* bytes (entries × label_bytes):
+        recursion keeps adding levels until the root map fits this
+        budget. The Python runtime adds a constant per-entry overhead
+        on top; the budget controls the asymptotics, not the exact RSS.
+    labels_per_block:
+        Leaf labels packed per PosMap block. ``0`` (default) derives
+        the packing from ``oram.block_bytes`` so PosMap payloads match
+        the data plane's block size.
+    label_bytes:
+        Width of one packed label. Must be able to hold every level's
+        leaf range (validated when the layout is planned).
+    """
+
+    mode: str = "flat"
+    client_budget_bytes: int = 64 * 1024
+    labels_per_block: int = 0
+    label_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("flat", "recursive"):
+            raise ConfigError(
+                f"posmap.mode must be 'flat' or 'recursive', got {self.mode!r}"
+            )
+        if self.client_budget_bytes < self.label_bytes:
+            raise ConfigError(
+                "posmap.client_budget_bytes too small for one label"
+            )
+        if self.labels_per_block < 0 or self.labels_per_block == 1:
+            raise ConfigError(
+                "posmap.labels_per_block must be 0 (auto) or >= 2, "
+                f"got {self.labels_per_block}"
+            )
+        if self.label_bytes < 1:
+            raise ConfigError("posmap.label_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """The oblivious key-value service (``repro.serve``).
 
@@ -814,6 +866,7 @@ class SystemConfig:
     dram: DramConfig = field(default_factory=DramConfig)
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     recursion: RecursionConfig = field(default_factory=RecursionConfig)
+    posmap: PosmapConfig = field(default_factory=PosmapConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)

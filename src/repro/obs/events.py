@@ -294,6 +294,10 @@ class ServiceCompleted(Event):
     * ``sched_wait_ns`` — label-queue wait until its access began
       (exactly 0 for on-chip stash hits, which are never queued)
     * ``service_ns`` — the tree access itself
+    * ``posmap_ns`` (optional) — the request's position-map chain,
+      present only under ``posmap.mode=recursive``
+    * ``durability_ns`` (optional) — checkpoint-gated ack wait,
+      present only under ``replica.ack_mode="checkpoint"``
     """
 
     request_id: int = 0

@@ -175,10 +175,12 @@ PHASE_KEYS_BY_KIND = {
 #: Phase keys an emitter MAY add to a breakdown; when present they take
 #: part in the exact phase-sum check. ``durability_ns`` appears on
 #: ``service_completed`` only when the response was held for a sealed
-#: checkpoint (``replica.ack_mode="checkpoint"``) — pre-replication
-#: traces omit it and stay valid.
+#: checkpoint (``replica.ack_mode="checkpoint"``); ``posmap_ns`` only
+#: when a recursive position-map chain ran for the request
+#: (``posmap.mode=recursive``) — pre-replication and flat-posmap
+#: traces omit them and stay valid.
 OPTIONAL_PHASE_KEYS_BY_KIND = {
-    "service_completed": ("durability_ns",),
+    "service_completed": ("durability_ns", "posmap_ns"),
 }
 
 

@@ -69,6 +69,27 @@ class PositionMap:
     def items(self):
         return self._map.items()
 
+    #: Flat maps resolve labels synchronously; the engine only folds
+    #: posmap chains into its schedule when this is True.
+    requires_chain = False
+
+    def state_dict(self) -> Dict[int, int]:
+        """Checkpoint form: the plain address → leaf dict (kept as the
+        historical sealed-checkpoint layout, so old checkpoints load)."""
+        return dict(self._map)
+
+    def load_state(self, state: object) -> None:
+        """Restore from :meth:`state_dict` (fresh map only)."""
+        if isinstance(state, dict) and state.get("kind") == "recursive":
+            raise ConfigError(
+                "checkpoint posmap state is recursive but the engine is "
+                "in flat mode; recover with posmap.mode=recursive"
+            )
+        if self._map:
+            raise ConfigError("load_state requires a fresh position map")
+        for addr, leaf in state.items():  # type: ignore[union-attr]
+            self.assign(addr, leaf)
+
 
 class RecursiveAddressSpace:
     """Unified-address-space layout for hierarchical Path ORAM.

@@ -1,0 +1,56 @@
+"""``repro.posmap`` — position-map storage for the live service engine.
+
+The subsystem sits between :class:`repro.serve.engine.ObliviousEngine`
+and storage: :func:`build_position_map` returns either the flat
+resident :class:`repro.oram.posmap.PositionMap` or a
+:class:`HierarchicalPositionMap` whose levels live in small ORAM trees
+on the engine's own backend, keeping client state bounded by
+``posmap.client_budget_bytes`` however large the address space grows.
+
+See ``docs/POSMAP.md`` for the construction, trace shape and failure
+semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+from repro.config import SystemConfig
+from repro.oram.posmap import PositionMap
+from repro.oram.tree import TreeGeometry
+from repro.posmap.hierarchical import HierarchicalPositionMap
+from repro.posmap.layout import PosmapLayout, PosmapLevel, plan_layout
+
+AnyPositionMap = Union[PositionMap, HierarchicalPositionMap]
+
+
+def build_position_map(
+    config: SystemConfig, geometry: TreeGeometry, rng: random.Random
+) -> AnyPositionMap:
+    """The memory-budget factory: flat map or recursive chain.
+
+    ``posmap.mode=flat`` always returns the resident map.
+    ``posmap.mode=recursive`` plans a layout for the configured budget
+    and returns a :class:`HierarchicalPositionMap`; when the whole map
+    already fits the budget (depth 0) the flat map is returned — the
+    budget is met without paying for chains.
+    """
+    if config.posmap.mode == "flat":
+        return PositionMap(geometry, rng)
+    layout = plan_layout(config.oram, config.posmap, geometry)
+    if layout.depth == 0:
+        return PositionMap(geometry, rng)
+    return HierarchicalPositionMap(
+        layout, geometry, rng, config.oram.stash_capacity
+    )
+
+
+__all__ = [
+    "AnyPositionMap",
+    "HierarchicalPositionMap",
+    "PosmapLayout",
+    "PosmapLevel",
+    "build_position_map",
+    "plan_layout",
+]

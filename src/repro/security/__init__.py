@@ -23,6 +23,12 @@ from repro.security.replication import (
     expected_write_trace,
     verify_replication_stream,
 )
+from repro.security.chain import (
+    engine_chain_slots,
+    expected_chain_trace,
+    verify_chain_trace,
+    verify_chain_replication_stream,
+)
 from repro.security.cluster import (
     InterleavedTraceRecorder,
     verify_visit_schedule,
@@ -47,6 +53,10 @@ __all__ = [
     "wal_public_trace",
     "expected_write_trace",
     "verify_replication_stream",
+    "engine_chain_slots",
+    "expected_chain_trace",
+    "verify_chain_trace",
+    "verify_chain_replication_stream",
     "InterleavedTraceRecorder",
     "verify_visit_schedule",
     "verify_shard_balance",

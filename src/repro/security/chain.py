@@ -1,0 +1,218 @@
+"""Chain-aware trace verification for the recursive position map.
+
+With ``posmap.mode=recursive`` every engine slot is a fixed-shape
+compound access: one full-path read + full-path write per posmap level
+(deepest first, on that level's node-id range) followed by the data
+tree's fork-path access (read below the fork with the previous data
+leaf, refill down to the fork with the next). The whole bus trace is
+therefore still a deterministic function of public information — the
+per-slot *leaf tuples* — exactly as in the flat case; only the
+function changed.
+
+:func:`expected_chain_trace` makes that argument executable, and
+:func:`verify_chain_trace` asserts a recorded backend trace equals the
+reconstruction. :func:`verify_chain_replication_stream` is the WAL
+twin: posmap records (classified by node-id range) must be full-path
+refills of their level tree, data records the fork-merged refills of
+the data-record label subsequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, ReplicationError
+from repro.oram.memory import MemoryOp, TraceEvent
+from repro.oram.tree import TreeGeometry
+from repro.posmap.layout import PosmapLayout
+from repro.replica.wal import WalRecord
+
+#: One slot of public labels: the per-level chain leaves (deepest
+#: posmap level first) and the data-tree leaf.
+ChainSlot = Tuple[Tuple[int, ...], int]
+
+
+def engine_chain_slots(engine) -> List[ChainSlot]:
+    """Pair an engine's chain records with its data-access records.
+
+    Valid for clean runs (no failed accesses): each successful slot
+    appends exactly one chain tuple and one data record, in order.
+    """
+    chains = list(engine.posmap.chain_records)
+    data = [record[0] for record in engine.records]
+    if len(chains) != len(data):
+        raise ConfigError(
+            f"chain/data record mismatch ({len(chains)} chains, "
+            f"{len(data)} data accesses) — the run saw failed accesses; "
+            f"chain verification needs a clean trace"
+        )
+    return list(zip(chains, data))
+
+
+def expected_chain_trace(
+    layout: PosmapLayout,
+    geometry: TreeGeometry,
+    slots: Sequence[ChainSlot],
+    merging: bool = True,
+) -> List[Tuple[MemoryOp, int]]:
+    """Recompute the full bus trace from the per-slot label tuples.
+
+    Per slot: each posmap level's access is plain Path ORAM — read the
+    full path root-first, write it back leaf-first, at that level's
+    node-id offset (no merging: consecutive accesses on a level tree
+    are independent uniform draws). The data access then follows the
+    fork-path discipline against the *data-leaf subsequence* exactly
+    as :func:`repro.security.expected_fork_trace` describes.
+    """
+    depth = layout.depth
+    trace: List[Tuple[MemoryOp, int]] = []
+    data_leaves = [leaf for _chain, leaf in slots]
+    for index, (chain, leaf) in enumerate(slots):
+        if len(chain) != depth:
+            raise ConfigError(
+                f"slot {index} has {len(chain)} chain leaves, layout "
+                f"depth is {depth}"
+            )
+        for level, level_leaf in zip(reversed(layout.levels), chain):
+            base = level.node_base
+            path = level.geometry.path_nodes(level_leaf)
+            for node_id in path:
+                trace.append((MemoryOp.READ, base + node_id))
+            for node_id in reversed(path):
+                trace.append((MemoryOp.WRITE, base + node_id))
+        path = geometry.path_nodes(leaf)
+        if merging and index > 0:
+            read_from = geometry.divergence_level(data_leaves[index - 1], leaf)
+        else:
+            read_from = 0
+        for node_id in path[read_from:]:
+            trace.append((MemoryOp.READ, node_id))
+        if merging and index + 1 < len(slots):
+            retain = geometry.divergence_level(leaf, data_leaves[index + 1])
+        else:
+            retain = 0
+        for level in range(geometry.levels, retain - 1, -1):
+            trace.append((MemoryOp.WRITE, path[level]))
+    return trace
+
+
+def verify_chain_trace(
+    layout: PosmapLayout,
+    geometry: TreeGeometry,
+    events: Sequence[TraceEvent],
+    slots: Sequence[ChainSlot],
+    merging: bool = True,
+) -> None:
+    """Raise unless the observed trace equals the chain reconstruction.
+
+    Like :func:`repro.security.verify_trace_matches_labels`, the final
+    slot's data refill depends on a successor label the verifier has
+    not seen, so divergence inside that last fork-path write tail is
+    tolerated; everything before it must match event for event.
+    """
+    if not slots:
+        raise ConfigError("need at least one executed slot")
+    expected = expected_chain_trace(layout, geometry, slots, merging)
+    observed = [(event.op, event.node_id) for event in events]
+    last_leaf_path = set(geometry.path_nodes(slots[-1][1]))
+    limit = min(len(expected), len(observed))
+    for position in range(limit):
+        if expected[position] != observed[position]:
+            exp_op, exp_node = expected[position]
+            obs_op, obs_node = observed[position]
+            in_tail = (
+                exp_op is MemoryOp.WRITE
+                and obs_node in last_leaf_path
+                and position >= limit - (geometry.levels + 1)
+            )
+            if in_tail:
+                break  # inside the final, unseen-fork data refill
+            raise ConfigError(
+                f"trace diverges from chain reconstruction at event "
+                f"{position}: expected {exp_op.value} {exp_node}, "
+                f"observed {obs_op.value} {obs_node}"
+            )
+    if len(observed) > len(expected):
+        raise ConfigError(
+            f"trace has {len(observed) - len(expected)} events beyond "
+            f"the chain reconstruction"
+        )
+
+
+def verify_chain_replication_stream(
+    layout: PosmapLayout,
+    geometry: TreeGeometry,
+    records: Sequence[WalRecord],
+    *,
+    merging: bool = True,
+    backend: Optional[object] = None,
+) -> None:
+    """Chain-aware twin of :func:`verify_replication_stream`.
+
+    Each WAL record is classified by the node-id range of its writes:
+    posmap records must be full-path leaf-first refills of their level
+    tree; data records must be the fork-merged refills of the *data
+    label subsequence* (posmap records interleave freely between them
+    without affecting the fork). The final data record's writes need
+    only be a leaf-first prefix, as in the flat verifier. With
+    ``backend`` given, the last-writer-wins replay must reproduce it
+    exactly — posmap buckets included.
+    """
+    # Posmap accesses always refill a full (non-empty) path, so a
+    # record is a posmap record iff its first write lands in a level's
+    # node range; empty write sets (an access whose successor shares
+    # its whole path) are data records, as in the flat verifier.
+    data_indices = [
+        index
+        for index, record in enumerate(records)
+        if not record.writes
+        or layout.level_of_node(record.writes[0][0]) is None
+    ]
+    data_position = {index: rank for rank, index in enumerate(data_indices)}
+    for index, record in enumerate(records):
+        observed = [node_id for node_id, _sealed in record.writes]
+        level = layout.level_of_node(observed[0]) if observed else None
+        if level is not None:
+            base = level.node_base
+            path = level.geometry.path_nodes(record.leaf)
+            expected = [base + node_id for node_id in reversed(path)]
+            if observed != expected:
+                raise ReplicationError(
+                    f"WAL record seq {record.seq} (posmap level "
+                    f"{level.index}, leaf {record.leaf}) is not a full-"
+                    f"path refill: expected {expected}, logged {observed}"
+                )
+            continue
+        path = geometry.path_nodes(record.leaf)
+        rank = data_position[index]
+        last = rank + 1 == len(data_indices)
+        if merging and not last:
+            next_leaf = records[data_indices[rank + 1]].leaf
+            retain = geometry.divergence_level(record.leaf, next_leaf)
+        else:
+            retain = 0
+        expected = [
+            path[level_index]
+            for level_index in range(geometry.levels, retain - 1, -1)
+        ]
+        if merging and last:
+            expected = expected[: len(observed)]
+        if observed != expected:
+            raise ReplicationError(
+                f"WAL record seq {record.seq} (data leaf {record.leaf}) "
+                f"is not the public refill of its access: expected "
+                f"writes {expected}, logged {observed}"
+            )
+    if backend is not None:
+        from repro.security.replication import _verify_backend_matches
+
+        _verify_backend_matches(records, backend)
+
+
+__all__ = [
+    "ChainSlot",
+    "engine_chain_slots",
+    "expected_chain_trace",
+    "verify_chain_trace",
+    "verify_chain_replication_stream",
+]

@@ -56,9 +56,9 @@ from repro.obs.events import BackendRetry, ServiceAdmitted, ServiceCompleted
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.blocks import Block
 from repro.oram.encryption import BucketCipher, NullCipher
-from repro.oram.posmap import PositionMap
 from repro.oram.stash import Stash
 from repro.oram.tree import TreeGeometry
+from repro.posmap import build_position_map
 from repro.replica.replicator import Replicator
 from repro.serve.backends import StorageBackend
 
@@ -131,6 +131,10 @@ class ServeRequest:
     #: Checkpoint wait under ``replica.ack_mode="checkpoint"``; None
     #: when the response was not gated (the phase key is then omitted).
     durability_ns: Optional[float] = None
+    #: Duration of this request's position-map chain (recursive posmap
+    #: mode only); None when no chain ran (flat mode, stash hits,
+    #: coalesced waiters) — the phase key is then omitted.
+    posmap_ns: Optional[float] = None
     future: Optional["asyncio.Future[ServeRequest]"] = None
 
     def phases(self) -> Dict[str, float]:
@@ -138,13 +142,21 @@ class ServeRequest:
             service_end = self.completed_ns
         else:
             service_end = self.served_ns
+        # The posmap chain runs inside the admitted → scheduled window,
+        # so it is carved out of sched_wait and the sum stays exact.
         phases = {
             "admission_ns": self.admitted_ns - self.arrival_ns,
-            "sched_wait_ns": self.scheduled_ns - self.admitted_ns,
+            "sched_wait_ns": (
+                self.scheduled_ns
+                - self.admitted_ns
+                - (self.posmap_ns or 0.0)
+            ),
             "service_ns": service_end - self.scheduled_ns,
         }
         if self.durability_ns is not None:
             phases["durability_ns"] = self.durability_ns
+        if self.posmap_ns is not None:
+            phases["posmap_ns"] = self.posmap_ns
         return phases
 
     @property
@@ -346,7 +358,16 @@ class ObliviousEngine:
         self.geometry = TreeGeometry(oram.levels)
         self.bucket_slots = oram.bucket_slots
         self.num_blocks = oram.num_blocks
-        self.posmap = PositionMap(self.geometry, self.rng)
+        #: Flat resident map, or a HierarchicalPositionMap whose levels
+        #: live as small ORAM trees on this engine's own backend (node
+        #: ids above the data tree's) — see repro.posmap.
+        self.posmap = build_position_map(config, self.geometry, self.rng)
+        #: True when requests resolve labels via deepest-first posmap
+        #: chains folded into the access schedule (recursive mode).
+        self._posmap_chain: bool = self.posmap.requires_chain
+        #: Requests admitted but whose posmap chain has not run yet
+        #: (recursive mode only); one chain executes per access slot.
+        self._chain_pending: Deque[ServeRequest] = deque()
         self.stash = Stash(self.geometry, oram.stash_capacity)
         self.fork = ForkState(self.geometry, enabled=config.scheduler.enable_merging)
         self.label_queue = LabelQueue(
@@ -407,6 +428,7 @@ class ObliviousEngine:
         """Whether any client work is queued or in flight."""
         return bool(
             self._inflight
+            or self._chain_pending
             or self.label_queue.pending_real
             or (self._next_entry is not None and self._next_entry.is_real)
         )
@@ -433,6 +455,22 @@ class ObliviousEngine:
             self._emit_admitted(request)
             self._apply(request, stash_leaf=block.leaf)
             self._complete(request, "stash")
+            return True
+        if self._posmap_chain:
+            # Recursive mode: the label is not resident — it is
+            # produced by a deepest-first posmap chain that the access
+            # loop runs one-per-slot (run_access), keeping chain timing
+            # independent of request arrival. Admission only reserves a
+            # future label-queue slot.
+            if (
+                self.label_queue.pending_real + len(self._chain_pending)
+                >= self.label_queue.size
+            ):
+                return False
+            request.admitted_ns = now
+            self._inflight[addr] = request
+            self._chain_pending.append(request)
+            self._emit_admitted(request)
             return True
         if not self.label_queue.has_room_for_real():
             return False
@@ -467,7 +505,21 @@ class ObliviousEngine:
     # ---------------------------------------------------------------- access
 
     async def run_access(self) -> None:
-        """Execute one (possibly dummy) fork-path tree access."""
+        """Execute one (possibly dummy) fork-path tree access.
+
+        In recursive posmap mode every slot begins with exactly one
+        position-map chain — real when a request is waiting, dummy
+        otherwise — so the bus always sees ``depth`` fixed-shape posmap
+        accesses followed by one data-tree fork access per slot.
+        """
+        if self._posmap_chain:
+            try:
+                await self._run_chain_step()
+            except BackendError:
+                # The chain consumed this slot; repair state was pinned
+                # inside the posmap and the doomed request (if any)
+                # already failed with its future resolved.
+                return
         now = self.clock()
         entry = self._next_entry
         self._next_entry = None
@@ -621,6 +673,50 @@ class ObliviousEngine:
                 # cannot raise).
                 self.label_queue.insert_real(next_entry)
 
+    async def _run_chain_step(self) -> None:
+        """One posmap chain per access slot (recursive mode only).
+
+        Real when a request waits and the label queue has room for the
+        entry the chain will insert; a dummy chain (uniform random
+        full-path access per level) otherwise, so the posmap trees see
+        a fixed-rate access stream whatever the offered load.
+        """
+        if self._chain_pending and self.label_queue.has_room_for_real():
+            request = self._chain_pending[0]
+            started = self.clock()
+            try:
+                old_leaf, new_leaf = await self.posmap.run_real_chain(
+                    request.addr, self.store, self._replicator
+                )
+            except BackendError as exc:
+                # The posmap pinned repair labels for every pointer the
+                # aborted chain left dangling; the request fails with
+                # its future resolved (exactly-once), same as a failed
+                # data access.
+                self._chain_pending.popleft()
+                self.failed_accesses += 1
+                self._fail_address(request.addr, str(exc))
+                raise
+            self._chain_pending.popleft()
+            now = self.clock()
+            request.posmap_ns = now - started
+            self.label_queue.insert_real(
+                LabelEntry(
+                    leaf=old_leaf,
+                    target_addr=request.addr,
+                    new_leaf=new_leaf,
+                    enqueue_ns=now,
+                )
+            )
+        else:
+            try:
+                await self.posmap.run_dummy_chain(self.store, self._replicator)
+            except BackendError:
+                self.failed_accesses += 1
+                raise
+        if self._replicator is not None:
+            self._replicator.maybe_checkpoint(self.capture_state)
+
     def _maybe_compact(self) -> None:
         """Compact an append-log backend once it holds enough stale
         records (``service.compact_every_appends`` beyond the live set).
@@ -678,7 +774,11 @@ class ObliviousEngine:
             now = self.clock()
             for waiter in waiters:
                 waiter.scheduled_ns = now
-                self._apply(waiter, stash_leaf=self.posmap.lookup(addr))
+                # The block's current label is the one this access just
+                # installed (nothing can remap it while it is in
+                # flight) — read it off the entry rather than the map,
+                # which in recursive mode would need an I/O chain.
+                self._apply(waiter, stash_leaf=entry.new_leaf)
                 self._complete(waiter, "coalesced")
 
     def _apply(self, request: ServeRequest, stash_leaf: int) -> None:
@@ -775,8 +875,12 @@ class ObliviousEngine:
             doomed.extend(waiters)
         now = self.clock()
         for request in doomed:
-            if request.scheduled_ns < request.admitted_ns or request.scheduled_ns == 0.0:
-                request.scheduled_ns = max(request.admitted_ns, request.scheduled_ns)
+            # Keep the phase chain monotone: scheduled must cover
+            # admission plus any posmap chain that already ran, even
+            # though the request never reached its tree access.
+            floor = request.admitted_ns + (request.posmap_ns or 0.0)
+            if request.scheduled_ns < floor:
+                request.scheduled_ns = floor
             request.error = error
             self._complete(request, "failed")
 
@@ -801,7 +905,11 @@ class ObliviousEngine:
             "stash": [
                 (b.addr, b.leaf, b.payload) for b in self.stash.blocks()
             ],
-            "posmap": dict(self.posmap.items()),
+            # One round-trip path for both modes: the flat map stores
+            # its plain dict (the historical layout, so old checkpoints
+            # keep loading); the recursive map stores root + per-level
+            # stashes + repair table — O(resident), never O(N).
+            "posmap": self.posmap.state_dict(),
             "queue": [
                 (e.leaf, e.target_addr, e.new_leaf, e.age, e.enqueue_ns)
                 for e in queue.entries
@@ -844,8 +952,7 @@ class ObliviousEngine:
             Block(addr, leaf, payload)
             for addr, leaf, payload in state["stash"]  # type: ignore[union-attr]
         )
-        for addr, leaf in state["posmap"].items():  # type: ignore[union-attr]
-            self.posmap.assign(addr, leaf)
+        self.posmap.load_state(state["posmap"])
         queue = self.label_queue
 
         def _entry(fields: tuple) -> LabelEntry:
