@@ -1,0 +1,294 @@
+"""Pacing benchmark: what the fixed-temporal-distribution mode costs.
+
+Drives the oblivious KV service with the *same* seeded open-loop
+on/off (square-wave) workload, unpaced and then paced across a sweep
+of ``pace.interval_ns``, and reports the two columns the trade-off is
+made of:
+
+* **added latency** — paced p50/p95 minus the unpaced baseline's: the
+  price of queueing client requests behind a traffic-independent
+  issue clock;
+* **dummy bandwidth overhead** — pure-dummy slots as a fraction of all
+  pace slots, and per completed request: tree accesses (bandwidth,
+  energy) spent only to keep the timeline flat.
+
+A slower cadence (larger ``interval_ns``) buys less dummy bandwidth at
+more queueing latency, and vice versa — the sweep quantifies the curve
+documented in docs/TEMPORAL.md. Results go to ``BENCH_pace.json`` at
+the repository root.
+
+Usage::
+
+    python benchmarks/bench_pace.py            # full sweep, writes JSON
+    python benchmarks/bench_pace.py --smoke    # quick CI sanity run
+    python benchmarks/bench_pace.py --smoke --check-regression
+
+``--check-regression`` compares this run's best paced throughput at
+the gate interval against the committed baseline median (best-of-N vs
+median, as in ``bench_perf.py``) and asserts pacing actually engaged
+(pure-dummy slots were issued).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import statistics
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import (  # noqa: E402
+    CacheConfig,
+    PaceConfig,
+    SchedulerConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.serve.loadgen import run_loadgen  # noqa: E402
+from repro.serve.service import OramService  # noqa: E402
+
+LEVELS = 10
+CLIENTS = 3
+#: Mean open-loop arrival rate per client; the on/off shape sends at
+#: twice this during ON windows and nothing during OFF windows, so a
+#: paced service shows both queueing (ON) and dummy slots (OFF). The
+#: aggregate mean stays below the slowest swept cadence — the regime
+#: pacing is deployed in; past saturation every slot is real and the
+#: latency column is just queueing theory.
+RATE_PER_CLIENT = 40.0
+
+#: The paced cadences swept by the full run; the gate interval leads
+#: so the smoke run (which only runs the first entry) exercises it.
+INTERVALS_NS = (3_000_000.0, 1_500_000.0, 6_000_000.0)
+GATE_INTERVAL_NS = INTERVALS_NS[0]
+
+#: Allowed throughput drop before the regression gate fails the run.
+#: Wider than the simulator gate: the serve path includes real TCP and
+#: the paced loop adds real sleeps.
+REGRESSION_TOLERANCE = 0.50
+
+
+def service_config(interval_ns: float | None, seed: int) -> SystemConfig:
+    pace = (
+        PaceConfig(mode="fixed", interval_ns=interval_ns)
+        if interval_ns is not None
+        else PaceConfig()
+    )
+    return SystemConfig(
+        oram=small_test_config(LEVELS, block_bytes=64),
+        scheduler=SchedulerConfig(label_queue_size=8),
+        cache=CacheConfig(policy="none"),
+        pace=pace,
+        seed=seed,
+    )
+
+
+async def one_run(
+    interval_ns: float | None, clients: int, requests: int, seed: int
+) -> dict:
+    service = OramService(service_config(interval_ns, seed))
+    host, port = await service.start()
+    try:
+        result = await run_loadgen(
+            host,
+            port,
+            clients=clients,
+            requests=requests,
+            num_blocks=service.engine.num_blocks,
+            seed=seed,
+            arrival="onoff",
+            rate=RATE_PER_CLIENT,
+        )
+    finally:
+        await service.stop()
+    if result.lost or result.mismatches or result.failed:
+        raise RuntimeError(
+            f"benchmark run unhealthy (interval={interval_ns}): "
+            f"lost={result.lost} failed={result.failed} "
+            f"mismatches={result.mismatches}"
+        )
+    summary = result.summary()
+    run = {
+        "requests_per_s": summary["requests_per_s"],
+        "p50_ms": summary["p50_ns"] / 1e6,
+        "p95_ms": summary["p95_ns"] / 1e6,
+        "accesses": service.engine.accesses,
+        "completed": result.completed,
+    }
+    if service.pacer is not None:
+        run["slots"] = service.pacer.slots
+        run["dummy_slots"] = service.pacer.dummy_slots
+    return run
+
+
+def aggregate(runs: list[dict]) -> dict:
+    med = lambda key: statistics.median(r[key] for r in runs)  # noqa: E731
+    entry = {
+        "median_requests_per_s": med("requests_per_s"),
+        "best_requests_per_s": max(r["requests_per_s"] for r in runs),
+        "median_p50_ms": med("p50_ms"),
+        "median_p95_ms": med("p95_ms"),
+    }
+    if "slots" in runs[0]:
+        slots = sum(r["slots"] for r in runs)
+        dummies = sum(r["dummy_slots"] for r in runs)
+        completed = sum(r["completed"] for r in runs)
+        entry["dummy_fraction"] = dummies / slots if slots else 0.0
+        entry["dummy_slots_per_request"] = (
+            dummies / completed if completed else 0.0
+        )
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="gate interval only, fewer requests, no JSON")
+    parser.add_argument("--clients", type=int, default=CLIENTS)
+    parser.add_argument("--requests", type=int, default=40,
+                        help="requests per client")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_pace.json")
+    parser.add_argument(
+        "--check-regression",
+        type=pathlib.Path,
+        nargs="?",
+        const=REPO_ROOT / "BENCH_pace.json",
+        default=None,
+        metavar="BASELINE",
+        help="fail (exit 1) if the best paced rate at the gate interval "
+        f"drops more than {int(REGRESSION_TOLERANCE * 100)}%% below the "
+        "committed baseline median, or if pacing issued no dummy slots",
+    )
+    args = parser.parse_args(argv)
+    intervals = INTERVALS_NS
+    if args.smoke:
+        args.requests = 15
+        intervals = INTERVALS_NS[:1]
+        args.repeats = 3 if args.check_regression else 1
+
+    report: dict = {
+        "benchmark": f"pace off-vs-fixed sweep, L={LEVELS} 64 B blocks, "
+        f"{args.clients} on/off open-loop clients x {args.requests} "
+        f"requests at {RATE_PER_CLIENT:.0f}/s mean each",
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+    }
+
+    baseline_runs = [
+        asyncio.run(one_run(None, args.clients, args.requests, 61 + i))
+        for i in range(args.repeats)
+    ]
+    baseline = aggregate(baseline_runs)
+    report["baseline"] = baseline
+    print(
+        f"pace off : {baseline['median_requests_per_s']:8.1f} req/s, "
+        f"p50 {baseline['median_p50_ms']:6.2f} ms, "
+        f"p95 {baseline['median_p95_ms']:6.2f} ms"
+    )
+
+    report["intervals"] = []
+    for interval_ns in intervals:
+        runs = [
+            asyncio.run(
+                one_run(interval_ns, args.clients, args.requests, 61 + i)
+            )
+            for i in range(args.repeats)
+        ]
+        entry = {"interval_ns": interval_ns, **aggregate(runs)}
+        entry["added_p50_ms"] = (
+            entry["median_p50_ms"] - baseline["median_p50_ms"]
+        )
+        entry["added_p95_ms"] = (
+            entry["median_p95_ms"] - baseline["median_p95_ms"]
+        )
+        report["intervals"].append(entry)
+        print(
+            f"{interval_ns / 1e6:6.1f} ms : "
+            f"{entry['median_requests_per_s']:8.1f} req/s, "
+            f"p95 {entry['median_p95_ms']:6.2f} ms "
+            f"(+{entry['added_p95_ms']:.2f}), dummy fraction "
+            f"{entry['dummy_fraction']:.2f} "
+            f"({entry['dummy_slots_per_request']:.2f} dummies/request)"
+        )
+
+    status = 0
+    if not args.smoke and status == 0:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check_regression is not None and status == 0:
+        status = check_regression(args.check_regression, report)
+    return status
+
+
+def check_regression(baseline_path: pathlib.Path, report: dict) -> int:
+    """CI gate: best paced rate at the gate interval vs the committed
+    baseline median (best-of-N deliberately forgives shared-runner
+    noise, as in ``bench_perf.py``), plus the engagement bar — a paced
+    run that never issued a pure-dummy slot means the subsystem is
+    silently disabled."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"ERROR: unreadable baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 1
+    gate_entry = next(
+        (
+            entry
+            for entry in report["intervals"]
+            if entry["interval_ns"] == GATE_INTERVAL_NS
+        ),
+        None,
+    )
+    reference_entry = next(
+        (
+            entry
+            for entry in baseline.get("intervals", [])
+            if entry["interval_ns"] == GATE_INTERVAL_NS
+        ),
+        None,
+    )
+    if gate_entry is None or reference_entry is None:
+        print(
+            f"ERROR: no entry at the gate interval {GATE_INTERVAL_NS} in "
+            "this run and/or the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if gate_entry["dummy_fraction"] <= 0.0:
+        print(
+            "ERROR: the paced run issued no pure-dummy slots — pacing "
+            "did not engage",
+            file=sys.stderr,
+        )
+        return 1
+    reference = reference_entry["median_requests_per_s"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    measured = gate_entry["best_requests_per_s"]
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"regression gate: best paced {measured:.1f} req/s at "
+        f"{GATE_INTERVAL_NS / 1e6:.1f} ms vs baseline median "
+        f"{reference:.1f} req/s (floor {floor:.1f}): {verdict}"
+    )
+    if measured < floor:
+        print(
+            "ERROR: paced throughput regressed more than "
+            f"{int(REGRESSION_TOLERANCE * 100)}% below the committed "
+            "baseline; rerun to rule out noise or update BENCH_pace.json "
+            "with a justified regeneration",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

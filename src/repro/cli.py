@@ -25,7 +25,10 @@ Commands
     ``cluster --workers process``.
 ``loadgen --port P``
     Drive a running service with concurrent verifying clients
-    (``--hot-span N`` skews each client onto a hot address range).
+    (``--hot-span N`` skews each client onto a hot address range;
+    ``--arrival poisson|burst|onoff --rate R`` switches to seeded
+    open-loop arrivals; ``--tenants N --tenant-skew S`` draws
+    addresses from Zipf-weighted tenant sub-slices).
 ``compact PATH``
     Compact a ``FileBackend`` append log down to its live record set.
 ``replicate --port P --dir DIR``
@@ -107,6 +110,13 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"default posmap: {config.posmap.mode} "
           f"(budget {config.posmap.client_budget_bytes >> 10} KiB "
           f"in recursive mode)")
+    if config.pace.mode == "off":
+        print("default pace: off (issue timing follows load; "
+              "enable with --set pace.mode=fixed pace.interval_ns=...)")
+    else:
+        print(f"default pace: {config.pace.mode} "
+              f"(interval {config.pace.interval_ns:.0f} ns, "
+              f"adaptive={config.pace.adaptive})")
     print("figures: " + ", ".join(f"fig{n}" for n in range(10, 20)))
     from repro.serve import available_backends
 
@@ -436,13 +446,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             num_blocks=args.num_blocks,
             seed=args.seed,
             hot_span=args.hot_span,
+            arrival=args.arrival,
+            rate=args.rate,
+            tenants=args.tenants,
+            tenant_skew=args.tenant_skew,
         )
     )
     summary = result.summary()
     print(
         f"{result.completed}/{result.sent} requests completed by "
-        f"{result.clients} clients in {result.elapsed_s:.2f} s "
-        f"({summary['requests_per_s']:.1f} req/s)"
+        f"{result.clients} {result.arrival} clients in "
+        f"{result.elapsed_s:.2f} s ({summary['requests_per_s']:.1f} req/s)"
     )
     print(
         f"latency p50 {summary['p50_ns'] / 1e6:.2f} ms, "
@@ -540,6 +554,34 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="restrict each client to the first N addresses of its "
         "slice (0 = whole slice): a skewed workload for cluster tests",
+    )
+    loadgen.add_argument(
+        "--arrival",
+        choices=["closed", "poisson", "burst", "onoff"],
+        default="closed",
+        help="issue discipline: lock-step request/response ('closed') "
+        "or a seeded open-loop arrival process that sends on its own "
+        "clock regardless of service latency",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="open-loop arrival rate per client (requests/second; "
+        "ignored for --arrival closed)",
+    )
+    loadgen.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        help="subdivide each client's slice into N tenant sub-slices",
+    )
+    loadgen.add_argument(
+        "--tenant-skew",
+        type=float,
+        default=0.0,
+        help="Zipf-ish tenant weight exponent: tenant k drawn with "
+        "weight (1/(k+1))**S (0 = uniform)",
     )
 
     compact = subparsers.add_parser(

@@ -264,6 +264,17 @@ class ShardRouter:
         if error is not None:
             raise error
 
+    def note_pace_wait(self, wait_ns: float) -> None:
+        """Credit one pacer sleep to every shard engine.
+
+        The paced cluster loop sleeps once per dispatch round and the
+        round visits every shard, so the same wait covers all K
+        per-shard timelines — keeping them synchronized is precisely
+        the point of pacing at the round level.
+        """
+        for worker in self.workers:
+            worker.engine.note_pace_wait(wait_ns)
+
     # --------------------------------------------------------------- queries
 
     def has_pending_real(self) -> bool:

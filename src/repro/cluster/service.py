@@ -133,6 +133,9 @@ class ClusterService(ServiceFrontEnd):
         return self.router.replicator_for(shard)
 
     async def _work_loop(self) -> None:
+        if self.pacer is not None:
+            await self._paced_loop()
+            return
         service = self.service_config
         router = self.router
         pace_s = service.pace_ns / 1e9
@@ -155,6 +158,33 @@ class ClusterService(ServiceFrontEnd):
                 if self._stopping:
                     break
                 await self._wake.wait()
+
+    async def _paced_loop(self) -> None:
+        """Pacer-driven dispatch (``pace.mode != "off"``).
+
+        One dispatch round per pace slot: the pacer's deadline chain
+        clocks the whole cluster, so the K per-shard timelines advance
+        in lockstep on a traffic-independent schedule — a round with no
+        client work anywhere still visits every shard with a pure-dummy
+        access. The pacer sleep is credited to every shard engine
+        (inline) or shipped on the round's turn RPCs (process mode).
+        """
+        router = self.router
+        pacer = self.pacer
+        assert pacer is not None
+        while not (self._stopping and self._pending() == 0):
+            wait_ns = await pacer.wait_for_slot()
+            router.note_pace_wait(wait_ns)
+            depth = router.pending()
+            real = router.has_pending_real()
+            await router.run_round()
+            if not real:
+                # An all-dummy round is the paced cluster's idle
+                # moment: seal due/gating checkpoints on every shard.
+                router.flush_durability()
+            self._note_pace_slot(
+                wait_ns=wait_ns, real=real, queue_depth=depth
+            )
 
     def _pending(self) -> int:
         return self.router.pending()

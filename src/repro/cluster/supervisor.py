@@ -263,6 +263,9 @@ class ProcessShardRouter:
         )
         self.rounds = 0
         self.turn_failures = 0
+        #: Pacer sleep credited since the last dispatched round; the
+        #: next round's ``turn`` RPCs carry it to the worker engines.
+        self._pace_credit_ns = 0.0
         #: Shard ids in dispatched-visit order. The schedule is fixed
         #: and public, so a visit is logged even when the worker was
         #: mid-restart and its turn RPC failed — the *intended* trace
@@ -280,9 +283,9 @@ class ProcessShardRouter:
         request.addr = local
         await self.handles[shard].admit(request)
 
-    async def _turn(self, handle: WorkerHandle) -> bool:
+    async def _turn(self, handle: WorkerHandle, wait_ns: float = 0.0) -> bool:
         try:
-            await handle.turn()
+            await handle.turn(wait_ns)
         except ProtocolError:
             self.turn_failures += 1
             if self._trace:
@@ -290,15 +293,21 @@ class ProcessShardRouter:
             return False
         return True
 
+    def note_pace_wait(self, wait_ns: float) -> None:
+        """Credit one pacer sleep; shipped with the next round's turn
+        RPCs so the worker engines account it as ``pace_wait_ns``."""
+        self._pace_credit_ns += wait_ns
+
     async def run_round(self) -> None:
         """One dispatch round over the worker fleet."""
+        wait_ns, self._pace_credit_ns = self._pace_credit_ns, 0.0
         if self.dispatch == "rr":
             for handle in self.handles:
-                await self._turn(handle)
+                await self._turn(handle, wait_ns)
                 self.visit_log.append(handle.shard_id)
         else:  # "parallel": real parallelism — one engine per core
             await asyncio.gather(
-                *(self._turn(handle) for handle in self.handles)
+                *(self._turn(handle, wait_ns) for handle in self.handles)
             )
             self.visit_log.extend(handle.shard_id for handle in self.handles)
         self.rounds += 1

@@ -155,6 +155,16 @@ class ShardWorkerService(ServiceFrontEnd):
             return None
         client_id = message.get("id")
         if op == "turn":
+            wait_ns = message.get("wait_ns", 0)
+            if (
+                isinstance(wait_ns, (int, float))
+                and not isinstance(wait_ns, bool)
+                and wait_ns > 0
+            ):
+                # The supervisor's pacer slept this long before the
+                # round; credit it so queued requests carve it out of
+                # sched_wait as their pace_wait_ns phase.
+                self.worker.engine.note_pace_wait(float(wait_ns))
             async with self._turn_lock:
                 await self.worker.run_turn()
                 if self.worker.pending() == 0:
@@ -451,13 +461,21 @@ class WorkerHandle:
 
     # -------------------------------------------------------------- control
 
-    async def turn(self) -> Dict[str, object]:
-        """Run this shard's slot in the current dispatch round."""
+    async def turn(self, wait_ns: float = 0.0) -> Dict[str, object]:
+        """Run this shard's slot in the current dispatch round.
+
+        ``wait_ns`` > 0 ships the supervisor's pacer sleep so the
+        worker engine credits it before running the access (the
+        ``pace_wait_ns`` phase of queued requests).
+        """
         if self._control is None or not self._control.connected:
             raise ProtocolError(
                 f"shard {self.shard_id} worker is unavailable"
             )
-        response = await self._control.call({"op": "turn"})
+        message: Dict[str, object] = {"op": "turn"}
+        if wait_ns > 0:
+            message["wait_ns"] = wait_ns
+        response = await self._control.call(message)
         if not response.get("ok"):
             raise ProtocolError(
                 f"shard {self.shard_id} turn failed: {response.get('error')}"

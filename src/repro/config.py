@@ -611,6 +611,129 @@ class ServiceConfig:
 
 
 @dataclass(frozen=True)
+class PaceConfig:
+    """Fixed-temporal-distribution service mode (``repro.pace``).
+
+    The fork-path schedule makes the *label sequence* oblivious, but the
+    *issue times* of accesses still track client traffic. When pacing is
+    on, a :class:`repro.pace.Pacer` drives the serve engine's turn loop
+    on a configured clock: one (real-or-dummy) ORAM access per pace
+    slot, pure-dummy slots while no client work is queued, and never
+    more than one access per slot under load — so the backend-visible
+    timeline is drawn from a traffic-independent distribution
+    (Cloak-style static timing protection for the service layer).
+
+    Attributes
+    ----------
+    mode:
+        ``"off"`` (default — the pre-pace service), ``"fixed"`` (slots
+        at exact ``interval_ns`` multiples) or ``"jittered"`` (each
+        inter-slot gap is ``interval_ns`` plus a uniform draw from
+        ``[0, jitter_ns]`` off a private RNG seeded with ``seed`` —
+        one draw per slot regardless of load, so the jitter sequence
+        itself is traffic-independent).
+    interval_ns:
+        Nominal wall-clock gap between consecutive access slots.
+        Smaller = lower added latency, higher dummy bandwidth when
+        idle; larger = the reverse. Must be positive when pacing is on.
+    jitter_ns:
+        Width of the uniform jitter added per slot in ``"jittered"``
+        mode (must be positive there; ignored in ``"fixed"``).
+    seed:
+        Seed of the jitter RNG. The jitter stream is deterministic
+        given the seed and the slot index — never the traffic.
+    adaptive:
+        Enable the :class:`repro.pace.AdaptiveDummyController`: the
+        cadence may be re-tuned *between epochs* (never within one)
+        from public queue-depth watermarks, trading dummy bandwidth
+        against queueing latency without opening a timing channel
+        (epoch boundaries are a function of the public slot count
+        only).
+    epoch_slots:
+        Pace slots per adaptation epoch. The controller only ever
+        changes the interval at an epoch boundary.
+    min_interval_ns / max_interval_ns:
+        Hard floor / ceiling the adaptive controller may never cross
+        (0 = derive: floor ``interval_ns / 8``, ceiling
+        ``interval_ns * 8``). With ``adaptive=False`` they are unused.
+    high_watermark / low_watermark:
+        Public queue-depth thresholds sampled once per slot. An epoch
+        where the depth reached ``high_watermark`` on a majority of
+        slots speeds the cadence up (more bandwidth, less queueing);
+        an epoch where it stayed at or below ``low_watermark`` on
+        every slot slows it down (less dummy bandwidth, more latency
+        headroom).
+    adjust_factor:
+        Multiplicative step applied to the interval at an epoch
+        boundary (speed-up divides, slow-down multiplies). Must be
+        > 1.
+    """
+
+    mode: str = "off"
+    interval_ns: float = 0.0
+    jitter_ns: float = 0.0
+    seed: int = 0
+    adaptive: bool = False
+    epoch_slots: int = 64
+    min_interval_ns: float = 0.0
+    max_interval_ns: float = 0.0
+    high_watermark: int = 8
+    low_watermark: int = 0
+    adjust_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("off", "fixed", "jittered"):
+            raise ConfigError(
+                f"pace.mode must be 'off', 'fixed' or 'jittered', "
+                f"got {self.mode!r}"
+            )
+        if self.mode != "off" and self.interval_ns <= 0:
+            raise ConfigError(
+                f"pace.mode={self.mode!r} requires pace.interval_ns > 0"
+            )
+        if self.jitter_ns < 0:
+            raise ConfigError(
+                f"pace.jitter_ns must be >= 0, got {self.jitter_ns}"
+            )
+        if self.mode == "jittered" and self.jitter_ns <= 0:
+            raise ConfigError(
+                "pace.mode='jittered' requires pace.jitter_ns > 0"
+            )
+        if self.epoch_slots < 1:
+            raise ConfigError(
+                f"pace.epoch_slots must be >= 1, got {self.epoch_slots}"
+            )
+        for name in ("min_interval_ns", "max_interval_ns"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"pace.{name} must be >= 0 (0 = derive)")
+        floor, ceiling = self.interval_bounds()
+        if self.mode != "off" and not floor <= self.interval_ns <= ceiling:
+            raise ConfigError(
+                f"pace.interval_ns {self.interval_ns} outside "
+                f"[{floor}, {ceiling}] (min_interval_ns/max_interval_ns)"
+            )
+        if self.high_watermark < 1:
+            raise ConfigError(
+                f"pace.high_watermark must be >= 1, got {self.high_watermark}"
+            )
+        if not 0 <= self.low_watermark < self.high_watermark:
+            raise ConfigError(
+                f"pace.low_watermark must be in [0, high_watermark), "
+                f"got {self.low_watermark}"
+            )
+        if self.adjust_factor <= 1.0:
+            raise ConfigError(
+                f"pace.adjust_factor must be > 1, got {self.adjust_factor}"
+            )
+
+    def interval_bounds(self) -> "tuple[float, float]":
+        """(floor, ceiling) the adaptive controller may move within."""
+        floor = self.min_interval_ns or self.interval_ns / 8.0
+        ceiling = self.max_interval_ns or self.interval_ns * 8.0
+        return floor, ceiling
+
+
+@dataclass(frozen=True)
 class ReplicaConfig:
     """Durability and warm-standby replication (``repro.replica``).
 
@@ -868,6 +991,7 @@ class SystemConfig:
     recursion: RecursionConfig = field(default_factory=RecursionConfig)
     posmap: PosmapConfig = field(default_factory=PosmapConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    pace: PaceConfig = field(default_factory=PaceConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)
     #: Fixed idle gap between ORAM phases for timing protection, in ns.

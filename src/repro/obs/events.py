@@ -35,6 +35,9 @@ client request, wall-clock timestamps):
 ``service_completed``  response sent (per-phase breakdown that sums
                        exactly to end-to-end, as for
                        ``request_completed``)
+``pacer_tick``         one paced access slot issued (``repro.pace``)
+``pace_dummy_issued``  a pace slot ran as a pure-dummy access
+``pace_epoch_adjusted``  the adaptive dummy controller closed an epoch
 ================== ====================================================
 
 And ``repro.replica`` the durability/replication lifecycle:
@@ -310,6 +313,55 @@ class ServiceCompleted(Event):
     #: Owning cluster shard; None when emitted by a single engine.
     shard_id: "int | None" = None
     kind: ClassVar[str] = "service_completed"
+
+
+@dataclass(slots=True)
+class PacerTick(Event):
+    """One pace slot was issued (``pace.mode != "off"``).
+
+    ``interval_ns`` is the epoch's nominal gap in effect for the slot;
+    ``wait_ns`` the pacer sleep preceding it; ``queue_depth`` the public
+    engine backlog sampled for the adaptive controller; ``real`` False
+    means the slot ran as a pure-dummy access.
+    """
+
+    slot: int = 0
+    interval_ns: float = 0.0
+    wait_ns: float = 0.0
+    queue_depth: int = 0
+    real: bool = False
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
+    kind: ClassVar[str] = "pacer_tick"
+
+
+@dataclass(slots=True)
+class PaceDummyIssued(Event):
+    """A pace slot fired with no client work queued: the engine ran a
+    pure-dummy fork-path access so the backend timeline stays on the
+    configured clock."""
+
+    slot: int = 0
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
+    kind: ClassVar[str] = "pace_dummy_issued"
+
+
+@dataclass(slots=True)
+class PaceEpochAdjusted(Event):
+    """The adaptive dummy controller closed one epoch (emitted at every
+    epoch boundary; ``old_interval_ns == new_interval_ns`` means the
+    cadence was left alone)."""
+
+    epoch: int = 0
+    old_interval_ns: float = 0.0
+    new_interval_ns: float = 0.0
+    high_marks: int = 0
+    low_only: bool = False
+    slots: int = 0
+    #: Owning cluster shard; None when emitted by a single engine.
+    shard_id: "int | None" = None
+    kind: ClassVar[str] = "pace_epoch_adjusted"
 
 
 @dataclass(slots=True)

@@ -122,6 +122,22 @@ EVENT_FIELDS: Dict[str, Dict[str, str]] = {
         "latency_ns": _NUMBER,
         "phases": _DICT,
     },
+    "pacer_tick": {
+        "slot": _INT,
+        "interval_ns": _NUMBER,
+        "wait_ns": _NUMBER,
+        "queue_depth": _INT,
+        "real": _BOOL,
+    },
+    "pace_dummy_issued": {"slot": _INT},
+    "pace_epoch_adjusted": {
+        "epoch": _INT,
+        "old_interval_ns": _NUMBER,
+        "new_interval_ns": _NUMBER,
+        "high_marks": _INT,
+        "low_only": _BOOL,
+        "slots": _INT,
+    },
     "checkpoint_sealed": {
         "seq": _INT,
         "epoch": _INT,
@@ -155,6 +171,9 @@ OPTIONAL_EVENT_FIELDS: Dict[str, Dict[str, str]] = {
     "service_admitted": {"shard_id": _INT},
     "backend_retry": {"shard_id": _INT},
     "service_completed": {"shard_id": _INT},
+    "pacer_tick": {"shard_id": _INT},
+    "pace_dummy_issued": {"shard_id": _INT},
+    "pace_epoch_adjusted": {"shard_id": _INT},
     "checkpoint_sealed": {"shard_id": _INT},
     "replica_shipped": {"shard_id": _INT},
     "failover_promoted": {"shard_id": _INT},
@@ -177,10 +196,11 @@ PHASE_KEYS_BY_KIND = {
 #: ``service_completed`` only when the response was held for a sealed
 #: checkpoint (``replica.ack_mode="checkpoint"``); ``posmap_ns`` only
 #: when a recursive position-map chain ran for the request
-#: (``posmap.mode=recursive``) — pre-replication and flat-posmap
-#: traces omit them and stay valid.
+#: (``posmap.mode=recursive``); ``pace_wait_ns`` only when the paced
+#: turn loop drove the access (``pace.mode != "off"``) — traces from
+#: services without those subsystems omit them and stay valid.
 OPTIONAL_PHASE_KEYS_BY_KIND = {
-    "service_completed": ("durability_ns", "posmap_ns"),
+    "service_completed": ("durability_ns", "posmap_ns", "pace_wait_ns"),
 }
 
 

@@ -37,6 +37,15 @@ from repro.security.cluster import (
     verify_interleaved_cluster_trace,
     shard_profile,
 )
+from repro.security.temporal import (
+    TemporalVerdict,
+    arrivals_from_events,
+    issues_from_events,
+    inter_access_gaps,
+    gap_ks_test,
+    cross_correlation,
+    verify_temporal_independence,
+)
 
 __all__ = [
     "expected_fork_trace",
@@ -63,4 +72,11 @@ __all__ = [
     "expected_interleaved_trace",
     "verify_interleaved_cluster_trace",
     "shard_profile",
+    "TemporalVerdict",
+    "arrivals_from_events",
+    "issues_from_events",
+    "inter_access_gaps",
+    "gap_ks_test",
+    "cross_correlation",
+    "verify_temporal_independence",
 ]

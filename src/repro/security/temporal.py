@@ -1,0 +1,269 @@
+"""Temporal-channel verification: is the access *timeline* oblivious?
+
+The fork-path label sequence is dummy-padded, so *what* the adversary
+sees per access leaks nothing — but *when* accesses are issued still
+tracks client traffic unless the service is paced
+(:mod:`repro.pace`). This module runs the statistical half of that
+argument: record issuance timestamps under a bursty and an idle
+(load-free) profile and check that the two timelines are drawn from the
+same traffic-independent distribution.
+
+Two complementary tests, both over adversary-observable data only:
+
+* **KS distance on inter-access gaps** — the gap distribution of the
+  loaded run must match the load-free baseline's
+  (:func:`scipy.stats.ks_2samp`). An unpaced service issues
+  back-to-back accesses during a burst and none while idle, so its gap
+  distribution collapses/stretches with traffic; a paced service's
+  gaps follow the configured clock either way.
+* **Cross-correlation against arrival times** — bin the loaded run's
+  request arrivals and access issues on a common time grid and take
+  the maximum absolute Pearson correlation over small lags. Unpaced,
+  issues are *caused* by arrivals and the correlation approaches 1;
+  paced, the issue series is (near-)constant-rate and the correlation
+  vanishes.
+
+:func:`verify_temporal_independence` combines both into a
+:class:`TemporalVerdict`; ``scripts/timing_smoke.py`` runs it in CI
+against a live service — passing with pacing on and *failing* with
+``pace.mode=off``, which proves the test has teeth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from scipy import stats
+
+__all__ = [
+    "TemporalVerdict",
+    "arrivals_from_events",
+    "issues_from_events",
+    "inter_access_gaps",
+    "gap_ks_test",
+    "cross_correlation",
+    "verify_temporal_independence",
+]
+
+#: Defaults of :func:`verify_temporal_independence`; shared with the CI
+#: smoke so the gate and the unit tests agree on one bar.
+MIN_ACCESSES = 16
+MIN_GAP_PVALUE = 0.01
+MAX_GAP_DISTANCE = 0.2
+MAX_CROSS_CORRELATION = 0.4
+CORRELATION_BINS = 64
+CORRELATION_MAX_LAG = 8
+
+
+@dataclass(frozen=True)
+class TemporalVerdict:
+    """Outcome of one temporal-independence check.
+
+    ``ok`` is True when the loaded timeline is statistically
+    indistinguishable from the load-free baseline *and* uncorrelated
+    with the arrival process; ``failures`` names every bar missed.
+    """
+
+    ok: bool
+    gap_distance: float
+    gap_pvalue: float
+    max_cross_correlation: float
+    baseline_accesses: int
+    loaded_accesses: int
+    failures: Tuple[str, ...]
+
+    def summary(self) -> str:
+        state = "PASS" if self.ok else "FAIL"
+        return (
+            f"temporal {state}: KS distance {self.gap_distance:.3f} "
+            f"(p={self.gap_pvalue:.3g}), max |corr| "
+            f"{self.max_cross_correlation:.3f}, accesses "
+            f"{self.baseline_accesses} baseline / {self.loaded_accesses} "
+            f"loaded"
+            + ("" if self.ok else f"; failures: {'; '.join(self.failures)}")
+        )
+
+
+def arrivals_from_events(events: Iterable[dict]) -> List[float]:
+    """Request arrival timestamps (service clock) from trace events.
+
+    ``service_admitted`` records the admission time and the admission
+    wait, so the arrival is recovered as ``ts_ns - wait_ns`` — no extra
+    instrumentation needed on the arrival side.
+    """
+    return [
+        float(event["ts_ns"]) - float(event.get("wait_ns", 0.0))
+        for event in events
+        if event.get("kind") == "service_admitted"
+    ]
+
+
+def issues_from_events(events: Iterable[dict]) -> List[float]:
+    """Access issue timestamps from ``pacer_tick`` trace events.
+
+    Only paced services emit these; for an unpaced service read the
+    engine's ``access_times_ns`` log instead.
+    """
+    return [
+        float(event["ts_ns"])
+        for event in events
+        if event.get("kind") == "pacer_tick"
+    ]
+
+
+def inter_access_gaps(issue_ts_ns: Sequence[float]) -> List[float]:
+    """Consecutive inter-access gaps of one issue timeline."""
+    ts = sorted(issue_ts_ns)
+    return [b - a for a, b in zip(ts, ts[1:])]
+
+
+def gap_ks_test(
+    baseline_ts_ns: Sequence[float], loaded_ts_ns: Sequence[float]
+) -> Tuple[float, float]:
+    """(KS statistic, p-value) of baseline-vs-loaded inter-access gaps."""
+    baseline_gaps = inter_access_gaps(baseline_ts_ns)
+    loaded_gaps = inter_access_gaps(loaded_ts_ns)
+    statistic, pvalue = stats.ks_2samp(baseline_gaps, loaded_gaps)
+    return float(statistic), float(pvalue)
+
+
+def _bin_counts(
+    ts: Sequence[float], start: float, width: float, bins: int
+) -> List[int]:
+    counts = [0] * bins
+    for t in ts:
+        index = int((t - start) / width)
+        if 0 <= index < bins:
+            counts[index] += 1
+    return counts
+
+
+def _pearson(a: Sequence[float], b: Sequence[float]) -> float:
+    n = len(a)
+    mean_a = sum(a) / n
+    mean_b = sum(b) / n
+    var_a = sum((x - mean_a) ** 2 for x in a)
+    var_b = sum((x - mean_b) ** 2 for x in b)
+    if var_a == 0.0 or var_b == 0.0:
+        # A constant series carries no information to correlate with —
+        # exactly the paced issue stream's ideal shape.
+        return 0.0
+    cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(a, b))
+    return cov / math.sqrt(var_a * var_b)
+
+
+def cross_correlation(
+    arrival_ts_ns: Sequence[float],
+    issue_ts_ns: Sequence[float],
+    bins: int = CORRELATION_BINS,
+    max_lag: int = CORRELATION_MAX_LAG,
+) -> float:
+    """Max absolute arrival→issue correlation over small bin lags.
+
+    Both series are binned on a common grid spanning the loaded run;
+    the statistic is ``max_|lag| <= max_lag |pearson(arrivals,
+    issues_shifted_by_lag)|``. Issues caused by arrivals show up at a
+    small non-negative lag; scanning a symmetric window keeps the test
+    honest about clock skew between the two recorders.
+
+    An *under-dispersed* issue series (per-bin count variance at most
+    its mean, i.e. no burstier than a memoryless process — the
+    clock-driven paced shape) cannot encode the arrival process and
+    scores 0.0 outright. Without this guard a handful of arrival
+    spikes against the ±1 binning noise of a constant-rate series
+    produces spurious correlations: the max over the lag sweep is then
+    dominated by whichever spike bin happened to catch the extra tick.
+    """
+    if not arrival_ts_ns or not issue_ts_ns:
+        return 0.0
+    start = min(min(arrival_ts_ns), min(issue_ts_ns))
+    end = max(max(arrival_ts_ns), max(issue_ts_ns))
+    if end <= start:
+        return 0.0
+    width = (end - start) / bins
+    arrivals = _bin_counts(arrival_ts_ns, start, width, bins)
+    issues = _bin_counts(issue_ts_ns, start, width, bins)
+    mean = sum(issues) / bins
+    variance = sum((count - mean) ** 2 for count in issues) / bins
+    if variance <= mean:
+        return 0.0
+    worst = 0.0
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            a, b = arrivals[: bins - lag], issues[lag:]
+        else:
+            a, b = arrivals[-lag:], issues[: bins + lag]
+        if len(a) < 2:
+            continue
+        worst = max(worst, abs(_pearson(a, b)))
+    return worst
+
+
+def verify_temporal_independence(
+    baseline_issue_ts_ns: Sequence[float],
+    loaded_issue_ts_ns: Sequence[float],
+    loaded_arrival_ts_ns: Sequence[float],
+    *,
+    min_accesses: int = MIN_ACCESSES,
+    min_gap_pvalue: float = MIN_GAP_PVALUE,
+    max_gap_distance: float = MAX_GAP_DISTANCE,
+    max_cross_correlation: float = MAX_CROSS_CORRELATION,
+    bins: int = CORRELATION_BINS,
+    max_lag: int = CORRELATION_MAX_LAG,
+) -> TemporalVerdict:
+    """Check a loaded run's timeline against the load-free baseline.
+
+    Three bars, every failure reported:
+
+    * both runs must have issued at least ``min_accesses`` accesses —
+      an unpaced idle service issues (almost) none, which is itself
+      the leak;
+    * the inter-access gap distributions must agree: KS p-value at
+      least ``min_gap_pvalue`` *or* KS distance at most
+      ``max_gap_distance`` (the OR absorbs the huge-sample case where
+      trivial distances still earn tiny p-values);
+    * the loaded run's issue timeline must not correlate with its
+      arrival process beyond ``max_cross_correlation``.
+    """
+    failures: List[str] = []
+    n_base = len(baseline_issue_ts_ns)
+    n_load = len(loaded_issue_ts_ns)
+    if n_base < min_accesses:
+        failures.append(
+            f"baseline issued only {n_base} accesses (< {min_accesses}): "
+            f"the idle timeline itself leaks load"
+        )
+    if n_load < min_accesses:
+        failures.append(
+            f"loaded run issued only {n_load} accesses (< {min_accesses})"
+        )
+    distance, pvalue = (float("nan"), float("nan"))
+    if n_base >= 2 and n_load >= 2:
+        distance, pvalue = gap_ks_test(
+            baseline_issue_ts_ns, loaded_issue_ts_ns
+        )
+        if pvalue < min_gap_pvalue and distance > max_gap_distance:
+            failures.append(
+                f"inter-access gap distributions differ (KS distance "
+                f"{distance:.3f}, p={pvalue:.3g}): issue timing tracks load"
+            )
+    correlation = cross_correlation(
+        loaded_arrival_ts_ns, loaded_issue_ts_ns, bins=bins, max_lag=max_lag
+    )
+    if correlation > max_cross_correlation:
+        failures.append(
+            f"issue timeline correlates with arrivals "
+            f"(max |corr| {correlation:.3f} > {max_cross_correlation}): "
+            f"arrival bursts are visible on the backend clock"
+        )
+    return TemporalVerdict(
+        ok=not failures,
+        gap_distance=distance,
+        gap_pvalue=pvalue,
+        max_cross_correlation=correlation,
+        baseline_accesses=n_base,
+        loaded_accesses=n_load,
+        failures=tuple(failures),
+    )

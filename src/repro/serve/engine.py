@@ -135,6 +135,12 @@ class ServeRequest:
     #: mode only); None when no chain ran (flat mode, stash hits,
     #: coalesced waiters) — the phase key is then omitted.
     posmap_ns: Optional[float] = None
+    #: Pacer sleep time this request spent queued for an access slot
+    #: (``pace.mode != "off"`` only); None when unpaced or never queued
+    #: (stash hits) — the phase key is then omitted.
+    pace_wait_ns: Optional[float] = None
+    #: Engine ``pace_waited_ns`` counter at admission (internal).
+    pace_mark: Optional[float] = None
     future: Optional["asyncio.Future[ServeRequest]"] = None
 
     def phases(self) -> Dict[str, float]:
@@ -142,14 +148,16 @@ class ServeRequest:
             service_end = self.completed_ns
         else:
             service_end = self.served_ns
-        # The posmap chain runs inside the admitted → scheduled window,
-        # so it is carved out of sched_wait and the sum stays exact.
+        # The posmap chain and the pacer sleeps run inside the
+        # admitted → scheduled window, so they are carved out of
+        # sched_wait and the sum stays exact.
         phases = {
             "admission_ns": self.admitted_ns - self.arrival_ns,
             "sched_wait_ns": (
                 self.scheduled_ns
                 - self.admitted_ns
                 - (self.posmap_ns or 0.0)
+                - (self.pace_wait_ns or 0.0)
             ),
             "service_ns": service_end - self.scheduled_ns,
         }
@@ -157,6 +165,8 @@ class ServeRequest:
             phases["durability_ns"] = self.durability_ns
         if self.posmap_ns is not None:
             phases["posmap_ns"] = self.posmap_ns
+        if self.pace_wait_ns is not None:
+            phases["pace_wait_ns"] = self.pace_wait_ns
         return phases
 
     @property
@@ -403,6 +413,11 @@ class ObliviousEngine:
         self.real_accesses = 0
         self.failed_accesses = 0
         self.completed_requests = 0
+        #: Pacing (``pace.mode != "off"``): whether queued requests get
+        #: a ``pace_wait_ns`` phase, and the cumulative pacer sleep the
+        #: work loop has credited via :meth:`note_pace_wait`.
+        self._paced = config.pace.mode != "off"
+        self.pace_waited_ns = 0.0
         #: Engine-triggered backend compactions (see _maybe_compact).
         self.compactions = 0
         #: Scheduling rounds that saw an underfull queue — the padding
@@ -412,6 +427,10 @@ class ObliviousEngine:
         #: bounded so a long-running service does not grow without
         #: limit; only the most recent accesses are kept.
         self.records: Deque[tuple] = deque(maxlen=RECORD_CAPACITY)
+        #: Wall-clock issue time of each access (engine clock) — the
+        #: adversary-observable timeline :mod:`repro.security.temporal`
+        #: analyses. Bounded like :attr:`records`.
+        self.access_times_ns: Deque[float] = deque(maxlen=RECORD_CAPACITY)
         #: Session ids granted a per-session latency histogram; capped
         #: so the tracer's histogram table stays bounded however many
         #: sessions a long-lived server accumulates.
@@ -444,6 +463,8 @@ class ObliviousEngine:
         addr = request.addr
         if addr in self._inflight:
             request.admitted_ns = now
+            if self._paced:
+                request.pace_mark = self.pace_waited_ns
             self._waiters.setdefault(addr, deque()).append(request)
             self._emit_admitted(request)
             return True
@@ -468,6 +489,8 @@ class ObliviousEngine:
             ):
                 return False
             request.admitted_ns = now
+            if self._paced:
+                request.pace_mark = self.pace_waited_ns
             self._inflight[addr] = request
             self._chain_pending.append(request)
             self._emit_admitted(request)
@@ -475,6 +498,8 @@ class ObliviousEngine:
         if not self.label_queue.has_room_for_real():
             return False
         request.admitted_ns = now
+        if self._paced:
+            request.pace_mark = self.pace_waited_ns
         old_leaf, new_leaf = self.posmap.remap(addr)
         self.label_queue.insert_real(
             LabelEntry(
@@ -521,6 +546,7 @@ class ObliviousEngine:
                 # already failed with its future resolved.
                 return
         now = self.clock()
+        self.access_times_ns.append(now)
         entry = self._next_entry
         self._next_entry = None
         if entry is None:  # bootstrap: no revealed path yet
@@ -532,7 +558,7 @@ class ObliviousEngine:
             else None
         )
         if request is not None:
-            request.scheduled_ns = now
+            self._mark_scheduled(request, now)
         next_entry: Optional[LabelEntry] = None
         served = False
         try:
@@ -773,13 +799,42 @@ class ObliviousEngine:
         if waiters:
             now = self.clock()
             for waiter in waiters:
-                waiter.scheduled_ns = now
+                self._mark_scheduled(waiter, now)
                 # The block's current label is the one this access just
                 # installed (nothing can remap it while it is in
                 # flight) — read it off the entry rather than the map,
                 # which in recursive mode would need an I/O chain.
                 self._apply(waiter, stash_leaf=entry.new_leaf)
                 self._complete(waiter, "coalesced")
+
+    def note_pace_wait(self, wait_ns: float) -> None:
+        """Credit one pacer sleep to the engine's cumulative counter.
+
+        The paced work loop calls this after every ``wait_for_slot``;
+        requests queued across that sleep account it as their
+        ``pace_wait_ns`` phase when they are eventually scheduled.
+        """
+        self.pace_waited_ns += wait_ns
+
+    def _mark_scheduled(self, request: ServeRequest, now: float) -> None:
+        """Stamp the scheduling time and settle the pace-wait phase.
+
+        Every pacer sleep credited between this request's admission and
+        now lies entirely inside its admitted → scheduled window (the
+        work loop sleeps outside ``submit``/``run_access``), so carving
+        it out of ``sched_wait_ns`` keeps the phase sum exact; the
+        clamp only absorbs float rounding.
+        """
+        request.scheduled_ns = now
+        if request.pace_mark is None:
+            return
+        available = (
+            request.scheduled_ns
+            - request.admitted_ns
+            - (request.posmap_ns or 0.0)
+        )
+        waited = self.pace_waited_ns - request.pace_mark
+        request.pace_wait_ns = min(max(waited, 0.0), max(available, 0.0))
 
     def _apply(self, request: ServeRequest, stash_leaf: int) -> None:
         """Apply one op against the stash-resident state of its address."""
@@ -879,8 +934,9 @@ class ObliviousEngine:
             # admission plus any posmap chain that already ran, even
             # though the request never reached its tree access.
             floor = request.admitted_ns + (request.posmap_ns or 0.0)
-            if request.scheduled_ns < floor:
-                request.scheduled_ns = floor
+            self._mark_scheduled(
+                request, max(request.scheduled_ns, floor)
+            )
             request.error = error
             self._complete(request, "failed")
 

@@ -15,6 +15,25 @@ tests assert on:
 * ``failed`` — ``ok: false`` responses (0 unless the fault plan is
   configured to exhaust the retry budget).
 
+Two issue disciplines:
+
+* **closed-loop** (``arrival="closed"``, the default) — each client
+  sends its next request only after the previous response, the classic
+  lock-step benchmark client;
+* **open-loop** (``arrival="poisson" | "burst" | "onoff"``) — each
+  client precomputes a deterministic, seeded arrival schedule and
+  *sends on that clock regardless of response latency*, reading
+  responses concurrently and matching them by id. Open-loop arrivals
+  are what the paced service mode (:mod:`repro.pace`) is judged
+  against: the arrival process is traffic the adversary must not see
+  on the storage timeline, so the generator must not let service
+  backpressure reshape it.
+
+``tenants``/``tenant_skew`` subdivide each client's slice into tenant
+sub-slices drawn with Zipf-ish weights ``(1/(k+1))**skew`` — a public,
+seeded model of multi-tenant hot/cold imbalance for the temporal
+verifier's bursty profiles.
+
 Per-request latencies accumulate into the observability layer's
 log2-bucketed :class:`~repro.obs.tracer.LatencyHistogram` — bounded
 memory at any request count — so callers report p50/p95/p99 from the
@@ -27,10 +46,20 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigError
 from repro.obs.tracer import LatencyHistogram
 from repro.serve import protocol
+
+#: Issue disciplines understood by :func:`run_loadgen`.
+ARRIVAL_MODES = ("closed", "poisson", "burst", "onoff")
+
+#: Open-loop shape constants (public; the schedules they produce are
+#: deterministic given the seed).
+BURST_SIZE = 8
+BURST_INTRA_FRACTION = 0.02  # intra-burst gap as a fraction of 1/rate
+ONOFF_CHUNK_FRACTION = 4  # requests // fraction arrivals per ON window
 
 
 @dataclass
@@ -42,6 +71,10 @@ class LoadgenResult:
     lost: int = 0
     mismatches: int = 0
     elapsed_s: float = 0.0
+    arrival: str = "closed"
+    #: perf_counter_ns timestamps of every send, all clients merged —
+    #: the arrival process the temporal verifier correlates against.
+    send_times_ns: List[float] = field(default_factory=list)
     latency: LatencyHistogram = field(
         default_factory=lambda: LatencyHistogram("loadgen.latency")
     )
@@ -70,6 +103,93 @@ class LoadgenResult:
         }
 
 
+def arrival_offsets_s(
+    arrival: str, requests: int, rate: float, rng: random.Random
+) -> List[float]:
+    """Per-request send offsets (seconds from run start) for one client.
+
+    Deterministic given ``rng``'s state: the schedule is fixed before
+    the first byte is sent, so service latency cannot feed back into
+    it. All three open-loop shapes average ``rate`` requests/second:
+
+    * ``poisson`` — exponential inter-arrivals (memoryless);
+    * ``burst`` — volleys of :data:`BURST_SIZE` back-to-back sends with
+      compensating silence between volleys;
+    * ``onoff`` — square-wave load: ON windows at ``2*rate`` alternate
+      with equally long silent OFF windows.
+    """
+    if arrival not in ARRIVAL_MODES or arrival == "closed":
+        raise ConfigError(
+            f"open-loop arrival must be one of "
+            f"{ARRIVAL_MODES[1:]}, got {arrival!r}"
+        )
+    if rate <= 0:
+        raise ConfigError(f"open-loop arrival rate must be > 0, got {rate}")
+    offsets: List[float] = []
+    t = 0.0
+    if arrival == "poisson":
+        for _ in range(requests):
+            t += rng.expovariate(rate)
+            offsets.append(t)
+    elif arrival == "burst":
+        intra = BURST_INTRA_FRACTION / rate
+        while len(offsets) < requests:
+            volley = min(BURST_SIZE, requests - len(offsets))
+            offsets.extend(t + j * intra for j in range(volley))
+            t += volley / rate  # silence restores the mean rate
+    else:  # onoff
+        chunk = max(1, requests // ONOFF_CHUNK_FRACTION)
+        spacing = 1.0 / (2.0 * rate)
+        emitted = 0
+        while emitted < requests:
+            window = min(chunk, requests - emitted)
+            for _ in range(window):
+                offsets.append(t)
+                t += spacing
+                emitted += 1
+            t += window * spacing  # the OFF half of the square wave
+    return offsets
+
+
+def tenant_weights(tenants: int, skew: float) -> List[float]:
+    """Zipf-ish tenant draw weights: tenant k gets ``(1/(k+1))**skew``.
+
+    ``skew=0`` is uniform; larger skews concentrate traffic on the
+    low-numbered tenants.
+    """
+    if tenants < 1:
+        raise ConfigError(f"tenants must be >= 1, got {tenants}")
+    if skew < 0:
+        raise ConfigError(f"tenant skew must be >= 0, got {skew}")
+    return [(1.0 / (k + 1)) ** skew for k in range(tenants)]
+
+
+def _draw_addr(
+    rng: random.Random,
+    addr_base: int,
+    addr_span: int,
+    weights: Optional[Sequence[float]],
+) -> int:
+    """One address draw from the client's slice (tenant-weighted)."""
+    if weights is None or len(weights) <= 1:
+        return addr_base + rng.randrange(addr_span)
+    tenant = rng.choices(range(len(weights)), weights=weights)[0]
+    sub_span = max(1, addr_span // len(weights))
+    base = addr_base + tenant * sub_span
+    return base + rng.randrange(sub_span)
+
+
+def _draw_op(
+    rng: random.Random, client_index: int, sequence: int
+) -> Tuple[str, Optional[str]]:
+    roll = rng.random()
+    if roll < 0.5:
+        return "put", f"c{client_index}-s{sequence}"
+    if roll < 0.9:
+        return "get", None
+    return "delete", None
+
+
 async def _run_client(
     host: str,
     port: int,
@@ -78,29 +198,26 @@ async def _run_client(
     addr_base: int,
     addr_span: int,
     seed: int,
+    weights: Optional[Sequence[float]],
     result: LoadgenResult,
     lock: asyncio.Lock,
 ) -> None:
-    """One client: sequential request/response over its address slice."""
+    """One closed-loop client: sequential request/response."""
     rng = random.Random(seed + client_index)
     model: Dict[int, Optional[str]] = {}
     reader, writer = await asyncio.open_connection(host, port)
     sent = completed = failed = mismatches = 0
     latencies: List[float] = []
+    send_times: List[float] = []
     try:
         for sequence in range(requests):
-            addr = addr_base + rng.randrange(addr_span)
-            roll = rng.random()
-            if roll < 0.5:
-                op, value = "put", f"c{client_index}-s{sequence}"
-            elif roll < 0.9:
-                op, value = "get", None
-            else:
-                op, value = "delete", None
+            addr = _draw_addr(rng, addr_base, addr_span, weights)
+            op, value = _draw_op(rng, client_index, sequence)
             message: Dict[str, object] = {"id": sequence, "op": op, "addr": addr}
             if op == "put":
                 message["value"] = value
             start = time.perf_counter_ns()
+            send_times.append(float(start))
             await protocol.write_message(writer, message)
             sent += 1
             response = await protocol.read_message(reader)
@@ -138,6 +255,118 @@ async def _run_client(
         result.completed += completed
         result.failed += failed
         result.mismatches += mismatches
+        result.send_times_ns.extend(send_times)
+        for latency_ns in latencies:
+            result.latency.record(latency_ns)
+
+
+async def _run_open_client(
+    host: str,
+    port: int,
+    client_index: int,
+    requests: int,
+    addr_base: int,
+    addr_span: int,
+    seed: int,
+    weights: Optional[Sequence[float]],
+    arrival: str,
+    rate: float,
+    result: LoadgenResult,
+    lock: asyncio.Lock,
+) -> None:
+    """One open-loop client: send on the precomputed arrival clock,
+    read concurrently, match responses by id.
+
+    The model is updated *optimistically at send time*: the session
+    pipeline preserves admission order per address (queued requests to
+    a busy address join its waiter chain and are served in order), so
+    the pre-send model snapshot is exactly what each get/delete must
+    observe — even when an earlier stash-hit's response overtakes it on
+    the wire.
+    """
+    rng = random.Random(seed + client_index)
+    offsets = arrival_offsets_s(arrival, requests, rate, rng)
+    model: Dict[int, Optional[str]] = {}
+    #: id -> (op, expected value at admission order)
+    expectations: Dict[int, Tuple[str, Optional[str]]] = {}
+    send_ns: Dict[int, float] = {}
+    reader, writer = await asyncio.open_connection(host, port)
+    sent = completed = failed = mismatches = 0
+    latencies: List[float] = []
+    send_times: List[float] = []
+
+    async def _send_all() -> None:
+        nonlocal sent
+        start = time.perf_counter()
+        for sequence in range(requests):
+            delay = start + offsets[sequence] - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            addr = _draw_addr(rng, addr_base, addr_span, weights)
+            op, value = _draw_op(rng, client_index, sequence)
+            expected = model.get(addr)
+            if op == "put":
+                expectations[sequence] = (op, None)
+                model[addr] = value
+            else:
+                expectations[sequence] = (op, expected)
+                if op == "delete":
+                    model[addr] = None
+            message: Dict[str, object] = {"id": sequence, "op": op, "addr": addr}
+            if op == "put":
+                message["value"] = value
+            now = float(time.perf_counter_ns())
+            send_ns[sequence] = now
+            send_times.append(now)
+            await protocol.write_message(writer, message)
+            sent += 1
+
+    async def _recv_all() -> None:
+        nonlocal completed, failed, mismatches
+        for _ in range(requests):
+            response = await protocol.read_message(reader)
+            if response is None:
+                return
+            now = float(time.perf_counter_ns())
+            completed += 1
+            rid = response.get("id")
+            if rid not in expectations:
+                mismatches += 1
+                continue
+            latencies.append(now - send_ns.pop(rid, now))
+            op, expected = expectations.pop(rid)
+            if not response.get("ok"):
+                failed += 1
+                continue
+            if op == "get":
+                if (response.get("found"), response.get("value")) != (
+                    expected is not None,
+                    expected,
+                ):
+                    mismatches += 1
+            elif op == "delete":
+                if bool(response.get("found")) != (expected is not None):
+                    mismatches += 1
+
+    try:
+        sender = asyncio.ensure_future(_send_all())
+        receiver = asyncio.ensure_future(_recv_all())
+        try:
+            await sender
+        finally:
+            await receiver
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    async with lock:
+        result.sent += sent
+        result.completed += completed
+        result.failed += failed
+        result.mismatches += mismatches
+        result.send_times_ns.extend(send_times)
         for latency_ns in latencies:
             result.latency.record(latency_ns)
 
@@ -150,6 +379,10 @@ async def run_loadgen(
     num_blocks: int = 1 << 12,
     seed: int = 7,
     hot_span: int = 0,
+    arrival: str = "closed",
+    rate: float = 200.0,
+    tenants: int = 1,
+    tenant_skew: float = 0.0,
 ) -> LoadgenResult:
     """Drive the service with ``clients`` concurrent sessions.
 
@@ -158,31 +391,71 @@ async def run_loadgen(
     for exercising the cluster's obliviousness under uneven shard load.
     Slices stay disjoint, so the read-your-writes verification is
     unaffected.
+
+    ``arrival`` selects the issue discipline (:data:`ARRIVAL_MODES`);
+    the open-loop modes send on a seeded, precomputed schedule at
+    ``rate`` requests/second per client. ``tenants``/``tenant_skew``
+    subdivide each client's slice into Zipf-weighted tenant sub-slices
+    (see :func:`tenant_weights`).
     """
-    result = LoadgenResult(clients=clients)
+    if arrival not in ARRIVAL_MODES:
+        raise ConfigError(
+            f"arrival must be one of {ARRIVAL_MODES}, got {arrival!r}"
+        )
+    weights = tenant_weights(tenants, tenant_skew) if tenants > 1 else None
+    result = LoadgenResult(clients=clients, arrival=arrival)
     lock = asyncio.Lock()
     span = max(1, num_blocks // max(1, clients))
     draw_span = min(span, hot_span) if hot_span > 0 else span
     start = time.perf_counter()
-    await asyncio.gather(
-        *(
-            _run_client(
-                host,
-                port,
-                index,
-                requests,
-                addr_base=index * span,
-                addr_span=draw_span,
-                seed=seed,
-                result=result,
-                lock=lock,
+    if arrival == "closed":
+        await asyncio.gather(
+            *(
+                _run_client(
+                    host,
+                    port,
+                    index,
+                    requests,
+                    addr_base=index * span,
+                    addr_span=draw_span,
+                    seed=seed,
+                    weights=weights,
+                    result=result,
+                    lock=lock,
+                )
+                for index in range(clients)
             )
-            for index in range(clients)
         )
-    )
+    else:
+        await asyncio.gather(
+            *(
+                _run_open_client(
+                    host,
+                    port,
+                    index,
+                    requests,
+                    addr_base=index * span,
+                    addr_span=draw_span,
+                    seed=seed,
+                    weights=weights,
+                    arrival=arrival,
+                    rate=rate,
+                    result=result,
+                    lock=lock,
+                )
+                for index in range(clients)
+            )
+        )
     result.elapsed_s = time.perf_counter() - start
     result.lost = result.sent - result.completed
+    result.send_times_ns.sort()
     return result
 
 
-__all__ = ["LoadgenResult", "run_loadgen"]
+__all__ = [
+    "ARRIVAL_MODES",
+    "LoadgenResult",
+    "arrival_offsets_s",
+    "tenant_weights",
+    "run_loadgen",
+]

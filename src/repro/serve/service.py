@@ -38,9 +38,17 @@ from typing import Optional, Set, Tuple
 
 from repro.config import SystemConfig
 from repro.errors import ProtocolError
-from repro.obs.events import ReplicaShipped, SessionClosed, SessionOpened
+from repro.obs.events import (
+    PaceDummyIssued,
+    PaceEpochAdjusted,
+    PacerTick,
+    ReplicaShipped,
+    SessionClosed,
+    SessionOpened,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oram.encryption import BucketCipher
+from repro.pace import Pacer
 from repro.replica.replicator import Replicator
 from repro.serve import protocol
 from repro.serve.backends import StorageBackend, make_backend
@@ -73,6 +81,13 @@ class ServiceFrontEnd:
         self._trace = self.tracer.enabled
         start = time.perf_counter_ns()
         self._clock = lambda: float(time.perf_counter_ns() - start)
+        #: Deadline-chain clock of the fixed-temporal-distribution mode
+        #: (None = ``pace.mode="off"``, the arrival-driven loop).
+        self.pacer: Optional[Pacer] = (
+            Pacer(self.config.pace, clock=self._clock)
+            if self.config.pace.mode != "off"
+            else None
+        )
         self._wake = asyncio.Event()
         self._server: Optional[asyncio.base_events.Server] = None
         self._work_task: Optional[asyncio.Task] = None
@@ -129,6 +144,63 @@ class ServiceFrontEnd:
         backplane commands."""
         del message
         return None
+
+    # ----------------------------------------------------------------- pacing
+
+    def _note_pace_slot(
+        self,
+        *,
+        wait_ns: float,
+        real: bool,
+        queue_depth: int,
+        shard_id: Optional[int] = None,
+    ) -> None:
+        """Report one issued pace slot: trace events + adaptive feedback.
+
+        Feeds the public queue depth to the pacer's adaptive controller
+        and emits the ``pacer_tick`` / ``pace_dummy_issued`` /
+        ``pace_epoch_adjusted`` trace events.
+        """
+        pacer = self.pacer
+        assert pacer is not None
+        slot = pacer.slots  # 0-based index of the slot being reported
+        interval_ns = pacer.interval_ns  # cadence the slot ran under
+        outcome = pacer.note_slot(queue_depth, real)
+        if not self._trace:
+            return
+        now = self._clock()
+        self.tracer.emit(
+            PacerTick(
+                ts_ns=now,
+                slot=slot,
+                interval_ns=interval_ns,
+                wait_ns=wait_ns,
+                queue_depth=queue_depth,
+                real=real,
+                shard_id=shard_id,
+            )
+        )
+        self.tracer.counters.inc("pace.slots")
+        if not real:
+            self.tracer.emit(
+                PaceDummyIssued(ts_ns=now, slot=slot, shard_id=shard_id)
+            )
+            self.tracer.counters.inc("pace.dummy_slots")
+        if outcome is not None:
+            self.tracer.emit(
+                PaceEpochAdjusted(
+                    ts_ns=now,
+                    epoch=outcome.epoch,
+                    old_interval_ns=outcome.old_interval_ns,
+                    new_interval_ns=outcome.new_interval_ns,
+                    high_marks=outcome.high_marks,
+                    low_only=outcome.low_only,
+                    slots=outcome.slots,
+                    shard_id=shard_id,
+                )
+            )
+            if outcome.changed:
+                self.tracer.counters.inc("pace.epoch_adjustments")
 
     # -------------------------------------------------------------- lifecycle
 
@@ -486,6 +558,9 @@ class OramService(ServiceFrontEnd):
                 return
 
     async def _work_loop(self) -> None:
+        if self.pacer is not None:
+            await self._paced_loop()
+            return
         service = self.service_config
         pace_s = service.pace_ns / 1e9
         while not (self._stopping and self._pending() == 0):
@@ -509,6 +584,35 @@ class OramService(ServiceFrontEnd):
                 if self._stopping:
                     break
                 await self._wake.wait()
+
+    async def _paced_loop(self) -> None:
+        """Pacer-driven turn loop (``pace.mode != "off"``).
+
+        One (real-or-dummy) tree access per pace slot, forever: the
+        pacer's deadline chain — not request arrival — decides when the
+        engine touches the backend, and a slot with no client work
+        queued runs as a pure-dummy access of identical shape. The
+        engine is credited every pacer sleep so queued requests carve
+        the wait out of ``sched_wait_ns`` as their ``pace_wait_ns``
+        phase.
+        """
+        engine = self.engine
+        pacer = self.pacer
+        assert pacer is not None
+        while not (self._stopping and self._pending() == 0):
+            wait_ns = await pacer.wait_for_slot()
+            engine.note_pace_wait(wait_ns)
+            self._drain_ready()
+            depth = self._pending()
+            real = engine.has_pending_real()
+            await engine.run_access()
+            if not real:
+                # A pure-dummy slot is the paced service's idle moment:
+                # seal a checkpoint if acknowledgments are deferred.
+                engine.flush_durability()
+            self._note_pace_slot(
+                wait_ns=wait_ns, real=real, queue_depth=depth
+            )
 
     def _pending(self) -> int:
         return (

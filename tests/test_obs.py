@@ -314,3 +314,84 @@ class TestRecordsDropped:
         from repro.core.metrics import ControllerMetrics
 
         assert ControllerMetrics().summary()["records_dropped"] == 0.0
+
+
+class TestPaceEvents:
+    """Schema round-trips for the ``repro.pace`` event family and the
+    ``pace_wait_ns`` optional phase of ``service_completed``."""
+
+    def make_tick(self, **overrides):
+        from repro.obs.events import PacerTick
+
+        merged = dict(
+            ts_ns=1_000.0,
+            slot=3,
+            interval_ns=250_000.0,
+            wait_ns=240_000.0,
+            queue_depth=2,
+            real=True,
+        )
+        merged.update(overrides)
+        return PacerTick(**merged)
+
+    def test_pacer_tick_round_trips(self):
+        event = self.make_tick().to_dict()
+        assert event["kind"] == "pacer_tick"
+        assert validate_event(event) == []
+        assert validate_event(self.make_tick(shard_id=1).to_dict()) == []
+
+    def test_pace_dummy_issued_round_trips(self):
+        from repro.obs.events import PaceDummyIssued
+
+        event = PaceDummyIssued(ts_ns=2_000.0, slot=7).to_dict()
+        assert validate_event(event) == []
+        sharded = PaceDummyIssued(ts_ns=2_000.0, slot=7, shard_id=0).to_dict()
+        assert validate_event(sharded) == []
+
+    def test_pace_epoch_adjusted_round_trips(self):
+        from repro.obs.events import PaceEpochAdjusted
+
+        event = PaceEpochAdjusted(
+            ts_ns=3_000.0,
+            epoch=2,
+            old_interval_ns=500_000.0,
+            new_interval_ns=250_000.0,
+            high_marks=40,
+            low_only=False,
+            slots=64,
+        ).to_dict()
+        assert validate_event(event) == []
+
+    def test_missing_and_extra_tick_fields_rejected(self):
+        event = self.make_tick().to_dict()
+        del event["queue_depth"]
+        event["burst"] = 1
+        errors = validate_event(event)
+        assert any("queue_depth" in error for error in errors)
+        assert any("burst" in error for error in errors)
+
+    def test_service_completed_accepts_exact_pace_wait_phase(self):
+        event = {
+            "kind": "service_completed",
+            "ts_ns": 10.0,
+            "request_id": 1,
+            "session_id": 1,
+            "op": "get",
+            "addr": 2,
+            "status": "oram",
+            "latency_ns": 100.0,
+            "phases": {
+                "admission_ns": 10.0,
+                "sched_wait_ns": 20.0,
+                "pace_wait_ns": 30.0,
+                "service_ns": 40.0,
+            },
+        }
+        assert validate_event(event) == []
+        # The optional phase takes part in the exact-sum invariant.
+        event["phases"]["pace_wait_ns"] = 31.0
+        assert any("sum" in error for error in validate_event(event))
+        # And traces from unpaced services simply omit it.
+        del event["phases"]["pace_wait_ns"]
+        event["phases"]["service_ns"] = 70.0
+        assert validate_event(event) == []

@@ -840,3 +840,74 @@ class TestCli:
     def test_bad_backend_rejected(self):
         with pytest.raises(ConfigError):
             ServiceConfig(backend="cloud")
+
+
+# -------------------------------------------------------------------- pacing
+
+
+class TestPacedPhases:
+    """Phase accounting stays exact when the paced turn loop drives the
+    engine: every ``service_completed`` breakdown (now including the
+    optional ``pace_wait_ns``) sums to ``latency_ns`` to the digit."""
+
+    def run_paced(self, arrival: str = "closed"):
+        from repro.config import PaceConfig
+
+        ring = RingBufferSink(capacity=100_000)
+        tracer = Tracer(sinks=[ring])
+        config = serve_system(levels=6).replace(
+            pace=PaceConfig(mode="fixed", interval_ns=300_000.0)
+        )
+
+        async def scenario():
+            service = OramService(config, tracer=tracer)
+            host, port = await service.start()
+            result = await run_loadgen(
+                host,
+                port,
+                clients=3,
+                requests=15,
+                num_blocks=config.oram.num_blocks,
+                seed=17,
+                arrival=arrival,
+                rate=500.0,
+            )
+            await service.stop()
+            return service, result
+
+        service, result = asyncio.run(scenario())
+        assert (result.lost, result.failed, result.mismatches) == (0, 0, 0)
+        return service, [event.to_dict() for event in ring.events]
+
+    def test_paced_completions_sum_exactly_and_validate(self):
+        from repro.obs.schema import phase_sum_tolerance
+
+        service, events = self.run_paced()
+        completions = [
+            event for event in events if event["kind"] == "service_completed"
+        ]
+        assert len(completions) == 45
+        paced_waits = 0
+        for event in completions:
+            phases = event["phases"]
+            assert all(value >= 0.0 for value in phases.values())
+            assert sum(phases.values()) == pytest.approx(
+                event["latency_ns"], abs=phase_sum_tolerance(event["latency_ns"])
+            )
+            if phases.get("pace_wait_ns", 0.0) > 0.0:
+                paced_waits += 1
+        # Queued requests spend real time waiting on the pacer clock,
+        # and that time is carved out of sched_wait_ns, not invented.
+        assert paced_waits > 0
+        assert service.pacer is not None and service.pacer.slots > 0
+        lines = [json.dumps(event) for event in events]
+        assert validate_lines(lines) == []
+
+    def test_open_loop_arrivals_keep_exactly_once(self):
+        service, events = self.run_paced(arrival="poisson")
+        completed = [
+            event["request_id"]
+            for event in events
+            if event["kind"] == "service_completed"
+        ]
+        assert len(completed) == len(set(completed)) == 45

@@ -1,0 +1,236 @@
+"""Tests for ``repro.security.temporal`` — the timing-channel verifier.
+
+Synthetic-timeline unit tests pin down each statistical bar (sample
+floor, gap KS distance, arrival cross-correlation and its dispersion
+guard), and one in-process end-to-end test runs the full experiment:
+a paced service's bursty-load timeline passes against its idle
+baseline, while ``pace.mode="off"`` fails — the teeth CI relies on
+(``scripts/timing_smoke.py`` is the same experiment at larger scale).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    PaceConfig,
+    SchedulerConfig,
+    SystemConfig,
+    small_test_config,
+)
+from repro.errors import ConfigError
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracer import Tracer
+from repro.security.temporal import (
+    arrivals_from_events,
+    cross_correlation,
+    gap_ks_test,
+    inter_access_gaps,
+    issues_from_events,
+    verify_temporal_independence,
+)
+from repro.serve.loadgen import run_loadgen
+from repro.serve.service import OramService
+
+
+def paced_timeline(seed: int, count: int = 200, gap: float = 1_000.0):
+    """A clock-driven issue timeline: fixed gap plus small jitter."""
+    rng = random.Random(seed)
+    out, t = [], 0.0
+    for _ in range(count):
+        t += gap + rng.uniform(0.0, gap / 10.0)
+        out.append(t)
+    return out
+
+
+def bursty_arrivals(count: int = 50, gap: float = 50.0):
+    """Two dense request volleys separated by a long silence."""
+    return [i * gap for i in range(count)] + [
+        1_000 * gap + i * gap for i in range(count)
+    ]
+
+
+# ------------------------------------------------------------------ unit bars
+
+
+class TestStatistics:
+    def test_gaps_are_sorted_diffs(self):
+        assert inter_access_gaps([30.0, 10.0, 15.0]) == [5.0, 15.0]
+
+    def test_ks_separates_clock_from_load_driven(self):
+        clocked = paced_timeline(1)
+        arrivals = bursty_arrivals()
+        chased = [t + 10.0 for t in arrivals]  # issue follows arrival
+        same_distance, _ = gap_ks_test(clocked, paced_timeline(2))
+        diff_distance, diff_pvalue = gap_ks_test(clocked, chased)
+        assert same_distance < 0.2
+        assert diff_distance > 0.8 and diff_pvalue < 0.001
+
+    def test_correlation_catches_arrival_chasing(self):
+        arrivals = bursty_arrivals()
+        chased = [t + 10.0 for t in arrivals]
+        assert cross_correlation(arrivals, chased) > 0.9
+
+    def test_underdispersed_issue_series_cannot_correlate(self):
+        """A constant-rate (sub-Poisson) issue series carries no
+        arrival-shaped signal: the dispersion guard zeroes the
+        statistic instead of letting sparse arrival spikes correlate
+        with ±1 binning noise."""
+        arrivals = [5_000.0, 5_100.0, 5_200.0, 150_000.0, 150_100.0]
+        assert cross_correlation(arrivals, paced_timeline(9)) == 0.0
+
+    def test_empty_series_scores_zero(self):
+        assert cross_correlation([], [1.0]) == 0.0
+        assert cross_correlation([1.0], []) == 0.0
+        assert cross_correlation([1.0], [1.0]) == 0.0
+
+
+class TestVerdict:
+    def test_paced_profiles_pass(self):
+        verdict = verify_temporal_independence(
+            paced_timeline(1), paced_timeline(9), bursty_arrivals()
+        )
+        assert verdict.ok, verdict.failures
+        assert "PASS" in verdict.summary()
+
+    def test_unpaced_idle_baseline_fails_sample_floor(self):
+        arrivals = bursty_arrivals()
+        chased = [t + 10.0 for t in arrivals]
+        verdict = verify_temporal_independence([0.0, 90_000.0], chased, arrivals)
+        assert not verdict.ok
+        assert any("baseline issued only" in f for f in verdict.failures)
+
+    def test_unpaced_busy_run_fails_both_statistical_bars(self):
+        arrivals = bursty_arrivals()
+        chased = [t + 10.0 for t in arrivals]
+        verdict = verify_temporal_independence(
+            paced_timeline(1), chased, arrivals
+        )
+        assert not verdict.ok
+        assert any("gap distributions differ" in f for f in verdict.failures)
+        assert any("correlates with arrivals" in f for f in verdict.failures)
+        assert "FAIL" in verdict.summary()
+
+    def test_event_extractors(self):
+        events = [
+            {"kind": "service_admitted", "ts_ns": 150.0, "wait_ns": 50.0},
+            {"kind": "pacer_tick", "ts_ns": 200.0},
+            {"kind": "service_completed", "ts_ns": 300.0},
+            {"kind": "pacer_tick", "ts_ns": 400.0},
+        ]
+        assert arrivals_from_events(events) == [100.0]
+        assert issues_from_events(events) == [200.0, 400.0]
+
+
+# ----------------------------------------------------------------- end-to-end
+
+
+def _system(pace: PaceConfig) -> SystemConfig:
+    return SystemConfig(
+        oram=small_test_config(6, block_bytes=64),
+        scheduler=SchedulerConfig(label_queue_size=8),
+        cache=CacheConfig(policy="none"),
+        pace=pace,
+    )
+
+
+def _run_profiles(config: SystemConfig, idle_s: float = 0.35):
+    """One idle run and one bursty open-loop run; returns both issue
+    timelines plus the bursty run's arrival times (engine clocks)."""
+
+    async def scenario():
+        ring = RingBufferSink(capacity=100_000)
+        idle = OramService(config, tracer=Tracer(sinks=[ring]))
+        await idle.start()
+        await asyncio.sleep(idle_s)
+        await idle.stop()
+        baseline = list(idle.engine.access_times_ns)
+
+        busy = OramService(config)
+        host, port = await busy.start()
+        result = await run_loadgen(
+            host,
+            port,
+            clients=2,
+            requests=30,
+            num_blocks=config.oram.num_blocks,
+            arrival="burst",
+            rate=300.0,
+            seed=5,
+        )
+        await busy.stop()
+        assert (result.lost, result.mismatches) == (0, 0)
+        # The loadgen's send stamps share perf_counter_ns with the
+        # engine's relative clock up to the service start offset, which
+        # binning absorbs; re-base to the engine span for cleanliness.
+        issues = list(busy.engine.access_times_ns)
+        span = busy.engine.access_times_ns[0] if issues else 0.0
+        base = min(result.send_times_ns) if result.send_times_ns else 0.0
+        arrivals = [t - base + span for t in result.send_times_ns]
+        return baseline, issues, arrivals
+
+    return asyncio.run(scenario())
+
+
+class TestEndToEnd:
+    def test_paced_service_passes_and_off_fails(self):
+        # Jittered mode with the interval comfortably above the
+        # per-access cost: the configured jitter dominates OS
+        # scheduling noise, which is exactly how the mode is meant to
+        # be deployed (docs/TEMPORAL.md).
+        paced = _system(
+            PaceConfig(
+                mode="jittered",
+                interval_ns=3_000_000.0,
+                jitter_ns=2_000_000.0,
+                seed=3,
+            )
+        )
+        baseline, issues, arrivals = _run_profiles(paced)
+        verdict = verify_temporal_independence(baseline, issues, arrivals)
+        assert verdict.ok, verdict.failures
+
+        off = _system(PaceConfig())
+        off_baseline, off_issues, off_arrivals = _run_profiles(off)
+        off_verdict = verify_temporal_independence(
+            off_baseline, off_issues, off_arrivals
+        )
+        # With pacing off the idle service issues (almost) no accesses
+        # — the timeline itself announces the load level.
+        assert not off_verdict.ok
+        assert len(off_baseline) < 16
+
+
+class TestLoadgenSchedules:
+    def test_arrival_offsets_deterministic_and_mean_rate(self):
+        from repro.serve.loadgen import arrival_offsets_s
+
+        for mode in ("poisson", "burst", "onoff"):
+            first = arrival_offsets_s(mode, 64, 200.0, random.Random(3))
+            again = arrival_offsets_s(mode, 64, 200.0, random.Random(3))
+            assert first == again
+            assert first == sorted(first)
+            span = first[-1] - first[0]
+            assert 0.1 < span < 1.0  # 64 requests at ~200/s
+
+    def test_closed_and_bad_modes_rejected(self):
+        from repro.serve.loadgen import arrival_offsets_s, tenant_weights
+
+        with pytest.raises(ConfigError):
+            arrival_offsets_s("closed", 10, 100.0, random.Random(1))
+        with pytest.raises(ConfigError):
+            arrival_offsets_s("poisson", 10, 0.0, random.Random(1))
+        with pytest.raises(ConfigError):
+            tenant_weights(0, 1.0)
+        with pytest.raises(ConfigError):
+            tenant_weights(4, -1.0)
+
+    def test_tenant_weights_zipfish(self):
+        from repro.serve.loadgen import tenant_weights
+
+        assert tenant_weights(3, 0.0) == [1.0, 1.0, 1.0]
+        assert tenant_weights(3, 1.0) == [1.0, 0.5, pytest.approx(1 / 3)]
